@@ -1,0 +1,23 @@
+"""A1 — ablation: exact vs Morris hold-counters inside SampleAndHold
+(the accuracy/state-change trade Theorem 1.5 buys)."""
+
+from repro.experiments import counter_ablation, format_counter_ablation
+
+
+def test_counter_ablation(benchmark, save_result):
+    rows = benchmark.pedantic(
+        counter_ablation,
+        kwargs={"n": 1024, "m": 30000, "trials": 5, "seed": 0},
+        iterations=1,
+        rounds=1,
+    )
+    save_result("A1_counter_ablation", format_counter_ablation(rows))
+    by_kind = {row.counter_kind: row for row in rows}
+    # Morris counters cut state changes by a large factor ...
+    assert (
+        by_kind["morris"].mean_state_changes
+        < 0.5 * by_kind["exact"].mean_state_changes
+    )
+    # ... at a bounded accuracy cost on the heaviest item.
+    assert by_kind["exact"].mean_heavy_rel_error < 0.01
+    assert by_kind["morris"].mean_heavy_rel_error < 0.8

@@ -1,0 +1,25 @@
+"""A2 — ablation: the Section 1.4 eviction-policy counterexample.
+
+Identical SampleAndHold runs differing only in the eviction rule:
+global smallest-half ([EV02, BO13, BKSV14]-style) loses the trickling
+true heavy hitter to persistent pseudo-heavy counters; the paper's
+dyadic age-bucketed maintenance keeps it.
+"""
+
+from repro.experiments import eviction_ablation, format_eviction_ablation
+
+
+def test_eviction_ablation(benchmark, save_result):
+    rows = benchmark.pedantic(
+        eviction_ablation,
+        kwargs={"trials": 8, "seed": 0},
+        iterations=1,
+        rounds=1,
+    )
+    save_result("A2_eviction_ablation", format_eviction_ablation(rows))
+    by_policy = {row.policy: row for row in rows}
+    paper = by_policy["age-bucketed (paper)"]
+    naive = by_policy["global smallest (naive)"]
+    assert paper.detection_rate >= 0.85
+    assert naive.detection_rate <= 0.5
+    assert paper.mean_heavy_estimate > 2 * naive.mean_heavy_estimate

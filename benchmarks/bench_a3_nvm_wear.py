@@ -1,0 +1,33 @@
+"""A3 — the motivating NVM consequence: device lifetime under each
+algorithm's measured write trace on a simulated PCM device (the paper's
+Section 1.1 motivation, quantified)."""
+
+from repro.experiments import format_nvm_wear, nvm_wear_comparison
+
+
+def test_nvm_wear(benchmark, save_result):
+    rows = benchmark.pedantic(
+        nvm_wear_comparison,
+        kwargs={"n": 8192, "m": 65536, "epsilon": 0.5, "seed": 0},
+        iterations=1,
+        rounds=1,
+    )
+    save_result("A3_nvm_wear", format_nvm_wear(rows))
+
+    def lifetime(algorithm, policy):
+        return next(
+            row.lifetime_workloads
+            for row in rows
+            if row.algorithm == algorithm and row.wear_policy == policy
+        )
+
+    # With ideal wear leveling, lifetime is governed by total writes:
+    # the paper's algorithm outlives every classical baseline.
+    for baseline in ("Misra-Gries", "CountMin", "SpaceSaving"):
+        assert lifetime("FullSampleAndHold", "round-robin") > lifetime(
+            baseline, "round-robin"
+        )
+    # Wear leveling never reduces lifetime.
+    for row in rows:
+        if row.wear_policy == "none":
+            assert lifetime(row.algorithm, "round-robin") >= row.lifetime_workloads

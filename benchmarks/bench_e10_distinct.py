@@ -1,0 +1,27 @@
+"""E10 — extension: KMV distinct elements.  State changes grow like
+``k log F0`` (independent of m) while the F0 estimate stays within
+``~1/sqrt(k)``."""
+
+from repro.experiments.extensions import format_kmv, kmv_experiment
+
+
+def test_kmv_distinct(benchmark, save_result):
+    result = benchmark.pedantic(
+        kmv_experiment,
+        kwargs={
+            "n": 30_000,
+            "ms": (20_000, 80_000),
+            "k": 256,
+            "trials": 5,
+            "seed": 0,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    save_result("E10_kmv_distinct", format_kmv(result))
+    assert result.median_rel_error < 0.2
+    changes = result.mean_state_changes_by_m
+    # Quadrupling m grows record events by far less than 4x.
+    assert changes[80_000] < 1.8 * changes[20_000]
+    # And the absolute count is a tiny fraction of the stream.
+    assert changes[80_000] < 0.1 * 80_000

@@ -1,0 +1,47 @@
+"""E1 — Theorem 1.1 shape: heavy-hitter state changes scale as
+``~n^{1-1/p}``.
+
+Sweeps the universe size for several ``p`` and fits the log-log slope
+of the measured state-change counts; the paper predicts exponent
+``1 - 1/p`` up to logarithmic factors (which push the measured slope
+slightly above the clean exponent at laptop scale).
+"""
+
+import pytest
+
+from repro.experiments import heavy_hitter_scaling
+
+NS = (2**10, 2**12, 2**14, 2**16)
+
+
+@pytest.mark.parametrize("p", [1.5, 2.0, 3.0])
+def test_hh_state_change_scaling(benchmark, save_result, p):
+    result = benchmark.pedantic(
+        heavy_hitter_scaling,
+        kwargs={"p": p, "ns": NS, "epsilon": 1.0, "seed": 0},
+        iterations=1,
+        rounds=1,
+    )
+    save_result(f"E1_hh_scaling_p{p}", result.format("E1"))
+    # Shape: measured exponent within +-0.4 of 1 - 1/p (log factors
+    # and saturation at small n account for the band width).
+    assert abs(result.fitted_slope - result.theory_slope) < 0.4
+
+
+def test_hh_scaling_orders_by_p(benchmark, save_result):
+    """Larger p => more state changes (exponent 1 - 1/p increases)."""
+
+    def run():
+        return {
+            p: heavy_hitter_scaling(p=p, ns=(2**12, 2**16), epsilon=1.0, seed=1)
+            for p in (1.5, 3.0)
+        }
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    text = "\n\n".join(
+        results[p].format(f"E1 order check p={p}") for p in sorted(results)
+    )
+    save_result("E1_hh_scaling_order", text)
+    assert (
+        results[3.0].state_changes[-1] > results[1.5].state_changes[-1]
+    )

@@ -1,0 +1,42 @@
+"""E2 — Theorem 1.1 guarantee: ``||fhat - f||_inf <= (eps/2)||f||_p``
+with probability >= 2/3, measured as a success rate over trials.
+"""
+
+from repro.experiments import heavy_hitter_accuracy
+
+
+def test_hh_accuracy_p2(benchmark, save_result):
+    stats = benchmark.pedantic(
+        heavy_hitter_accuracy,
+        kwargs={
+            "n": 1024,
+            "m": 16384,
+            "p": 2.0,
+            "epsilon": 0.5,
+            "trials": 10,
+            "seed": 0,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    save_result("E2_hh_accuracy_p2", stats.format())
+    # Paper's guarantee is probability >= 2/3.
+    assert stats.success_rate >= 2 / 3
+
+
+def test_hh_accuracy_p1(benchmark, save_result):
+    stats = benchmark.pedantic(
+        heavy_hitter_accuracy,
+        kwargs={
+            "n": 1024,
+            "m": 16384,
+            "p": 1.0,
+            "epsilon": 0.5,
+            "trials": 10,
+            "seed": 1,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    save_result("E2_hh_accuracy_p1", stats.format())
+    assert stats.success_rate >= 2 / 3

@@ -1,0 +1,23 @@
+"""E4 — Theorem 1.3 shape: Fp-estimator state changes scale as
+``~n^{1-1/p}`` (sublinear in the stream length)."""
+
+import pytest
+
+from repro.experiments import fp_scaling
+
+NS = (2**10, 2**12, 2**14)
+
+
+@pytest.mark.parametrize("p", [2.0, 3.0])
+def test_fp_state_change_scaling(benchmark, save_result, p):
+    result = benchmark.pedantic(
+        fp_scaling,
+        kwargs={"p": p, "ns": NS, "epsilon": 1.0, "seed": 0},
+        iterations=1,
+        rounds=1,
+    )
+    save_result(f"E4_fp_scaling_p{p}", result.format("E4"))
+    # Sublinear growth: the measured exponent must stay well below 1
+    # (an exact/sketch baseline would grow with slope 1 in n ~ m/4).
+    assert result.fitted_slope < 0.95
+    assert result.state_changes[-1] > result.state_changes[0]

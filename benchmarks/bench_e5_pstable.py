@@ -1,0 +1,48 @@
+"""E5 — Theorem 3.2: Fp for p < 1 via p-stable sketches maintained by
+weighted Morris counters — accuracy plus state changes that grow only
+polylogarithmically with the stream length."""
+
+import pytest
+
+from repro.core.fp_pstable import PStableFpEstimator
+from repro.experiments import pstable_accuracy
+from repro.streams import uniform_stream
+
+
+@pytest.mark.parametrize("p", [0.25, 0.5])
+def test_pstable_accuracy(benchmark, save_result, p):
+    stats = benchmark.pedantic(
+        pstable_accuracy,
+        kwargs={
+            "n": 256,
+            "m": 4096,
+            "p": p,
+            "epsilon_target": 0.3,
+            "num_rows": 100,
+            "trials": 6,
+            "seed": 0,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    save_result(f"E5_pstable_accuracy_p{p}", stats.format())
+    assert stats.success_rate >= 2 / 3
+
+
+def test_pstable_state_changes_flat_in_m(benchmark, save_result):
+    """Quadrupling m should grow state changes by far less than 4x."""
+
+    def run():
+        counts = {}
+        for m in (4000, 16000):
+            algo = PStableFpEstimator(p=0.5, num_rows=40, seed=1)
+            algo.process_stream(uniform_stream(200, m, seed=1))
+            counts[m] = algo.state_changes
+        return counts
+
+    counts = benchmark.pedantic(run, iterations=1, rounds=1)
+    lines = ["E5 state changes vs m (p=0.5, 40 rows):"]
+    for m, c in counts.items():
+        lines.append(f"  m={m:>6}: state changes {c} ({c / m:.3f}/update)")
+    save_result("E5_pstable_state_changes", "\n".join(lines))
+    assert counts[16000] < 2.5 * counts[4000]

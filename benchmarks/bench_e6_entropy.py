@@ -1,0 +1,52 @@
+"""E6 — Theorem 3.8: additive-error entropy estimation.
+
+Two configurations: the oracle backend isolates the HNO08 interpolation
+machinery (errors << 0.1 bits), and the streaming p-stable backend
+measures the end-to-end additive error of the write-frugal estimator
+(coarser at laptop scale; see EXPERIMENTS.md for the gap discussion).
+"""
+
+from repro.experiments import entropy_accuracy
+
+
+def test_entropy_oracle_machinery(benchmark, save_result):
+    stats = benchmark.pedantic(
+        entropy_accuracy,
+        kwargs={
+            "n": 256,
+            "m": 4000,
+            "skew": 1.5,
+            "additive_target": 0.2,
+            "trials": 5,
+            "backend": "oracle",
+            "seed": 0,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    save_result("E6_entropy_oracle", stats.format())
+    assert stats.success_rate >= 0.8
+
+
+def test_entropy_streaming(benchmark, save_result):
+    stats = benchmark.pedantic(
+        entropy_accuracy,
+        kwargs={
+            "n": 256,
+            "m": 4000,
+            "skew": 1.5,
+            "additive_target": 1.0,
+            "num_rows": 150,
+            "trials": 5,
+            "backend": "pstable",
+            "seed": 1,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    save_result("E6_entropy_streaming", stats.format())
+    # Streaming additive error target (1 bit) achieved on most trials.
+    # (With hundreds of Morris rows, *some* row bumps on almost every
+    # update, so the per-timestep change indicator saturates; the
+    # write-frugality of the sketch is asserted per-counter in E5.)
+    assert stats.success_rate >= 0.6

@@ -1,0 +1,33 @@
+"""E7 — Theorems 1.2/1.4: the distinguishing game's budget threshold.
+
+Sweeping the write budget ``B = c * n^{1-1/p}`` traces the lower
+bound's knee: advantage ~0 for ``c << 1`` rising toward 1 for
+``c >> 1``.
+"""
+
+from repro.experiments import budget_advantage_curve, format_budget_curve
+
+N = 4096
+P = 2.0
+
+
+def test_budget_advantage_curve(benchmark, save_result):
+    points = benchmark.pedantic(
+        budget_advantage_curve,
+        kwargs={
+            "n": N,
+            "p": P,
+            "budget_factors": (0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+            "trials": 25,
+            "seed": 0,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    save_result("E7_lower_bound_curve", format_budget_curve(points, N, P))
+    by_factor = {pt.budget_factor: pt for pt in points}
+    # Below the threshold: near coin flipping.  Above: reliable.
+    assert by_factor[0.125].accuracy < 0.7
+    assert by_factor[8.0].accuracy > 0.85
+    # The strawman's measured state changes track its budget.
+    assert by_factor[1.0].mean_state_changes < 4 * by_factor[1.0].budget

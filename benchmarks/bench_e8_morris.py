@@ -1,0 +1,26 @@
+"""E8 — Theorem 1.5: the Morris counter's accuracy / state-change
+trade-off (counting to 50k with 4 growth parameters)."""
+
+from repro.experiments import format_morris_tradeoff, morris_tradeoff
+
+
+def test_morris_tradeoff(benchmark, save_result):
+    rows = benchmark.pedantic(
+        morris_tradeoff,
+        kwargs={
+            "count": 50_000,
+            "a_values": (0.5, 0.125, 0.03, 0.008),
+            "trials": 8,
+            "seed": 0,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    save_result("E8_morris_tradeoff", format_morris_tradeoff(rows))
+    # Monotone trade-off: smaller a => more writes, less error.
+    changes = [row.mean_state_changes for row in rows]
+    assert changes == sorted(changes)
+    # Every configuration is exponentially cheaper than exact counting.
+    assert all(row.mean_state_changes < 0.1 * row.count for row in rows)
+    # And the coarsest setting still lands within ~3x of the truth.
+    assert rows[0].mean_rel_error < 2.0

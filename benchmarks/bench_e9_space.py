@@ -1,0 +1,46 @@
+"""E9 — Theorem 1.1 space shape: peak words scale like ``n^{1-2/p}``
+for ``p > 2`` and stay polylogarithmic for ``p in [1, 2]``.
+
+(The paper's space bounds; the reservoir/budget provisioning carries
+the `log(nm)` factors, so the `p = 2` row drifts slowly rather than
+being flat.)
+"""
+
+from repro.core import FullSampleAndHold
+from repro.experiments import loglog_slope
+from repro.streams import zipf_stream
+
+NS = (2**10, 2**12, 2**14, 2**16)
+
+
+def _peak_words(p, n, seed):
+    m = 4 * n
+    algo = FullSampleAndHold(
+        n=n, m=m, p=p, epsilon=1.0, seed=seed, repetitions=1
+    )
+    algo.process_stream(zipf_stream(n, m, skew=1.05, seed=seed))
+    return algo.report().peak_words
+
+
+def test_space_scaling(benchmark, save_result):
+    def run():
+        return {
+            p: [_peak_words(p, n, seed=i) for i, n in enumerate(NS)]
+            for p in (2.0, 4.0)
+        }
+
+    peaks = benchmark.pedantic(run, iterations=1, rounds=1)
+    slopes = {p: loglog_slope(NS, values) for p, values in peaks.items()}
+    lines = ["E9 space scaling: peak words vs n (m = 4n, eps = 1)"]
+    for p, values in peaks.items():
+        theory = max(0.0, 1.0 - 2.0 / p)
+        lines.append(
+            f"  p={p}: peaks {values} -> slope {slopes[p]:.3f} "
+            f"(theory n^{{1-2/p}} = {theory:.3f} + polylog drift)"
+        )
+    save_result("E9_space_scaling", "\n".join(lines))
+    # Shape: p=4 needs polynomially growing space, p=2 only polylog
+    # drift; and both stay far below linear.
+    assert slopes[4.0] > slopes[2.0]
+    assert slopes[2.0] < 0.45
+    assert slopes[4.0] < 0.95

@@ -1,0 +1,51 @@
+"""Entropy monitoring for traffic anomaly detection.
+
+Entropy of the destination distribution is a classical DDoS/port-scan
+signal: normal traffic has stable entropy, an attack concentrates (or
+scatters) it.  This example feeds the streaming entropy estimator
+(Theorem 3.8's HNO08 construction on p-stable Morris sketches) one
+normal window and one attack window and shows the detectable shift —
+using far fewer memory writes than exact tracking.
+
+Usage:  python examples/entropy_monitor.py
+"""
+
+from repro import EntropyEstimator, FrequencyVector, zipf_stream
+
+N = 256
+WINDOW = 4000
+
+
+def attack_window(seed: int) -> list[int]:
+    """A single destination absorbs 70% of the packets."""
+    background = zipf_stream(N, WINDOW * 3 // 10, skew=1.3, seed=seed)
+    return [5] * (WINDOW * 7 // 10) + background
+
+
+def measure(label: str, window: list[int], seed: int) -> float:
+    truth = FrequencyVector.from_stream(window).shannon_entropy()
+    monitor = EntropyEstimator(
+        m=len(window), k=2, node_width=0.4, num_rows=150,
+        morris_a=0.008, seed=seed,
+    )
+    monitor.process_stream(window)
+    estimate = monitor.entropy_estimate()
+    report = monitor.report()
+    print(f"{label:<16} H_true={truth:5.2f}  H_est={estimate:5.2f}  "
+          f"writes={report.total_writes} "
+          f"(exact maintenance would cost ~{report.stream_length * 300})")
+    return estimate
+
+
+def main() -> None:
+    print(f"destination-entropy monitor, window={WINDOW} packets\n")
+    normal = zipf_stream(N, WINDOW, skew=1.3, seed=21)
+    h_normal = measure("normal window", normal, seed=1)
+    h_attack = measure("attack window", attack_window(seed=22), seed=2)
+    drop = h_normal - h_attack
+    print(f"\nentropy drop: {drop:.2f} bits "
+          f"-> {'ALERT (concentration anomaly)' if drop > 1.0 else 'ok'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — reproduction of *Streaming Algorithms with Few State Changes*
+(Jayaram, Woodruff, Zhou; PODS 2024, arXiv:2406.06821).
+
+The package provides the paper's state-change-frugal streaming
+algorithms (heavy hitters, ``Fp`` moments, entropy), the classical
+baselines they are compared against, an instrumented-memory substrate
+that measures the number of internal state changes, adversarial
+instances from the lower-bound proofs, and an NVM wear simulator for
+the motivating hardware model.
+
+Quick start::
+
+    from repro import HeavyHitters, zipf_stream
+
+    n, m = 1 << 14, 1 << 16
+    algo = HeavyHitters(n=n, m=m, p=2, epsilon=0.5, seed=0)
+    algo.process_stream(zipf_stream(n, m, seed=0))
+    print(algo.report().summary())        # state-change audit
+    print(algo.heavy_hitters())           # the heavy-hitter list
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    ExactCounter,
+    FpEstimator,
+    FullSampleAndHold,
+    HeavyHitters,
+    MedianMorrisCounter,
+    MorrisCounter,
+    SampleAndHold,
+    SampleAndHoldParams,
+)
+from repro.core.entropy import EntropyEstimator
+from repro.core.fp_pstable import PStableFpEstimator
+from repro.core.support_recovery import SparseSupportRecovery
+from repro.state import StateChangeReport, StateTracker, StreamAlgorithm
+from repro.streams import (
+    FrequencyVector,
+    lower_bound_pair,
+    permutation_stream,
+    planted_heavy_hitter_stream,
+    pseudo_heavy_counterexample,
+    round_robin_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EntropyEstimator",
+    "ExactCounter",
+    "FpEstimator",
+    "FrequencyVector",
+    "FullSampleAndHold",
+    "HeavyHitters",
+    "MedianMorrisCounter",
+    "MorrisCounter",
+    "PStableFpEstimator",
+    "SampleAndHold",
+    "SampleAndHoldParams",
+    "SparseSupportRecovery",
+    "StateChangeReport",
+    "StateTracker",
+    "StreamAlgorithm",
+    "lower_bound_pair",
+    "permutation_stream",
+    "planted_heavy_hitter_stream",
+    "pseudo_heavy_counterexample",
+    "round_robin_stream",
+    "uniform_stream",
+    "zipf_stream",
+]

@@ -1,0 +1,72 @@
+"""AMS F2 sketch [AMS99] — the classical moment-estimation baseline.
+
+``copies`` independent 4-wise sign hashes maintain ``Z_c = sum_i
+sign_c(i) * f_i``; ``Z_c^2`` is an unbiased estimate of ``F2`` with
+``Var <= 2*F2^2``, so a median of means over groups achieves
+``(1 +/- eps)`` accuracy.  Every update mutates every ``Z_c``:
+``Theta(m)`` state changes, the behaviour Theorem 1.3 improves on.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+from repro.hashing.prime_field import KWiseHash
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.registers import TrackedArray
+from repro.state.tracker import StateTracker
+
+
+class AMSSketch(StreamAlgorithm):
+    """AMS ``F2`` estimator with median-of-means boosting."""
+
+    name = "AMS"
+
+    def __init__(
+        self,
+        num_groups: int,
+        group_size: int,
+        seed: int | None = None,
+        tracker: StateTracker | None = None,
+    ) -> None:
+        if num_groups < 1 or group_size < 1:
+            raise ValueError(
+                f"need num_groups, group_size >= 1: {num_groups}x{group_size}"
+            )
+        super().__init__(tracker)
+        self.num_groups = num_groups
+        self.group_size = group_size
+        total = num_groups * group_size
+        self._sums = TrackedArray(self.tracker, "ams", total, fill=0)
+        base = 0 if seed is None else seed
+        self._signs = [KWiseHash(4, seed=base + 37 * c) for c in range(total)]
+        self.tracker.allocate(sum(h.description_words for h in self._signs))
+
+    @classmethod
+    def for_accuracy(
+        cls,
+        epsilon: float,
+        delta: float = 0.05,
+        seed: int | None = None,
+        tracker: StateTracker | None = None,
+    ) -> "AMSSketch":
+        """Median of means sized for ``(1 +/- eps)`` w.p. ``1 - delta``."""
+        group_size = max(1, int(math.ceil(16.0 / epsilon**2)))
+        num_groups = max(1, int(math.ceil(4.0 * math.log(1.0 / delta))))
+        return cls(num_groups, group_size, seed=seed, tracker=tracker)
+
+    def _update(self, item: int) -> None:
+        for c, sign_hash in enumerate(self._signs):
+            self._sums[c] = self._sums[c] + sign_hash.sign(item)
+
+    def f2_estimate(self) -> float:
+        """Median over groups of the mean of ``Z_c^2`` within the group."""
+        group_means = []
+        for g in range(self.num_groups):
+            start = g * self.group_size
+            values = [
+                self._sums[c] ** 2 for c in range(start, start + self.group_size)
+            ]
+            group_means.append(sum(values) / len(values))
+        return float(statistics.median(group_means))

@@ -1,0 +1,75 @@
+"""CountMin sketch [CM05] (Table 1, row 2).
+
+``depth`` pairwise-independent hash rows of ``width`` counters; a point
+query returns the minimum over rows, an overestimate with additive
+error ``<= e*m/width`` w.p. ``1 - e^{-depth}``.  Every update increments
+``depth`` cells, so the sketch makes one state change per update —
+``Theta(m)`` total, the classical behaviour the paper improves on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hashing.prime_field import KWiseHash
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.registers import TrackedArray
+from repro.state.tracker import StateTracker
+
+
+class CountMin(StreamAlgorithm):
+    """CountMin sketch with ``depth x width`` tracked counters."""
+
+    name = "CountMin"
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        seed: int | None = None,
+        tracker: StateTracker | None = None,
+    ) -> None:
+        if width < 1 or depth < 1:
+            raise ValueError(f"need width, depth >= 1: {width}x{depth}")
+        super().__init__(tracker)
+        self.width = width
+        self.depth = depth
+        self._rows = [
+            TrackedArray(self.tracker, f"cm[{r}]", width, fill=0)
+            for r in range(depth)
+        ]
+        base = 0 if seed is None else seed
+        self._hashes = [KWiseHash(2, seed=base + 1000 * r) for r in range(depth)]
+        # Hash descriptions occupy memory too.
+        self.tracker.allocate(sum(h.description_words for h in self._hashes))
+
+    @classmethod
+    def for_accuracy(
+        cls,
+        epsilon: float,
+        delta: float = 0.05,
+        seed: int | None = None,
+        tracker: StateTracker | None = None,
+    ) -> "CountMin":
+        """Sketch with additive error ``eps*m`` w.p. ``1 - delta``."""
+        width = max(1, int(math.ceil(math.e / epsilon)))
+        depth = max(1, int(math.ceil(math.log(1.0 / delta))))
+        return cls(width, depth, seed=seed, tracker=tracker)
+
+    def _update(self, item: int) -> None:
+        for row, h in zip(self._rows, self._hashes):
+            bucket = h.bucket(item, self.width)
+            row[bucket] = row[bucket] + 1
+
+    def estimate(self, item: int) -> float:
+        """Point query: min over rows (an overestimate)."""
+        return float(
+            min(
+                row[h.bucket(item, self.width)]
+                for row, h in zip(self._rows, self._hashes)
+            )
+        )
+
+    def estimates_for(self, items: set[int]) -> dict[int, float]:
+        """Point queries for a candidate set (CountMin has no item list)."""
+        return {item: self.estimate(item) for item in items}

@@ -1,0 +1,90 @@
+"""CountMin with Morris-counter cells — a sketch/sampling hybrid.
+
+Section 1.4 of the paper observes that classical sketches (CountMin,
+CountSketch, ...) "can only achieve a linear number of internal state
+changes" because every update touches a cell.  A natural question the
+paper leaves open is whether replacing each exact cell with a Morris
+counter helps: an update then mutates a cell only when the Morris coin
+lands, so *hot* cells quickly stop changing.
+
+The answer this hybrid makes measurable (ablation A4): on skewed
+streams the per-update state-change probability decays as the hot
+cells' levels grow, so total state changes become sublinear in ``m`` —
+but on near-uniform streams every row still hosts cold cells and the
+behaviour stays ``Θ(m)``.  The paper's sample-and-hold approach is
+sublinear regardless of skew, which is exactly the separation A4
+demonstrates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.counters import MorrisCounter
+from repro.hashing.prime_field import KWiseHash
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.tracker import StateTracker
+
+
+class CountMinMorris(StreamAlgorithm):
+    """CountMin whose cells are Morris counters.
+
+    Point queries remain (probably) overestimates in expectation —
+    each cell unbiasedly estimates the hashed-in mass — but inherit the
+    Morris multiplicative noise ``~sqrt(a/2)``.
+    """
+
+    name = "CountMin-Morris"
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        a: float = 0.125,
+        seed: int | None = None,
+        tracker: StateTracker | None = None,
+    ) -> None:
+        if width < 1 or depth < 1:
+            raise ValueError(f"need width, depth >= 1: {width}x{depth}")
+        super().__init__(tracker)
+        self.width = width
+        self.depth = depth
+        base = 0 if seed is None else seed
+        rng = random.Random(base)
+        self._rows = [
+            [
+                MorrisCounter(
+                    self.tracker, a=a, rng=rng, cell_id=f"cmm[{r}][{c}]"
+                )
+                for c in range(width)
+            ]
+            for r in range(depth)
+        ]
+        self._hashes = [KWiseHash(2, seed=base + 1000 * r) for r in range(depth)]
+        self.tracker.allocate(sum(h.description_words for h in self._hashes))
+
+    @classmethod
+    def for_accuracy(
+        cls,
+        epsilon: float,
+        delta: float = 0.05,
+        a: float = 0.125,
+        seed: int | None = None,
+        tracker: StateTracker | None = None,
+    ) -> "CountMinMorris":
+        """Same sizing rule as exact CountMin."""
+        width = max(1, int(math.ceil(math.e / epsilon)))
+        depth = max(1, int(math.ceil(math.log(1.0 / delta))))
+        return cls(width, depth, a=a, seed=seed, tracker=tracker)
+
+    def _update(self, item: int) -> None:
+        for row, h in zip(self._rows, self._hashes):
+            row[h.bucket(item, self.width)].add()
+
+    def estimate(self, item: int) -> float:
+        """Point query: min over rows of the cell estimates."""
+        return min(
+            row[h.bucket(item, self.width)].estimate
+            for row, h in zip(self._rows, self._hashes)
+        )

@@ -1,0 +1,89 @@
+"""CountSketch [CCF04] (Table 1, row 4 — the L2 baseline).
+
+``depth`` rows of ``width`` signed counters; item ``i`` adds
+``sign_r(i)`` to cell ``h_r(i)`` in every row.  A point query takes the
+median over rows of ``sign_r(i) * cell``, an unbiased estimate with
+additive error ``O(||f||_2 / sqrt(width))``.  Writes on every update:
+``Theta(m)`` state changes.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+from repro.hashing.prime_field import KWiseHash
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.registers import TrackedArray
+from repro.state.tracker import StateTracker
+
+
+class CountSketch(StreamAlgorithm):
+    """CountSketch with ``depth x width`` signed tracked counters."""
+
+    name = "CountSketch"
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        seed: int | None = None,
+        tracker: StateTracker | None = None,
+    ) -> None:
+        if width < 1 or depth < 1:
+            raise ValueError(f"need width, depth >= 1: {width}x{depth}")
+        super().__init__(tracker)
+        self.width = width
+        self.depth = depth
+        self._rows = [
+            TrackedArray(self.tracker, f"cs[{r}]", width, fill=0)
+            for r in range(depth)
+        ]
+        base = 0 if seed is None else seed
+        self._bucket_hashes = [
+            KWiseHash(2, seed=base + 1000 * r) for r in range(depth)
+        ]
+        self._sign_hashes = [
+            KWiseHash(4, seed=base + 1000 * r + 500) for r in range(depth)
+        ]
+        self.tracker.allocate(
+            sum(h.description_words for h in self._bucket_hashes)
+            + sum(h.description_words for h in self._sign_hashes)
+        )
+
+    @classmethod
+    def for_accuracy(
+        cls,
+        epsilon: float,
+        delta: float = 0.05,
+        seed: int | None = None,
+        tracker: StateTracker | None = None,
+    ) -> "CountSketch":
+        """Sketch with additive error ``eps*||f||_2`` w.p. ``1 - delta``."""
+        width = max(1, int(math.ceil(6.0 / epsilon**2)))
+        depth = max(1, int(math.ceil(2.0 * math.log(1.0 / delta))))
+        if depth % 2 == 0:
+            depth += 1  # odd depth keeps the median well defined
+        return cls(width, depth, seed=seed, tracker=tracker)
+
+    def _update(self, item: int) -> None:
+        for row, bucket_hash, sign_hash in zip(
+            self._rows, self._bucket_hashes, self._sign_hashes
+        ):
+            bucket = bucket_hash.bucket(item, self.width)
+            row[bucket] = row[bucket] + sign_hash.sign(item)
+
+    def estimate(self, item: int) -> float:
+        """Point query: median over rows of the signed cell values."""
+        votes = [
+            sign_hash.sign(item) * row[bucket_hash.bucket(item, self.width)]
+            for row, bucket_hash, sign_hash in zip(
+                self._rows, self._bucket_hashes, self._sign_hashes
+            )
+        ]
+        return float(statistics.median(votes))
+
+    def f2_estimate(self) -> float:
+        """``F2`` estimate: median over rows of the row's squared mass."""
+        row_sums = [sum(cell * cell for cell in row) for row in self._rows]
+        return float(statistics.median(row_sums))

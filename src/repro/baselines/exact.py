@@ -1,0 +1,33 @@
+"""Exact dictionary counter — the zero-error, maximum-write baseline.
+
+Stores the full frequency vector.  Every update mutates a counter, so
+the number of state changes equals the stream length ``m`` exactly,
+anchoring the ``O(m)`` end of Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.registers import TrackedDict
+from repro.state.tracker import StateTracker
+
+
+class ExactFrequencyCounter(StreamAlgorithm):
+    """Exact frequencies via a tracked hash table (space ``O(F0)``)."""
+
+    name = "Exact"
+
+    def __init__(self, tracker: StateTracker | None = None) -> None:
+        super().__init__(tracker)
+        self._counts: TrackedDict[int, int] = TrackedDict(self.tracker, "exact")
+
+    def _update(self, item: int) -> None:
+        self._counts[item] = self._counts.get(item, 0) + 1
+
+    def estimate(self, item: int) -> float:
+        """Exact frequency of ``item``."""
+        return float(self._counts.get(item, 0))
+
+    def estimates(self) -> dict[int, float]:
+        """All stored frequencies (exact)."""
+        return {item: float(count) for item, count in self._counts.items()}

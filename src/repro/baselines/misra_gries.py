@@ -1,0 +1,56 @@
+"""Misra–Gries deterministic heavy hitters [MG82] (Table 1, row 1).
+
+Maintains at most ``k - 1`` counters; a stream update either increments
+its item's counter, inserts it if a slot is free, or decrements *every*
+counter by one.  Estimates satisfy ``f_i - m/k <= fhat_i <= f_i``, so
+``k = 2/eps`` solves the ``L1``-heavy-hitter problem.  Every update
+writes, so the algorithm makes ``Theta(m)`` state changes — the
+behaviour the paper contrasts against.
+"""
+
+from __future__ import annotations
+
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.registers import TrackedDict
+from repro.state.tracker import StateTracker
+
+
+class MisraGries(StreamAlgorithm):
+    """Misra–Gries summary with ``k - 1`` counters."""
+
+    name = "Misra-Gries"
+
+    def __init__(self, k: int, tracker: StateTracker | None = None) -> None:
+        if k < 2:
+            raise ValueError(f"Misra-Gries needs k >= 2: {k}")
+        super().__init__(tracker)
+        self.k = k
+        self._counters: TrackedDict[int, int] = TrackedDict(self.tracker, "mg")
+
+    def _update(self, item: int) -> None:
+        if item in self._counters:
+            self._counters[item] = self._counters[item] + 1
+        elif len(self._counters) < self.k - 1:
+            self._counters[item] = 1
+        else:
+            # Decrement-all; counters hitting zero are evicted.
+            expired = []
+            for tracked, count in self._counters.items():
+                if count == 1:
+                    expired.append(tracked)
+                else:
+                    self._counters[tracked] = count - 1
+            for tracked in expired:
+                del self._counters[tracked]
+
+    def estimate(self, item: int) -> float:
+        """Underestimate of ``f_item`` (within ``m/k`` of the truth)."""
+        return float(self._counters.get(item, 0))
+
+    def estimates(self) -> dict[int, float]:
+        """All currently tracked (item, count) pairs."""
+        return {item: float(count) for item, count in self._counters.items()}
+
+    def additive_error_bound(self) -> float:
+        """Worst-case underestimation ``m/k`` after ``m`` updates."""
+        return self.items_processed / self.k

@@ -1,0 +1,77 @@
+"""Naive sample-and-hold with *global* smallest-counter eviction.
+
+This is the [EV02]-style strategy the paper contrasts with in
+Section 1.4: sample stream updates, hold an exact counter for each
+sampled item, and when the counter table overflows evict the entries
+with the globally smallest counts.  On the Section 1.4 pseudo-heavy
+counterexample this policy repeatedly evicts the true heavy hitter
+(whose counter is always locally small) in favour of pseudo-heavy items
+— the failure mode the paper's dyadic age-bucketed maintenance avoids.
+Reproduced here as the ablation baseline for experiment A2.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.registers import TrackedDict
+from repro.state.tracker import StateTracker
+
+
+class NaiveSampleAndHold(StreamAlgorithm):
+    """Sample-and-hold with global smallest-count eviction ([EV02]-style).
+
+    Parameters
+    ----------
+    sample_probability:
+        Probability of admitting an unsampled update into the table.
+    capacity:
+        Maximum number of held counters; on overflow the smallest half
+        (globally, regardless of age) is evicted.
+    """
+
+    name = "NaiveSampleAndHold"
+
+    def __init__(
+        self,
+        sample_probability: float,
+        capacity: int,
+        rng: random.Random | None = None,
+        tracker: StateTracker | None = None,
+    ) -> None:
+        if not 0 < sample_probability <= 1:
+            raise ValueError(
+                f"sample probability must be in (0, 1]: {sample_probability}"
+            )
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2: {capacity}")
+        super().__init__(tracker)
+        self.sample_probability = sample_probability
+        self.capacity = capacity
+        self._rng = rng if rng is not None else random.Random()
+        self._counters: TrackedDict[int, int] = TrackedDict(self.tracker, "nsh")
+
+    def _update(self, item: int) -> None:
+        if item in self._counters:
+            self._counters[item] = self._counters[item] + 1
+            return
+        if self._rng.random() >= self.sample_probability:
+            return
+        self._counters[item] = 1
+        if len(self._counters) > self.capacity:
+            self._evict_smallest_half()
+
+    def _evict_smallest_half(self) -> None:
+        """Drop the half of the table with the smallest counts."""
+        by_count = sorted(self._counters.items(), key=lambda kv: kv[1])
+        for item, _ in by_count[: len(by_count) // 2]:
+            del self._counters[item]
+
+    def estimate(self, item: int) -> float:
+        """Held count for ``item`` (an underestimate), 0 if not held."""
+        return float(self._counters.get(item, 0))
+
+    def estimates(self) -> dict[int, float]:
+        """All currently held counters."""
+        return {item: float(count) for item, count in self._counters.items()}

@@ -1,0 +1,54 @@
+"""Classic reservoir sampling (Vitter's Algorithm R).
+
+A uniform sample of ``k`` stream positions.  The expected number of
+reservoir replacements after ``m`` updates is ``k * (H_m - H_k) =
+O(k log m)`` — sampling is the canonical *few-state-changes* primitive
+the paper builds on (Section 1.1, "Relationship with sampling").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.registers import TrackedArray, TrackedValue
+from repro.state.tracker import StateTracker
+
+
+class ReservoirSampler(StreamAlgorithm):
+    """Uniform ``k``-sample of the stream with tracked slots."""
+
+    name = "Reservoir"
+
+    def __init__(
+        self,
+        k: int,
+        rng: random.Random | None = None,
+        tracker: StateTracker | None = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"reservoir size must be >= 1: {k}")
+        super().__init__(tracker)
+        self.k = k
+        self._rng = rng if rng is not None else random.Random()
+        self._slots: TrackedArray[int | None] = TrackedArray(
+            self.tracker, "reservoir", k, fill=None
+        )
+        self._seen = TrackedValue(self.tracker, "reservoir.seen", 0)
+
+    def _update(self, item: int) -> None:
+        seen = self._seen.value
+        if seen < self.k:
+            self._slots[seen] = item
+        else:
+            j = self._rng.randrange(seen + 1)
+            if j < self.k:
+                self._slots[j] = item
+        # The counter write makes Algorithm R Theta(m) state changes as
+        # written; a Morris counter would remove this (see core/).
+        self._seen.set(seen + 1)
+
+    @property
+    def sample(self) -> list[int]:
+        """Current reservoir contents (only filled slots)."""
+        return [slot for slot in self._slots if slot is not None]

@@ -1,0 +1,50 @@
+"""SpaceSaving heavy hitters [MAA05] (Table 1, row 3).
+
+Keeps exactly ``k`` (item, count) pairs.  A tracked item increments its
+counter; an untracked item *replaces* the minimum-count entry and
+inherits its count plus one.  Estimates are overestimates with error at
+most ``m/k``.  Like Misra–Gries it writes on every update —
+``Theta(m)`` state changes.
+"""
+
+from __future__ import annotations
+
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.registers import TrackedDict
+from repro.state.tracker import StateTracker
+
+
+class SpaceSaving(StreamAlgorithm):
+    """SpaceSaving summary with ``k`` counters."""
+
+    name = "SpaceSaving"
+
+    def __init__(self, k: int, tracker: StateTracker | None = None) -> None:
+        if k < 1:
+            raise ValueError(f"SpaceSaving needs k >= 1: {k}")
+        super().__init__(tracker)
+        self.k = k
+        self._counters: TrackedDict[int, int] = TrackedDict(self.tracker, "ss")
+
+    def _update(self, item: int) -> None:
+        if item in self._counters:
+            self._counters[item] = self._counters[item] + 1
+        elif len(self._counters) < self.k:
+            self._counters[item] = 1
+        else:
+            victim = min(self._counters, key=self._counters.__getitem__)
+            inherited = self._counters[victim]
+            del self._counters[victim]
+            self._counters[item] = inherited + 1
+
+    def estimate(self, item: int) -> float:
+        """Overestimate of ``f_item`` (within ``m/k`` of the truth)."""
+        return float(self._counters.get(item, 0))
+
+    def estimates(self) -> dict[int, float]:
+        """All currently tracked (item, count) pairs."""
+        return {item: float(count) for item, count in self._counters.items()}
+
+    def additive_error_bound(self) -> float:
+        """Worst-case overestimation ``m/k`` after ``m`` updates."""
+        return self.items_processed / self.k

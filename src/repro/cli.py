@@ -1,0 +1,193 @@
+"""Command-line interface: audit algorithms and reproduce experiments.
+
+Three subcommands::
+
+    python -m repro audit --algorithm heavy-hitters --workload zipf \
+        --n 4096 --m 65536            # run one algorithm, print audit
+    python -m repro table1            # regenerate Table 1
+    python -m repro reproduce --quick # run the main experiment suite
+
+``audit`` can also read a stream of integers from a file (one item per
+line) via ``--input``, which is how external traces are replayed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.baselines import (
+    CountMin,
+    CountMinMorris,
+    CountSketch,
+    ExactFrequencyCounter,
+    MisraGries,
+    SpaceSaving,
+)
+from repro.core import FullSampleAndHold, HeavyHitters
+from repro.core.distinct import KMVDistinctElements
+from repro.streams import (
+    FrequencyVector,
+    uniform_stream,
+    zipf_stream,
+)
+
+
+def _build_algorithm(name: str, n: int, m: int, epsilon: float, seed: int):
+    """Instantiate an algorithm by CLI name."""
+    factories = {
+        "heavy-hitters": lambda: HeavyHitters(
+            n=n, m=m, p=2, epsilon=epsilon, seed=seed,
+            inner_kwargs={"repetitions": 1},
+        ),
+        "sample-and-hold": lambda: FullSampleAndHold(
+            n=n, m=m, p=2, epsilon=epsilon, seed=seed, repetitions=1
+        ),
+        "misra-gries": lambda: MisraGries(k=max(2, int(2 / epsilon))),
+        "space-saving": lambda: SpaceSaving(k=max(1, int(2 / epsilon))),
+        "count-min": lambda: CountMin.for_accuracy(epsilon, seed=seed),
+        "count-min-morris": lambda: CountMinMorris.for_accuracy(
+            epsilon, seed=seed
+        ),
+        "count-sketch": lambda: CountSketch.for_accuracy(
+            max(0.2, epsilon), seed=seed
+        ),
+        "exact": ExactFrequencyCounter,
+        "kmv": lambda: KMVDistinctElements.for_accuracy(
+            max(0.05, epsilon / 4), seed=seed
+        ),
+    }
+    if name not in factories:
+        raise SystemExit(
+            f"unknown algorithm {name!r}; choose from {sorted(factories)}"
+        )
+    return factories[name]()
+
+
+def _load_stream(args: argparse.Namespace) -> list[int]:
+    """Stream from --input file or a generated workload."""
+    if args.input:
+        from repro.streams.traceio import read_trace
+
+        return read_trace(args.input)
+    if args.workload == "zipf":
+        return zipf_stream(args.n, args.m, skew=args.skew, seed=args.seed)
+    if args.workload == "uniform":
+        return uniform_stream(args.n, args.m, seed=args.seed)
+    raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    stream = _load_stream(args)
+    n = args.n if not args.input else max(stream) + 1
+    algo = _build_algorithm(args.algorithm, n, len(stream), args.epsilon, args.seed)
+    algo.process_stream(stream)
+    report = algo.report()
+    print(f"algorithm: {args.algorithm}")
+    print(f"audit:     {report.summary()}")
+    print(f"writes:    {report.total_writes} "
+          f"(max cell wear {report.max_cell_wear})")
+
+    if hasattr(algo, "heavy_hitters"):
+        found = algo.heavy_hitters()
+        print(f"heavy hitters: "
+              f"{ {k: round(v) for k, v in sorted(found.items())} }")
+    elif hasattr(algo, "f0_estimate"):
+        print(f"distinct estimate: {algo.f0_estimate():.1f} "
+              f"(true {len(set(stream))})")
+    elif hasattr(algo, "estimates"):
+        top = sorted(algo.estimates().items(), key=lambda kv: -kv[1])[:5]
+        print(f"top estimates: { {k: round(v) for k, v in top} }")
+
+    if args.truth:
+        f = FrequencyVector.from_stream(stream)
+        print(f"ground truth: F2={f.fp_moment(2):.4g} "
+              f"H={f.shannon_entropy():.3f} distinct={len(f)}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments import format_table1, run_table1
+
+    rows = run_table1(n=args.n, m=args.m, epsilon=args.epsilon, seed=args.seed)
+    print(format_table1(rows, args.n, args.m or 8 * args.n))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        budget_advantage_curve,
+        eviction_ablation,
+        format_budget_curve,
+        format_eviction_ablation,
+        format_morris_tradeoff,
+        format_table1,
+        fp_accuracy,
+        heavy_hitter_accuracy,
+        morris_tradeoff,
+        run_table1,
+    )
+
+    trials = 3 if args.quick else 10
+    print(format_table1(run_table1(seed=args.seed), 2**14, 2**17))
+    print()
+    print(heavy_hitter_accuracy(trials=trials, seed=args.seed).format())
+    print(fp_accuracy(trials=trials, epsilon_target=0.75, seed=args.seed).format())
+    print()
+    print(format_morris_tradeoff(morris_tradeoff(count=20000, trials=trials)))
+    print()
+    print(format_budget_curve(
+        budget_advantage_curve(trials=5 if args.quick else 20, seed=args.seed),
+        4096, 2.0,
+    ))
+    print()
+    print(format_eviction_ablation(eviction_ablation(trials=trials, seed=args.seed)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Streaming algorithms with few state changes "
+        "(PODS 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    audit = sub.add_parser("audit", help="run one algorithm, print its audit")
+    audit.add_argument("--algorithm", default="heavy-hitters")
+    audit.add_argument("--workload", default="zipf", choices=["zipf", "uniform"])
+    audit.add_argument("--input", help="file of integers, one per line")
+    audit.add_argument("--n", type=int, default=4096)
+    audit.add_argument("--m", type=int, default=65536)
+    audit.add_argument("--skew", type=float, default=1.2)
+    audit.add_argument("--epsilon", type=float, default=0.5)
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument("--truth", action="store_true",
+                       help="also compute exact ground truth")
+    audit.set_defaults(func=_cmd_audit)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument("--n", type=int, default=2**14)
+    table1.add_argument("--m", type=int, default=None)
+    table1.add_argument("--epsilon", type=float, default=0.5)
+    table1.add_argument("--seed", type=int, default=0)
+    table1.set_defaults(func=_cmd_table1)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="run the main experiment suite"
+    )
+    reproduce.add_argument("--quick", action="store_true")
+    reproduce.add_argument("--seed", type=int, default=0)
+    reproduce.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Stream-length-oblivious operation (the paper's unknown-``m`` case).
+
+The paper's model (Section 1.5) does not require the stream length in
+advance; the algorithms are parameterized by ``m`` only to set sampling
+rates, so the standard doubling trick applies.  This module wraps
+:class:`~repro.core.full_sample_and_hold.FullSampleAndHold` in epochs:
+epoch ``e`` is provisioned for ``m0 * 2^e`` updates and processes the
+corresponding disjoint chunk of the stream.  Because the stream is
+insertion-only, an item's true frequency is the sum of its per-epoch
+frequencies, and each epoch's estimate is one-sided, so the summed
+estimate inherits one-sidedness.
+
+The total state-change budget telescopes: epoch ``e`` contributes
+``Õ(n^{1-1/p})`` changes (its own guarantee), and there are
+``O(log(m / m0))`` epochs, preserving the theorem's bound up to the
+logarithmic factor the paper's ``Õ`` already absorbs.
+"""
+
+from __future__ import annotations
+
+from repro.core.full_sample_and_hold import FullSampleAndHold
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.tracker import StateTracker
+
+
+class AdaptiveFullSampleAndHold(StreamAlgorithm):
+    """FullSampleAndHold without a stream-length hint (doubling epochs).
+
+    Parameters
+    ----------
+    n, p, epsilon:
+        As in :class:`FullSampleAndHold`.
+    initial_m:
+        Provisioned length of the first epoch (doubles thereafter).
+    fsh_kwargs:
+        Extra keyword arguments forwarded to each epoch's inner
+        :class:`FullSampleAndHold`.
+    """
+
+    name = "AdaptiveFullSampleAndHold"
+
+    def __init__(
+        self,
+        n: int,
+        p: float,
+        epsilon: float,
+        initial_m: int = 1024,
+        seed: int | None = None,
+        tracker: StateTracker | None = None,
+        **fsh_kwargs,
+    ) -> None:
+        if initial_m < 1:
+            raise ValueError(f"initial_m must be >= 1: {initial_m}")
+        super().__init__(tracker)
+        self.n = n
+        self.p = p
+        self.epsilon = epsilon
+        self.initial_m = initial_m
+        self._seed = 0 if seed is None else seed
+        # Summed estimates compound any per-epoch upward bias, so the
+        # conservative shallowest-level rule is the right default here.
+        fsh_kwargs.setdefault("level_rule", "shallowest")
+        self._fsh_kwargs = fsh_kwargs
+        self._epochs: list[FullSampleAndHold] = []
+        self._epoch_budget = 0  # updates remaining in the current epoch
+        self._start_epoch()
+
+    def _start_epoch(self) -> None:
+        epoch_index = len(self._epochs)
+        epoch_m = self.initial_m * (2**epoch_index)
+        self._epochs.append(
+            FullSampleAndHold(
+                n=self.n,
+                m=epoch_m,
+                p=self.p,
+                epsilon=self.epsilon,
+                seed=self._seed + 101 * epoch_index,
+                tracker=self.tracker,
+                **self._fsh_kwargs,
+            )
+        )
+        self._epoch_budget = epoch_m
+
+    def _update(self, item: int) -> None:
+        if self._epoch_budget == 0:
+            self._start_epoch()
+        self._epochs[-1]._update(item)
+        self._epoch_budget -= 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_epochs(self) -> int:
+        """Number of doubling epochs opened so far."""
+        return len(self._epochs)
+
+    def estimates(self, level_rule: str | None = None) -> dict[int, float]:
+        """Summed per-epoch estimates (one-sided, like each epoch's)."""
+        combined: dict[int, float] = {}
+        for epoch in self._epochs:
+            for item, value in epoch.estimates(level_rule).items():
+                combined[item] = combined.get(item, 0.0) + value
+        return combined
+
+    def estimate(self, item: int) -> float:
+        """Summed estimate for one item (0 when never held)."""
+        return self.estimates().get(item, 0.0)

@@ -1,0 +1,236 @@
+"""Approximate counters with few state changes (Theorem 1.5).
+
+The paper's algorithms replace every exact per-item counter with a
+*Morris counter* [Mor78, NY22]: a register holding only a level ``X``
+that increments with probability ``(1+a)^{-X}``, so that counting to
+``n`` costs ``O(log(a*n)/log(1+a))`` state changes instead of ``n``.
+The estimate ``((1+a)^X - 1)/a`` is an unbiased estimator of the true
+count with ``Var <= a * n^2 / 2``; choosing ``a = 2*eps^2*delta`` gives
+a ``(1+eps)``-approximation with probability ``1 - delta`` (Chebyshev),
+and a median over ``O(log 1/delta)`` copies upgrades the failure
+probability exponentially (the NY22 parameterization behind Thm 1.5).
+
+Three counter flavours share the :class:`ApproximateCounter` interface:
+
+* :class:`ExactCounter` — writes on every update (the baseline).
+* :class:`MorrisCounter` — unit and weighted increments, few writes.
+* :class:`MedianMorrisCounter` — median of independent Morris copies.
+
+All of them store their registers in tracked cells so state changes are
+audited by the enclosing algorithm's
+:class:`~repro.state.tracker.StateTracker`.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import math
+import random
+
+from repro.state.registers import TrackedValue
+from repro.state.tracker import StateTracker
+
+_counter_ids = itertools.count()
+
+
+def _fresh_cell_id(prefix: str) -> str:
+    """Globally unique cell id for a dynamically created counter."""
+    return f"{prefix}#{next(_counter_ids)}"
+
+
+class ApproximateCounter(abc.ABC):
+    """A monotone counter supporting weighted increments."""
+
+    @abc.abstractmethod
+    def add(self, weight: float = 1.0) -> None:
+        """Increase the counted quantity by ``weight >= 0``."""
+
+    @property
+    @abc.abstractmethod
+    def estimate(self) -> float:
+        """Current estimate of the total added weight."""
+
+    @abc.abstractmethod
+    def release(self) -> None:
+        """Free the counter's tracked memory (on eviction)."""
+
+
+class ExactCounter(ApproximateCounter):
+    """An exact counter: one state change per (effective) increment."""
+
+    __slots__ = ("_cell",)
+
+    def __init__(self, tracker: StateTracker, cell_id: str | None = None) -> None:
+        cell_id = cell_id or _fresh_cell_id("exact")
+        self._cell: TrackedValue[float] = TrackedValue(tracker, cell_id, 0.0)
+
+    def add(self, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise ValueError(f"counter increments must be >= 0: {weight}")
+        if weight == 0:
+            return
+        self._cell.set(self._cell.value + weight)
+
+    @property
+    def estimate(self) -> float:
+        return self._cell.value
+
+    def release(self) -> None:
+        self._cell.release()
+
+
+class MorrisCounter(ApproximateCounter):
+    """Base-``(1+a)`` Morris counter with unbiased weighted increments.
+
+    Parameters
+    ----------
+    tracker:
+        State tracker charged for the level register.
+    a:
+        Growth parameter; smaller ``a`` means more accuracy and more
+        state changes.  ``a -> 0`` degenerates to an exact counter.
+    rng:
+        Source of the increment coin flips.
+
+    Notes
+    -----
+    Weighted increments generalize the classical unit increment while
+    preserving unbiasedness: weight ``w`` first climbs whole levels
+    deterministically while ``w`` exceeds the current level gap
+    ``a*(1+a)^X``, then flips a coin with probability
+    ``w_remainder / gap`` for the final level.  Unit increments with
+    ``w=1`` reduce to the textbook behaviour once the gap exceeds 1.
+    Monotone inner products maintained this way are exactly the
+    mechanism [JW19] uses for the ``p < 1`` moment sketch (Thm 3.2).
+    """
+
+    __slots__ = ("a", "_rng", "_level")
+
+    def __init__(
+        self,
+        tracker: StateTracker,
+        a: float,
+        rng: random.Random,
+        cell_id: str | None = None,
+    ) -> None:
+        if a <= 0:
+            raise ValueError(f"Morris parameter a must be positive: {a}")
+        cell_id = cell_id or _fresh_cell_id("morris")
+        self.a = a
+        self._rng = rng
+        self._level: TrackedValue[int] = TrackedValue(tracker, cell_id, 0)
+
+    @classmethod
+    def with_accuracy(
+        cls,
+        tracker: StateTracker,
+        epsilon: float,
+        delta: float,
+        rng: random.Random,
+        cell_id: str | None = None,
+    ) -> "MorrisCounter":
+        """Counter achieving ``(1+epsilon)`` accuracy w.p. ``1-delta``.
+
+        Chebyshev on ``Var <= a*n^2/2`` gives failure probability
+        ``a / (2*epsilon^2)``; solving for ``a`` yields
+        ``a = 2*epsilon^2*delta``.
+        """
+        if not 0 < epsilon:
+            raise ValueError(f"epsilon must be positive: {epsilon}")
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must be in (0, 1): {delta}")
+        return cls(tracker, a=2.0 * epsilon * epsilon * delta, rng=rng, cell_id=cell_id)
+
+    def _gap(self, level: int) -> float:
+        """Estimate increase from one more level.
+
+        ``((1+a)^{X+1} - (1+a)^X)/a = (1+a)^X`` — the classical Morris
+        increment probability is its reciprocal ``(1+a)^{-X}``.
+        """
+        return (1.0 + self.a) ** level
+
+    def add(self, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise ValueError(f"counter increments must be >= 0: {weight}")
+        if weight == 0:
+            return
+        level = self._level.value
+        remaining = weight
+        # Deterministic whole-level climbs for large weights.
+        gap = self._gap(level)
+        while remaining >= gap:
+            remaining -= gap
+            level += 1
+            gap = self._gap(level)
+        # Probabilistic final step keeps the estimator unbiased.
+        if remaining > 0 and self._rng.random() < remaining / gap:
+            level += 1
+        if level != self._level.value:
+            self._level.set(level)
+
+    @property
+    def estimate(self) -> float:
+        level = self._level.value
+        return ((1.0 + self.a) ** level - 1.0) / self.a
+
+    @property
+    def level(self) -> int:
+        """Current stored level ``X`` (the only persisted word)."""
+        return self._level.value
+
+    def release(self) -> None:
+        self._level.release()
+
+
+class MedianMorrisCounter(ApproximateCounter):
+    """Median of independent Morris counters (high-probability Thm 1.5).
+
+    ``copies = O(log 1/delta)`` counters, each tuned for constant
+    failure probability, are updated independently; the median estimate
+    fails only if half the copies fail, i.e. with probability
+    ``exp(-Omega(copies))``.
+    """
+
+    __slots__ = ("_copies",)
+
+    def __init__(
+        self,
+        tracker: StateTracker,
+        epsilon: float,
+        delta: float,
+        rng: random.Random,
+        cell_id: str | None = None,
+    ) -> None:
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must be in (0, 1): {delta}")
+        cell_id = cell_id or _fresh_cell_id("medmorris")
+        num_copies = max(1, int(math.ceil(4.0 * math.log(1.0 / delta))))
+        if num_copies % 2 == 0:
+            num_copies += 1
+        self._copies = [
+            # Each copy targets failure probability 1/5; the median
+            # boosts it to delta.
+            MorrisCounter.with_accuracy(
+                tracker, epsilon, 0.2, rng, cell_id=f"{cell_id}.{i}"
+            )
+            for i in range(num_copies)
+        ]
+
+    def add(self, weight: float = 1.0) -> None:
+        for copy in self._copies:
+            copy.add(weight)
+
+    @property
+    def estimate(self) -> float:
+        estimates = sorted(copy.estimate for copy in self._copies)
+        return estimates[len(estimates) // 2]
+
+    @property
+    def num_copies(self) -> int:
+        """Number of independent Morris copies behind the median."""
+        return len(self._copies)
+
+    def release(self) -> None:
+        for copy in self._copies:
+            copy.release()

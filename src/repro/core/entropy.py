@@ -1,0 +1,211 @@
+"""Shannon entropy estimation with few state changes (Theorem 3.8).
+
+The [HNO08] reduction quoted in Section 3.3: Shannon entropy is
+recovered from ``(1+eps')``-approximations of a small number of
+fractional moments ``F_{p_i}`` evaluated at interpolation nodes
+clustered around ``p = 1``:
+
+    k      = log(1/eps) + log log m                    (node count)
+    ell    = 1 / (2 * (k+1) * log m)                   (cluster width)
+    g(z)   = ell * (k^2 * (z - 1) + 1) / (2k^2 + 1)
+    p_i    = 1 + g(cos(i * pi / k)),   i = 0..k        (Chebyshev-style)
+
+Writing ``G(p) = ln F_p(f)``, the empirical Shannon entropy satisfies
+
+    H = log2(m) - G'(1) / ln(2)
+
+because ``F'(1) = sum_i f_i ln f_i`` and ``H = log2 m - F'(1)/(m ln 2)``
+with ``F(1) = m``.  We interpolate ``G`` at the nodes (degree-``k``
+Lagrange polynomial) and differentiate the interpolant at 1 — the
+numerically-stable equivalent of the paper's ``2^{P(0)}`` evaluation
+(DESIGN.md substitution 5).
+
+Backends:
+
+* ``"pstable"`` — per-node :class:`~repro.core.fp_pstable.PStableFpEstimator`
+  (the streaming estimator of Theorem 3.8; state-change frugal).
+  Differentiating noisy data amplifies the per-moment relative error by
+  roughly ``1/width``, so the default streaming configuration widens
+  the node cluster (``node_width``) beyond the paper's asymptotic
+  ``ell``; EXPERIMENTS.md (E6) reports the measured accuracy honestly.
+* ``"oracle"`` — exact moments from a tracked frequency table; isolates
+  and validates the interpolation machinery (not write-frugal).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.counters import MorrisCounter
+from repro.core.fp_pstable import PStableFpEstimator
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.registers import TrackedDict
+from repro.state.tracker import StateTracker
+
+
+def hno08_nodes(k: int, log_m: float, node_width: float | None = None) -> list[float]:
+    """The interpolation nodes ``p_0..p_k`` of [HNO08] Section 3.3.
+
+    ``node_width`` overrides the asymptotic cluster width
+    ``ell = 1/(2(k+1) log m)`` (useful when moment estimates are noisy;
+    see the module docstring).
+    """
+    if k < 1:
+        raise ValueError(f"need k >= 1 interpolation intervals: {k}")
+    ell = node_width if node_width is not None else 1.0 / (2.0 * (k + 1) * log_m)
+    if not 0 < ell < 1:
+        raise ValueError(f"node width must be in (0, 1): {ell}")
+    k2 = k * k
+    nodes = []
+    for i in range(k + 1):
+        z = math.cos(i * math.pi / k)
+        g = ell * (k2 * (z - 1.0) + 1.0) / (2.0 * k2 + 1.0)
+        nodes.append(1.0 + g)
+    return nodes
+
+
+def lagrange_derivative_at(
+    nodes: list[float], values: list[float], x: float
+) -> float:
+    """Derivative at ``x`` of the Lagrange interpolant through
+    ``(nodes[i], values[i])``.
+
+    Uses the direct formula ``sum_i values[i] * L_i'(x)`` with
+    ``L_i'(x) = sum_{j != i} prod_{l != i, j} (x - p_l) / prod_{j != i}
+    (p_i - p_j)``; fine for the small ``k`` the construction needs.
+    """
+    if len(nodes) != len(values):
+        raise ValueError("nodes and values must have equal length")
+    if len(set(nodes)) != len(nodes):
+        raise ValueError("interpolation nodes must be distinct")
+    total = 0.0
+    count = len(nodes)
+    for i in range(count):
+        denominator = 1.0
+        for j in range(count):
+            if j != i:
+                denominator *= nodes[i] - nodes[j]
+        numerator = 0.0
+        for j in range(count):
+            if j == i:
+                continue
+            term = 1.0
+            for l in range(count):
+                if l != i and l != j:
+                    term *= x - nodes[l]
+            numerator += term
+        total += values[i] * numerator / denominator
+    return total
+
+
+class EntropyEstimator(StreamAlgorithm):
+    """Additive-``epsilon`` Shannon entropy in one pass (Theorem 3.8).
+
+    Parameters
+    ----------
+    m:
+        Stream-length hint (sets the default node geometry).
+    epsilon:
+        Target additive accuracy; sets the default node count
+        ``k = ceil(log2(1/eps) + log2 log2 m)``.
+    k:
+        Explicit override of the number of interpolation intervals.
+    node_width:
+        Override of the node cluster width (see module docstring).
+    backend:
+        ``"pstable"`` (streaming, Theorem 3.8) or ``"oracle"``
+        (exact moments; validation only).
+    """
+
+    name = "EntropyEstimator"
+
+    def __init__(
+        self,
+        m: int,
+        epsilon: float = 0.25,
+        k: int | None = None,
+        node_width: float | None = None,
+        backend: str = "pstable",
+        num_rows: int | None = None,
+        morris_a: float = 0.02,
+        seed: int | None = None,
+        tracker: StateTracker | None = None,
+    ) -> None:
+        if m < 2:
+            raise ValueError(f"stream-length hint must be >= 2: {m}")
+        if not 0 < epsilon <= 1:
+            raise ValueError(f"epsilon must be in (0, 1]: {epsilon}")
+        if backend not in ("pstable", "oracle"):
+            raise ValueError(f"unknown backend: {backend!r}")
+        super().__init__(tracker)
+        self.m = m
+        self.epsilon = epsilon
+        self.backend_kind = backend
+        log_m = math.log2(m)
+        if k is None:
+            k = max(2, int(math.ceil(math.log2(1.0 / epsilon) + math.log2(max(2.0, log_m)))))
+        self.k = k
+        self.nodes = hno08_nodes(k, log_m, node_width)
+
+        self._sketches: list[PStableFpEstimator] = []
+        self._oracle: TrackedDict[int, int] | None = None
+        if backend == "pstable":
+            base_seed = 0 if seed is None else seed
+            # All node sketches share one variate seed (common random
+            # numbers): their errors are correlated across p, which is
+            # what keeps the numerical derivative G'(1) stable.
+            self._sketches = [
+                PStableFpEstimator(
+                    p=node,
+                    epsilon=epsilon,
+                    num_rows=num_rows,
+                    morris_a=morris_a,
+                    seed=base_seed + 7919 * i,
+                    variate_seed=base_seed,
+                    tracker=self.tracker,
+                )
+                for i, node in enumerate(self.nodes)
+            ]
+        else:
+            self._oracle = TrackedDict(self.tracker, "entropy-oracle")
+        # A Morris counter supplies the stream length (G(1) = ln m and
+        # the log2(m) offset) with few writes.
+        self._length = MorrisCounter(
+            self.tracker, a=0.001, rng=random.Random(seed)
+        )
+
+    def _update(self, item: int) -> None:
+        if self._oracle is not None:
+            self._oracle[item] = self._oracle.get(item, 0) + 1
+        else:
+            for sketch in self._sketches:
+                sketch._update(item)
+        self._length.add()
+
+    # ------------------------------------------------------------------
+    # Moment access
+    # ------------------------------------------------------------------
+    def _moment(self, index: int) -> float:
+        """``F_{p_index}`` from the configured backend."""
+        if self._oracle is not None:
+            p = self.nodes[index]
+            return sum(count**p for count in self._oracle.values())
+        return self._sketches[index].fp_estimate(estimator="log-mean")
+
+    # ------------------------------------------------------------------
+    # Entropy
+    # ------------------------------------------------------------------
+    def entropy_estimate(self) -> float:
+        """Estimated Shannon entropy (bits) of the stream so far."""
+        length = max(2.0, self._length.estimate)
+        values = []
+        for index in range(len(self.nodes)):
+            moment = self._moment(index)
+            if moment <= 0:
+                return 0.0
+            values.append(math.log(moment))
+        g_prime = lagrange_derivative_at(self.nodes, values, 1.0)
+        entropy = math.log2(length) - g_prime / math.log(2.0)
+        # Clamp to the valid entropy range [0, log2 m].
+        return min(max(entropy, 0.0), math.log2(length))

@@ -1,0 +1,247 @@
+"""Algorithm 3: ``Fp`` estimation for ``p >= 1`` with few state changes.
+
+The estimator follows the [IW05] level-set framework (Section 3.2):
+
+1. **Universe subsampling.**  ``L`` nested subsets
+   ``I_1 ⊇ I_2 ⊇ ... `` of ``[n]`` are formed by hashing, level ``l``
+   keeping each element with probability ``p_l = min(1, 2^{1-l})``.
+   ``R`` independent copies are kept for a median.
+2. **Heavy hitters per level.**  Each surviving substream is fed to a
+   ``FullSampleAndHold`` instance, which returns one-sided frequency
+   estimates using few state changes (the paper's key advantage over
+   plugging in AMS/p-stable style estimators, which write every
+   update).
+3. **Level sets.**  With a random boundary ``lambda ~ Uni[1/2, 1]``
+   (Definition 3.3), items are bucketed by their estimated
+   ``(fhat_j)^p`` into geometric bands ``[lambda*M/2^i, 2*lambda*M/2^i)``.
+   Band ``i`` is read from subsampling level ``l(i) = max(1, i -
+   offset)`` and its contribution is the rescaled median
+   ``C_i = (1/p_l) * median_r sum (fhat_j)^p`` (Algorithm 3 line 13).
+4. **Sum.**  ``Fp_hat = sum_i C_i`` (line 14).
+
+A ``backend="oracle"`` mode replaces step 2 with exact per-level
+frequency tables; it isolates the level-set machinery from sampling
+noise and is used by the test suite to validate step 3/4 independently
+(it is *not* state-change frugal).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from typing import Protocol
+
+from repro.core.full_sample_and_hold import FullSampleAndHold
+from repro.hashing.subsample import NestedUniverseSampler
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.registers import TrackedDict
+from repro.state.tracker import StateTracker
+
+
+class FrequencyBackend(Protocol):
+    """Per-level heavy-hitter estimator plugged into Algorithm 3."""
+
+    def _update(self, item: int) -> None: ...
+
+    def estimates(
+        self, level_rule: str | None = None
+    ) -> dict[int, float]: ...
+
+
+class _OracleBackend:
+    """Exact per-level frequencies (testing/ablation only).
+
+    Writes on every update, so it deliberately does **not** have few
+    state changes; it exists to validate the level-set estimator in
+    isolation.
+    """
+
+    def __init__(self, tracker: StateTracker, name: str) -> None:
+        self._counts: TrackedDict[int, int] = TrackedDict(tracker, name)
+
+    def _update(self, item: int) -> None:
+        self._counts[item] = self._counts.get(item, 0) + 1
+
+    def estimates(self, level_rule: str | None = None) -> dict[int, float]:
+        return {item: float(c) for item, c in self._counts.items()}
+
+
+class FpEstimator(StreamAlgorithm):
+    """``(1 + eps)``-approximation of ``Fp`` for ``p >= 1`` (Theorem 1.3).
+
+    Parameters
+    ----------
+    n, m, p, epsilon:
+        Problem dimensions (``m`` is the stream-length hint used to
+        size substructures and the level-set scale).
+    repetitions:
+        Outer repetitions ``R`` (median over universe-subsampling
+        copies); odd.  Default 3.
+    backend:
+        ``"sample-hold"`` (the paper's FullSampleAndHold) or
+        ``"oracle"`` (exact tables; testing only).
+    offset_scale:
+        Constant ``c`` in the band-to-level offset
+        ``floor(log2(c * log2(nm) / eps^2))`` — the practical stand-in
+        for Algorithm 3 line 12's ``gamma^2 log(nm)/eps^2``.
+    inner_kwargs:
+        Extra keyword arguments forwarded to each inner
+        :class:`FullSampleAndHold`.
+    """
+
+    name = "FpEstimator"
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        p: float,
+        epsilon: float,
+        repetitions: int = 3,
+        backend: str = "sample-hold",
+        offset_scale: float = 1.0,
+        num_levels: int | None = None,
+        seed: int | None = None,
+        tracker: StateTracker | None = None,
+        inner_kwargs: dict | None = None,
+    ) -> None:
+        if p < 1:
+            raise ValueError(
+                f"Algorithm 3 needs p >= 1 (use PStableFpEstimator for p < 1): {p}"
+            )
+        if not 0 < epsilon <= 1:
+            raise ValueError(f"epsilon must be in (0, 1]: {epsilon}")
+        if backend not in ("sample-hold", "oracle"):
+            raise ValueError(f"unknown backend: {backend!r}")
+        super().__init__(tracker)
+        self.n = n
+        self.m = m
+        self.p = p
+        self.epsilon = epsilon
+        if repetitions % 2 == 0:
+            repetitions += 1
+        self.repetitions = repetitions
+        self.backend_kind = backend
+
+        self._rng = random.Random(seed)
+        # Definition 3.3's randomized boundary.
+        self._lambda = self._rng.uniform(0.5, 1.0)
+        if num_levels is None:
+            num_levels = max(1, int(math.ceil(math.log2(max(2, n)))) + 1)
+        self.num_levels = num_levels
+
+        log_nm = math.log2(2 + n * m)
+        self._offset = max(
+            0, int(math.floor(math.log2(offset_scale * log_nm / epsilon**2)))
+        )
+
+        self._samplers = [
+            NestedUniverseSampler(
+                num_levels, seed=self._rng.randrange(2**62)
+            )
+            for _ in range(repetitions)
+        ]
+        inner_kwargs = dict(inner_kwargs or {})
+        # Moment sums aggregate many small estimates, so the inner
+        # instances default to the shallowest-held-level rule: maxing
+        # rescaled noisy levels is upward biased, and the paper's
+        # min-length rule selects needlessly deep (noisy) levels at
+        # laptop scale.  Heavy-hitter point queries override to "max".
+        inner_kwargs.setdefault("level_rule", "shallowest")
+        self._backends: list[list[FrequencyBackend]] = []
+        for r in range(repetitions):
+            row: list[FrequencyBackend] = []
+            for level in range(1, num_levels + 1):
+                if backend == "oracle":
+                    row.append(
+                        _OracleBackend(self.tracker, f"oracle[{r},{level}]")
+                    )
+                else:
+                    expected_m = max(
+                        1, int(round(m * min(1.0, 2.0 ** (1 - level))))
+                    )
+                    row.append(
+                        FullSampleAndHold(
+                            n=max(2, n >> (level - 1)),
+                            m=expected_m,
+                            p=p,
+                            epsilon=epsilon,
+                            seed=self._rng.randrange(2**62),
+                            tracker=self.tracker,
+                            **inner_kwargs,
+                        )
+                    )
+            self._backends.append(row)
+
+    # ------------------------------------------------------------------
+    # Stream processing (Algorithm 3 lines 2-7)
+    # ------------------------------------------------------------------
+    def _update(self, item: int) -> None:
+        for r, sampler in enumerate(self._samplers):
+            deepest = sampler.level_of(item)
+            row = self._backends[r]
+            for level_index in range(min(deepest, self.num_levels)):
+                row[level_index]._update(item)
+
+    # ------------------------------------------------------------------
+    # Level-set estimation (Algorithm 3 lines 8-14)
+    # ------------------------------------------------------------------
+    def _band_of(self, value_p: float, m_tilde: float) -> int | None:
+        """Band index ``i >= 1`` with ``value_p`` in
+        ``[lambda*M/2^i, 2*lambda*M/2^i)``; None if out of range."""
+        if value_p <= 0:
+            return None
+        top = 2.0 * self._lambda * m_tilde
+        if value_p >= top:
+            return 1  # clamp overshoots into the first band
+        i = int(math.floor(math.log2(top / value_p)))
+        return max(1, i)
+
+    def level_for_band(self, band: int) -> int:
+        """Algorithm 3 line 12: subsampling level read by band ``i``."""
+        return min(self.num_levels, max(1, band - self._offset))
+
+    def contributions(self) -> dict[int, float]:
+        """Per-band contribution estimates ``C_i`` (line 13)."""
+        m_tilde = 2.0 ** math.ceil(self.p * math.log2(max(2, self.m)))
+        num_bands = int(math.ceil(math.log2(m_tilde))) + 2
+
+        # Each backend's estimates are computed once and shared across
+        # all bands that read its level.
+        cache: dict[tuple[int, int], dict[int, float]] = {}
+
+        def level_estimates(r: int, level: int) -> dict[int, float]:
+            key = (r, level)
+            if key not in cache:
+                cache[key] = self._backends[r][level - 1].estimates()
+            return cache[key]
+
+        contributions: dict[int, float] = {}
+        for band in range(1, num_bands + 1):
+            level = self.level_for_band(band)
+            rate = min(1.0, 2.0 ** (1 - level))
+            per_copy = []
+            for r in range(self.repetitions):
+                total = 0.0
+                for fhat in level_estimates(r, level).values():
+                    value_p = fhat**self.p
+                    if self._band_of(value_p, m_tilde) == band:
+                        total += value_p
+                per_copy.append(total / rate)
+            contributions[band] = float(statistics.median(per_copy))
+        return contributions
+
+    def fp_estimate(self) -> float:
+        """``Fp_hat = sum_i C_i`` (Algorithm 3 line 14)."""
+        return sum(self.contributions().values())
+
+    def lp_norm_estimate(self) -> float:
+        """``||f||_p`` estimate: ``fp_estimate() ** (1/p)``."""
+        return self.fp_estimate() ** (1.0 / self.p)
+
+    def level_estimates(
+        self, r: int, level: int, level_rule: str | None = None
+    ) -> dict[int, float]:
+        """Raw per-backend estimates (for point queries and tests)."""
+        return self._backends[r][level - 1].estimates(level_rule)

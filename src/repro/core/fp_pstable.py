@@ -1,0 +1,190 @@
+"""``Fp`` estimation for ``p in (0, 1]`` via p-stable sketches (Thm 3.2).
+
+The [JW19] construction quoted in Section 3.1: a sketch matrix ``D``
+with p-stable entries is split row-wise into its positive part
+``D^{(+)}`` and negative part ``D^{(-)}``.  On an insertion-only stream
+both inner products ``<D^{(+)}, f>`` and ``<D^{(-)}, f>`` are monotone
+non-decreasing, so each can be maintained by a *weighted Morris
+counter* with ``poly(log, 1/eps)`` state changes; the signed sketch
+coordinate is recovered as their difference.  For ``p < 1`` the key
+bound ``|<D^{(+)},f>| + |<D^{(-)},f>| = O(||f||_p)`` ensures the Morris
+approximation error on the two halves does not swamp the difference.
+
+Two estimators over the ``k`` sketch coordinates are provided:
+
+* ``"median"`` — Indyk's estimator: ``median_i |s_i| / median(|D_p|)``.
+* ``"log-cosine"`` — the [KNW10] estimator
+  ``-lambda^p * ln(mean_i cos(s_i / lambda))`` seeded with the median
+  estimate as the scale ``lambda`` (more robust when ``p`` is close
+  to 1).
+
+The sketch matrix is never stored: entry ``D[i, j]`` is regenerated on
+demand from a seed (:class:`~repro.hashing.pstable.DerandomizedStable`),
+standing in for the ``O(log(1/eps)/log log(1/eps))``-wise independent
+generation of [JW19] (DESIGN.md substitution note).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import numpy as np
+
+from repro.core.counters import MorrisCounter
+from repro.hashing.pstable import (
+    cms_transform,
+    stable_abs_median,
+    stable_log_abs_mean,
+)
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.tracker import StateTracker
+
+_HALF_PI = math.pi / 2.0
+
+
+class PStableFpEstimator(StreamAlgorithm):
+    """``(1+eps)``-approximate ``Fp`` for ``p in (0, 2)`` with few writes.
+
+    Theorem 3.2 covers ``p in (0, 1]``; values up to 2 are accepted
+    because the entropy estimator (Theorem 3.8) evaluates moments at
+    interpolation nodes slightly above 1, where the construction still
+    behaves well empirically.
+
+    Parameters
+    ----------
+    p:
+        Moment order in ``(0, 2)``.
+    epsilon:
+        Target relative accuracy; sets the default number of rows
+        ``k ~ 1/eps^2``.
+    num_rows:
+        Explicit override of the sketch width.
+    morris_a:
+        Growth parameter of the two weighted Morris counters per row;
+        smaller is more accurate and more write-hungry.
+    variate_seed:
+        Seed of the underlying ``(theta, r)`` uniforms.  Distinct
+        sketches sharing a ``variate_seed`` evaluate *the same* random
+        matrix at different ``p`` (common random numbers) — the entropy
+        estimator relies on this to differentiate across ``p`` stably.
+    """
+
+    name = "PStableFp"
+
+    def __init__(
+        self,
+        p: float,
+        epsilon: float = 0.3,
+        num_rows: int | None = None,
+        morris_a: float = 0.02,
+        seed: int | None = None,
+        variate_seed: int | None = None,
+        tracker: StateTracker | None = None,
+    ) -> None:
+        if not 0.0 < p < 2.0:
+            raise ValueError(f"p must be in (0, 2): {p}")
+        if not 0 < epsilon <= 1:
+            raise ValueError(f"epsilon must be in (0, 1]: {epsilon}")
+        super().__init__(tracker)
+        self.p = p
+        self.epsilon = epsilon
+        if num_rows is None:
+            num_rows = min(400, max(20, int(math.ceil(4.0 / epsilon**2))))
+        self.num_rows = num_rows
+        self.seed = 0 if seed is None else seed
+        self.variate_seed = self.seed if variate_seed is None else variate_seed
+        self._rng = random.Random(self.seed)
+
+        self._positive = [
+            MorrisCounter(self.tracker, a=morris_a, rng=self._rng)
+            for _ in range(num_rows)
+        ]
+        self._negative = [
+            MorrisCounter(self.tracker, a=morris_a, rng=self._rng)
+            for _ in range(num_rows)
+        ]
+        # Small cache of per-item variate columns: the matrix is
+        # regenerated from the seed, never stored, so the cache is a
+        # speed optimization only (reads are free in the cost model).
+        self._variate_cache: dict[int, np.ndarray] = {}
+        self._cache_capacity = 8192
+
+    # ------------------------------------------------------------------
+    # Sketch maintenance
+    # ------------------------------------------------------------------
+    def _variates(self, item: int) -> np.ndarray:
+        """Column ``D[:, item]``, regenerated deterministically.
+
+        The ``(theta, r)`` uniforms depend only on ``(variate_seed,
+        item)`` — not on ``p`` — so sketches sharing a variate seed see
+        a common random matrix smoothly parameterized by ``p``.
+        """
+        column = self._variate_cache.get(item)
+        if column is None:
+            gen = np.random.default_rng(
+                hash((self.variate_seed, item)) & 0x7FFFFFFF
+            )
+            theta = gen.uniform(-_HALF_PI, _HALF_PI, self.num_rows)
+            r = gen.uniform(0.0, 1.0, self.num_rows)
+            column = cms_transform(self.p, theta, r)
+            if len(self._variate_cache) >= self._cache_capacity:
+                self._variate_cache.clear()
+            self._variate_cache[item] = column
+        return column
+
+    def _update(self, item: int) -> None:
+        column = self._variates(item)
+        for row in range(self.num_rows):
+            value = column[row]
+            if value >= 0.0:
+                self._positive[row].add(value)
+            else:
+                self._negative[row].add(-value)
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def coordinates(self) -> list[float]:
+        """Signed sketch coordinates ``s_i = <D^{(i)}, f>`` (approx)."""
+        return [
+            self._positive[row].estimate - self._negative[row].estimate
+            for row in range(self.num_rows)
+        ]
+
+    def lp_norm_estimate(self, estimator: str = "median") -> float:
+        """``||f||_p`` estimate via the chosen estimator.
+
+        ``"median"`` — Indyk's estimator (default);
+        ``"log-cosine"`` — [KNW10]-style refinement;
+        ``"log-mean"`` — ``exp(mean_i ln|s_i| - E[ln|Z_p|])``, exactly
+        unbiased in log-space and maximally correlated across ``p``
+        under common random numbers (the entropy estimator's choice).
+        """
+        if estimator not in ("median", "log-cosine", "log-mean"):
+            raise ValueError(f"unknown estimator: {estimator!r}")
+        coords = self.coordinates()
+        if estimator == "log-mean":
+            nonzero = [abs(value) for value in coords if value != 0.0]
+            if not nonzero:
+                return 0.0
+            log_mean = sum(math.log(value) for value in nonzero) / len(nonzero)
+            return math.exp(log_mean - stable_log_abs_mean(self.p))
+        scale = stable_abs_median(self.p)
+        median_estimate = float(
+            statistics.median(abs(value) for value in coords)
+        ) / scale
+        if estimator == "median" or median_estimate == 0.0:
+            return median_estimate
+        # Log-cosine refinement around the median estimate's scale.
+        lam = median_estimate
+        mean_cos = float(np.mean(np.cos(np.asarray(coords) / lam)))
+        if mean_cos <= 0.05:  # out of the estimator's reliable range
+            return median_estimate
+        norm_p = -(lam**self.p) * math.log(mean_cos)
+        return norm_p ** (1.0 / self.p)
+
+    def fp_estimate(self, estimator: str = "median") -> float:
+        """``Fp = ||f||_p^p`` estimate."""
+        return self.lp_norm_estimate(estimator) ** self.p

@@ -1,0 +1,208 @@
+"""Algorithm 2: ``FullSampleAndHold`` — removing the moment assumption.
+
+``SampleAndHold`` (Algorithm 1) is only accurate when the substream's
+moment satisfies ``Fp = Õ(n)`` (Lemma 2.4).  Algorithm 2 lifts that
+assumption by running a grid of ``R x Y`` SampleAndHold instances,
+where instance ``(r, x)`` processes the substream obtained by keeping
+each stream *update* independently with probability
+``p_x = min(1, 2^{1-x})``.  For some level ``x`` the subsampled moment
+drops into the good regime; because SampleAndHold estimates are
+**one-sided** (counters can miss occurrences but never invent them —
+Section 1.3, "Removing moment assumptions"), the final estimate for an
+item is the *maximum* over levels of the median-over-``r`` estimate
+rescaled by the inverse sampling rate ``2^{x-1}``.
+
+Implementation notes
+--------------------
+* Substream lengths ``m_x`` are tracked by Morris counters (an exact
+  length counter would alone cost ``Theta(m)`` state changes).
+* The paper's line 8 selects ``l = min{x : m_x >= (fhat^x_j)^p}``; we
+  default to the maximum rule justified by the one-sidedness argument
+  (DESIGN.md substitution 4) and keep the paper's literal rule
+  available via ``level_rule="min-length"``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+from repro.core.counters import MorrisCounter
+from repro.core.sample_and_hold import SampleAndHold, SampleAndHoldParams
+from repro.hashing.subsample import NestedStreamSampler
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.tracker import StateTracker
+
+
+class FullSampleAndHold(StreamAlgorithm):
+    """Algorithm 2 of the paper: level grid over stream subsampling.
+
+    Parameters
+    ----------
+    n, m, p, epsilon:
+        Problem dimensions; ``m`` is the (hinted) stream length used to
+        size the per-level instances (the unknown-``m`` case is handled
+        by the standard doubling trick and is out of scope here).
+    repetitions:
+        ``R = O(log n)`` independent copies per level; odd so the
+        median is well defined.  Default 3.
+    num_levels:
+        ``Y = O(log m)`` subsampling levels; defaults to
+        ``ceil(log2(m)) + 1`` capped at 24.
+    level_rule:
+        ``"max"`` (default) — the one-sided maximum rule, best for
+        point queries on heavy items;
+        ``"shallowest"`` — the estimate from the least-subsampled level
+        that held the item, which avoids the upward bias of maxing
+        rescaled noise (best when summing many small estimates, e.g.
+        inside the ``Fp`` estimator);
+        ``"min-length"`` — the paper's literal line 8 selection.
+    """
+
+    name = "FullSampleAndHold"
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        p: float,
+        epsilon: float,
+        repetitions: int = 3,
+        num_levels: int | None = None,
+        level_rule: str = "max",
+        seed: int | None = None,
+        use_morris: bool = True,
+        tracker: StateTracker | None = None,
+        **param_overrides: float,
+    ) -> None:
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1: {repetitions}")
+        if level_rule not in ("max", "shallowest", "min-length"):
+            raise ValueError(f"unknown level_rule: {level_rule!r}")
+        super().__init__(tracker)
+        self.n = n
+        self.m = m
+        self.p = p
+        self.epsilon = epsilon
+        self.level_rule = level_rule
+        if repetitions % 2 == 0:
+            repetitions += 1
+        self.repetitions = repetitions
+        if num_levels is None:
+            num_levels = min(24, max(1, int(math.ceil(math.log2(max(2, m)))) + 1))
+        self.num_levels = num_levels
+
+        self._rng = random.Random(seed)
+        self._samplers = [
+            NestedStreamSampler(num_levels, random.Random(self._rng.randrange(2**62)))
+            for _ in range(repetitions)
+        ]
+        # Instance (r, x) processes the level-x substream of copy r.
+        self._instances: list[list[SampleAndHold]] = []
+        for r in range(repetitions):
+            row = []
+            for x in range(1, num_levels + 1):
+                expected_m = max(1, int(round(m * min(1.0, 2.0 ** (1 - x)))))
+                params = SampleAndHoldParams.from_problem(
+                    n=n, m=expected_m, p=p, epsilon=epsilon, **param_overrides
+                )
+                row.append(
+                    SampleAndHold(
+                        params,
+                        rng=random.Random(self._rng.randrange(2**62)),
+                        use_morris=use_morris,
+                        tracker=self.tracker,
+                    )
+                )
+            self._instances.append(row)
+        # Morris counters tracking each level's substream length m_x
+        # (line 4); the paper only needs a 2-approximation, so a coarse
+        # growth parameter keeps these counters nearly write-free.
+        self._length_counters = [
+            MorrisCounter(self.tracker, a=0.05, rng=self._rng)
+            for _ in range(num_levels)
+        ]
+
+    # ------------------------------------------------------------------
+    # Stream processing
+    # ------------------------------------------------------------------
+    def _update(self, item: int) -> None:
+        for r, sampler in enumerate(self._samplers):
+            deepest = sampler.draw_level()
+            row = self._instances[r]
+            for x in range(deepest):
+                row[x]._update(item)
+            if r == 0:
+                # Substream lengths m_x are tracked on the first copy
+                # (one representative draw per level suffices for the
+                # 2-approximation Algorithm 2 line 4 asks for).
+                for x in range(deepest):
+                    self._length_counters[x].add()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _median_estimate(self, item: int, level_index: int) -> float:
+        """Median over repetitions of the level's raw estimates."""
+        values = [
+            self._instances[r][level_index].estimate(item)
+            for r in range(self.repetitions)
+        ]
+        return float(statistics.median(values))
+
+    def estimate(self, item: int) -> float:
+        """Rescaled frequency estimate for one item (0 if never held)."""
+        return self.estimates().get(item, 0.0)
+
+    def estimates(self, level_rule: str | None = None) -> dict[int, float]:
+        """Frequency estimates for every item held at any level.
+
+        Each level's median estimate is rescaled by the inverse
+        sampling rate ``2^{x-1}``; levels are combined per
+        ``level_rule`` (a query-time choice — the sketch itself is
+        rule-agnostic, so one pass can serve both point queries with
+        ``"max"`` and moment sums with ``"shallowest"``).
+        """
+        rule = self.level_rule if level_rule is None else level_rule
+        if rule not in ("max", "shallowest", "min-length"):
+            raise ValueError(f"unknown level_rule: {rule!r}")
+        candidates: set[int] = set()
+        for row in self._instances:
+            for instance in row:
+                candidates.update(instance.estimates())
+
+        results: dict[int, float] = {}
+        for item in candidates:
+            per_level: list[tuple[int, float]] = []
+            for x in range(1, self.num_levels + 1):
+                med = self._median_estimate(item, x - 1)
+                if med > 0:
+                    per_level.append((x, med * 2.0 ** (x - 1)))
+            if not per_level:
+                continue
+            if rule == "max":
+                results[item] = max(value for _, value in per_level)
+            elif rule == "shallowest":
+                results[item] = per_level[0][1]
+            else:
+                results[item] = self._min_length_rule(item, per_level)
+        return results
+
+    def _min_length_rule(
+        self, item: int, per_level: list[tuple[int, float]]
+    ) -> float:
+        """The paper's line 8: first level whose length dominates
+        ``(fhat^x_j)^p``; falls back to the max rule when none does."""
+        for x, value in per_level:
+            m_x = self._length_counters[x - 1].estimate
+            raw = value / 2.0 ** (x - 1)
+            if m_x >= raw**self.p:
+                return value
+        return max(value for _, value in per_level)
+
+    def level_length(self, level: int) -> float:
+        """Morris-estimated substream length ``m_x`` of ``level``."""
+        if not 1 <= level <= self.num_levels:
+            raise ValueError(f"level {level} outside [1, {self.num_levels}]")
+        return self._length_counters[level - 1].estimate

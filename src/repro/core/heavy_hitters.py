@@ -1,0 +1,123 @@
+"""Public ``Lp``-heavy-hitter API (Theorem 1.1).
+
+Wraps the Algorithm 3 stack: the level-1 (unsampled) FullSampleAndHold
+copies provide one-sided frequency estimates for every candidate item,
+and the level-set machinery provides the ``Fp`` estimate whose ``p``-th
+root is the ``||f||_p`` threshold scale.  Since both live in the same
+:class:`~repro.core.fp_estimation.FpEstimator`, a single pass over the
+stream answers both queries with ``Õ(n^{1-1/p})`` state changes.
+
+Reporting rule: with a ``2``-approximation of ``||f||_p`` and one-sided
+frequency estimates, returning every item with
+``fhat_j >= (epsilon/2) * norm_estimate`` reports all true
+``epsilon``-heavy hitters and nothing below ``(epsilon/4) * ||f||_p``
+(the guarantee discussed below Theorem 1.1).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.fp_estimation import FpEstimator
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.tracker import StateTracker
+
+
+class HeavyHitters(StreamAlgorithm):
+    """One-pass ``Lp``-heavy hitters with few state changes.
+
+    Parameters mirror :class:`~repro.core.fp_estimation.FpEstimator`;
+    ``epsilon`` doubles as the default report threshold.
+    """
+
+    name = "HeavyHitters"
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        p: float,
+        epsilon: float,
+        repetitions: int = 3,
+        seed: int | None = None,
+        tracker: StateTracker | None = None,
+        **fp_kwargs,
+    ) -> None:
+        super().__init__(tracker)
+        self.n = n
+        self.m = m
+        self.p = p
+        self.epsilon = epsilon
+        self._fp = FpEstimator(
+            n=n,
+            m=m,
+            p=p,
+            epsilon=epsilon,
+            repetitions=repetitions,
+            seed=seed,
+            tracker=self.tracker,
+            **fp_kwargs,
+        )
+
+    def _update(self, item: int) -> None:
+        self._fp._update(item)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def estimates(self) -> dict[int, float]:
+        """Median-over-copies frequency estimates from the unsampled
+        (level 1) FullSampleAndHold instances.
+
+        Estimates are one-sided: up to the Morris ``(1+eps)`` factor,
+        ``fhat_j <= f_j`` always, and ``fhat_j >= (1 - eps) * f_j`` for
+        heavy hitters with the theorem's probability.
+        """
+        candidates: set[int] = set()
+        # Point queries read the least-subsampled level that held the
+        # item ("shallowest"): unless the stream's moment is so large
+        # that level-1 counters churn (the regime Algorithm 2's deeper
+        # levels exist for), it is the lowest-variance choice; callers
+        # needing the paper's one-sided fallback can query the
+        # underlying FpEstimator with level_rule="max".
+        per_copy = [
+            self._fp.level_estimates(r, 1, level_rule="shallowest")
+            for r in range(self._fp.repetitions)
+        ]
+        for estimates in per_copy:
+            candidates.update(estimates)
+        return {
+            item: float(
+                statistics.median(est.get(item, 0.0) for est in per_copy)
+            )
+            for item in candidates
+        }
+
+    def estimate(self, item: int) -> float:
+        """Frequency estimate for one item (0 when never held)."""
+        return self.estimates().get(item, 0.0)
+
+    def norm_estimate(self) -> float:
+        """``||f||_p`` estimate from the level-set machinery."""
+        return self._fp.lp_norm_estimate()
+
+    def heavy_hitters(self, epsilon: float | None = None) -> dict[int, float]:
+        """Items with ``fhat_j >= (epsilon/2) * norm_estimate``.
+
+        Contains every true ``epsilon``-heavy hitter (with the
+        theorem's probability) and no item below ``epsilon/4`` of the
+        true norm when the norm estimate is within a factor 2.
+        """
+        epsilon = self.epsilon if epsilon is None else epsilon
+        if not 0 < epsilon <= 1:
+            raise ValueError(f"epsilon must be in (0, 1]: {epsilon}")
+        threshold = 0.5 * epsilon * self.norm_estimate()
+        return {
+            item: fhat
+            for item, fhat in self.estimates().items()
+            if fhat >= threshold
+        }
+
+    def fp_estimate(self) -> float:
+        """The underlying ``Fp`` estimate (Theorem 1.3)."""
+        return self._fp.fp_estimate()

@@ -1,0 +1,288 @@
+"""Algorithm 1: ``SampleAndHold`` — heavy hitters with few state changes.
+
+The paper's core subroutine (Section 2.1).  A reservoir of ``k`` slots
+samples stream updates with probability ``rho ~ n^{1-1/p} * polylog /
+(eps^2 * m)``; when an update matches a reservoir slot, the algorithm
+*holds* the item by opening an approximate (Morris) counter for it.
+When the number of held counters reaches the budget, counters are
+pruned **per dyadic age group**: among counters initialized between
+``t - 2^{z+1}`` and ``t - 2^z`` ago, only the half with the largest
+estimates survive.  The age bucketing is the paper's key fix over
+[EV02, BO13, BKSV14]-style global eviction, which loses heavy hitters
+whose occurrences are spread thin (Section 1.4); the counter budget is
+re-randomized after every prune (Lemma 2.1's protection against
+adversarial timing).
+
+State-change accounting: reservoir writes happen at rate ``rho``
+(``Õ(n^{1-1/p})`` over the stream), Morris counters contribute
+``polylog`` writes each, and prunes are rare — total
+``Õ(n^{1-1/p})`` state changes while a dictionary baseline would use
+``Theta(m)``.
+
+Deviation from the paper's constants: the theoretical multipliers
+(``gamma = 2^{20p}``, ``kappa ~ log^{11+3p}(nm)/eps^{4+4p}``) exceed any
+laptop-scale stream; :class:`SampleAndHoldParams` keeps every
+*functional form* but exposes the leading constants, with defaults
+calibrated so the asymptotic shapes are measurable at
+``n in [2^10, 2^20]`` (see DESIGN.md, substitution 1).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.counters import ApproximateCounter, ExactCounter, MorrisCounter
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.registers import TrackedArray
+from repro.state.tracker import StateTracker
+
+
+@dataclass(frozen=True)
+class SampleAndHoldParams:
+    """Resolved parameters of one ``SampleAndHold`` instance.
+
+    Produced by :meth:`SampleAndHoldParams.from_problem`, which mirrors
+    Algorithm 1 lines 1–7: the sampling probability ``rho`` scales as
+    ``scale^{1-1/p} * log2(nm) / (eps^2 * m)`` and the reservoir/counter
+    budget ``kappa`` as ``scale^{1-2/p}`` for ``p >= 2`` (``polylog``
+    for ``p < 2``), where ``scale = min(n, m)`` (lines 2–5 swap in ``m``
+    when the stream is shorter than the universe).
+    """
+
+    #: Per-update sampling probability (Algorithm 1's ``rho``).
+    sample_probability: float
+    #: Base reservoir/counter unit (Algorithm 1's ``kappa``).
+    kappa: int
+    #: Lower end of the randomized budget interval for ``k``.
+    budget_low: int
+    #: Upper end of the randomized budget interval for ``k``.
+    budget_high: int
+    #: Morris counter growth parameter (accuracy/write trade-off).
+    counter_a: float
+
+    @classmethod
+    def from_problem(
+        cls,
+        n: int,
+        m: int,
+        p: float,
+        epsilon: float,
+        sample_scale: float = 1.0,
+        kappa_scale: float = 4.0,
+        budget_scale: float = 0.5,
+        counter_epsilon: float = 0.5,
+        counter_delta: float = 0.25,
+    ) -> "SampleAndHoldParams":
+        """Derive practical parameters from the problem dimensions.
+
+        ``sample_scale``, ``kappa_scale`` and ``budget_scale`` replace
+        the paper's impractically-large theoretical constants while
+        preserving every exponent and logarithmic factor.
+
+        The default Morris accuracy (``counter_epsilon = 0.5``,
+        ``counter_delta = 0.25``, i.e. ``a = 0.125``) is deliberately
+        coarse: the paper's ``eps/log(nm)`` counter accuracy only pays
+        off for counts far beyond laptop-scale streams, because a
+        Morris counter is effectively exact (one write per update)
+        until the count passes ``1/a``.  Tighten it per use case.
+        """
+        if n < 1 or m < 1:
+            raise ValueError(f"need n, m >= 1: n={n}, m={m}")
+        if p < 1:
+            raise ValueError(f"SampleAndHold requires p >= 1: {p}")
+        if not 0 < epsilon <= 1:
+            raise ValueError(f"epsilon must be in (0, 1]: {epsilon}")
+
+        scale = min(n, m)  # Algorithm 1 lines 2-5
+        log_nm = math.log2(2 + n * m)
+        rho = min(
+            1.0,
+            sample_scale
+            * scale ** (1.0 - 1.0 / p)
+            * log_nm
+            / (epsilon**2 * m),
+        )
+        if p >= 2:
+            kappa_base = scale ** (1.0 - 2.0 / p)
+        else:
+            kappa_base = 1.0
+        kappa = max(4, int(round(kappa_scale * kappa_base / epsilon**2)))
+        budget_low = max(
+            2 * kappa, int(round(budget_scale * p * kappa * log_nm))
+        )
+        budget_high = max(budget_low + 1, int(round(1.01 * budget_low)))
+
+        counter_a = 2.0 * counter_epsilon**2 * counter_delta
+        return cls(
+            sample_probability=rho,
+            kappa=kappa,
+            budget_low=budget_low,
+            budget_high=budget_high,
+            counter_a=counter_a,
+        )
+
+
+class _HeldCounter:
+    """A held item's approximate counter plus its creation time."""
+
+    __slots__ = ("counter", "created_at")
+
+    def __init__(self, counter: ApproximateCounter, created_at: int) -> None:
+        self.counter = counter
+        self.created_at = created_at
+
+
+class SampleAndHold(StreamAlgorithm):
+    """Algorithm 1 of the paper, on tracked memory.
+
+    Parameters
+    ----------
+    params:
+        Resolved sizes/probabilities (see :class:`SampleAndHoldParams`).
+    rng:
+        Randomness for sampling, slot choice, and Morris coin flips.
+    use_morris:
+        When False, hold *exact* counters instead of Morris counters —
+        the ablation of experiment A1 (accuracy up, state changes up).
+    eviction:
+        ``"age-bucketed"`` (the paper's dyadic maintenance, default) or
+        ``"global"`` (keep the globally largest half — the
+        [EV02, BO13, BKSV14]-style rule the Section 1.4 counterexample
+        defeats; the ablation of experiment A2).
+    """
+
+    name = "SampleAndHold"
+
+    def __init__(
+        self,
+        params: SampleAndHoldParams,
+        rng: random.Random | None = None,
+        use_morris: bool = True,
+        eviction: str = "age-bucketed",
+        tracker: StateTracker | None = None,
+    ) -> None:
+        if eviction not in ("age-bucketed", "global"):
+            raise ValueError(f"unknown eviction policy: {eviction!r}")
+        super().__init__(tracker)
+        self.params = params
+        self.use_morris = use_morris
+        self.eviction = eviction
+        self._rng = rng if rng is not None else random.Random()
+        self._budget = self._draw_budget()
+        # The reservoir is provisioned for the largest possible budget so
+        # that budget re-draws never outgrow the array.
+        self._reservoir: TrackedArray[int | None] = TrackedArray(
+            self.tracker, "q", params.budget_high, fill=None
+        )
+        # Shadow read-index of reservoir contents; mirrors the tracked
+        # array for O(1) membership tests (reads are free in the model).
+        self._reservoir_members: dict[int, int] = {}
+        self._held: dict[int, _HeldCounter] = {}
+        self._prunes = 0
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 main loop
+    # ------------------------------------------------------------------
+    def _update(self, item: int) -> None:
+        held = self._held.get(item)
+        if held is not None:
+            # Line 10-11: update the (Morris) counter.
+            held.counter.add()
+            return
+        if item in self._reservoir_members:
+            # Lines 12-13: item is in the reservoir -> hold a counter.
+            self._create_counter(item)
+            return
+        # Lines 15-18: sample into the reservoir with probability rho.
+        if self._rng.random() < self.params.sample_probability:
+            slot = self._rng.randrange(self._budget)
+            evicted = self._reservoir[slot]
+            if evicted is not None and self._reservoir_members.get(evicted) == slot:
+                del self._reservoir_members[evicted]
+            self._reservoir[slot] = item
+            self._reservoir_members[item] = slot
+
+    def _create_counter(self, item: int) -> None:
+        """Open an approximate counter for ``item`` (lines 13, 19-21)."""
+        if self.use_morris:
+            counter: ApproximateCounter = MorrisCounter(
+                self.tracker, a=self.params.counter_a, rng=self._rng
+            )
+        else:
+            counter = ExactCounter(self.tracker)
+        counter.add()  # the triggering occurrence counts
+        # Two bookkeeping words: the held item id and its creation time.
+        self.tracker.allocate(2)
+        self._held[item] = _HeldCounter(counter, self.tracker.timestep)
+        if len(self._held) >= self._budget:
+            self._prune_counters()
+
+    # ------------------------------------------------------------------
+    # Counter maintenance (lines 19-21): dyadic age groups
+    # ------------------------------------------------------------------
+    def _prune_counters(self) -> None:
+        """Halve each dyadic age group, keeping the largest estimates.
+
+        Counters created between ``t - 2^{z+1}`` and ``t - 2^z`` ago are
+        compared only with each other, so a heavy hitter whose counter
+        is young (hence small) is never outvoted by long-lived pseudo-
+        heavy counters — the Section 1.4 counterexample's fix.  Under
+        ``eviction="global"`` all counters are compared together
+        (the classical rule; kept for the A2 ablation).
+        """
+        now = self.tracker.timestep
+        groups: dict[int, list[int]] = {}
+        for item, held in self._held.items():
+            if self.eviction == "global":
+                z = 0
+            else:
+                age = max(1, now - held.created_at)
+                z = age.bit_length() - 1  # dyadic bucket floor(log2(age))
+            groups.setdefault(z, []).append(item)
+
+        for members in groups.values():
+            members.sort(key=lambda it: self._held[it].counter.estimate)
+            for item in members[: len(members) // 2]:
+                self._evict(item)
+        # Lemma 2.1: re-randomize the budget after each maintenance.
+        self._budget = self._draw_budget()
+        self._prunes += 1
+
+    def _evict(self, item: int) -> None:
+        held = self._held.pop(item)
+        held.counter.release()
+        self.tracker.free(2)
+        self.tracker.mark_dirty()
+
+    def _draw_budget(self) -> int:
+        """Algorithm 1 line 7/20: ``k ~ Uni([budget_low, budget_high])``."""
+        return self._rng.randint(
+            self.params.budget_low, self.params.budget_high
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def estimate(self, item: int) -> float:
+        """Estimated frequency of ``item`` (one-sided: never above
+        ``(1+eps_counter) * f_item``); 0 when the item is not held."""
+        held = self._held.get(item)
+        return held.counter.estimate if held is not None else 0.0
+
+    def estimates(self) -> dict[int, float]:
+        """Estimates of every currently held item (line 22)."""
+        return {
+            item: held.counter.estimate for item, held in self._held.items()
+        }
+
+    @property
+    def num_held(self) -> int:
+        """Number of currently held counters."""
+        return len(self._held)
+
+    @property
+    def num_prunes(self) -> int:
+        """Number of counter-maintenance rounds executed."""
+        return self._prunes

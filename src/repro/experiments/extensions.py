@@ -1,0 +1,143 @@
+"""Extension experiments A4 (Morris-celled sketches) and E10 (KMV F0).
+
+A4 — can classical sketches be made write-frugal by swapping exact
+cells for Morris counters?  Partially: once a cell has aggregated
+enough colliding mass its Morris level stops moving, so writes drop —
+dramatically on skewed streams (hot cells saturate immediately) and
+only mildly on near-uniform ones (cold cells keep mutating until their
+aggregate load warms up).  The hybrid's saving is thus load- and
+skew-dependent, whereas the paper's sample-and-hold design is
+sublinear regardless, with per-item (not per-cell) estimates.
+
+E10 — distinct elements: the KMV sketch's state changes grow like
+``k log F0`` (record-breaking events), independent of the stream
+length, while its ``F0`` estimate stays within ``~1/sqrt(k)``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.baselines import CountMin, CountMinMorris
+from repro.core import FullSampleAndHold
+from repro.core.distinct import KMVDistinctElements
+from repro.streams import uniform_stream, zipf_stream
+
+
+# ----------------------------------------------------------------------
+# A4: Morris-celled CountMin vs exact CountMin vs sample-and-hold
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SketchHybridRow:
+    algorithm: str
+    workload: str
+    state_changes: int
+    change_fraction: float
+
+
+def sketch_hybrid_comparison(
+    n_skewed: int = 64,
+    n_uniform: int = 50_000,
+    m: int = 50_000,
+    seed: int = 0,
+) -> list[SketchHybridRow]:
+    """A4: state changes of three designs on skewed vs uniform streams."""
+    workloads = {
+        "skewed (Zipf 2.0)": zipf_stream(n_skewed, m, skew=2.0, seed=seed),
+        "uniform": uniform_stream(n_uniform, m, seed=seed),
+    }
+    rows = []
+    for workload_name, stream in workloads.items():
+        n = n_skewed if "skew" in workload_name else n_uniform
+        contenders = [
+            ("CountMin (exact cells)", CountMin(width=1024, depth=2, seed=seed)),
+            (
+                "CountMin (Morris cells)",
+                CountMinMorris(width=1024, depth=2, a=0.25, seed=seed),
+            ),
+            (
+                "FullSampleAndHold",
+                FullSampleAndHold(
+                    n=n, m=m, p=2, epsilon=1.0, seed=seed, repetitions=1
+                ),
+            ),
+        ]
+        for name, algo in contenders:
+            algo.process_stream(stream)
+            rows.append(
+                SketchHybridRow(
+                    algorithm=name,
+                    workload=workload_name,
+                    state_changes=algo.state_changes,
+                    change_fraction=algo.state_changes / m,
+                )
+            )
+    return rows
+
+
+def format_sketch_hybrid(rows: list[SketchHybridRow]) -> str:
+    lines = [
+        "A4 sketch-hybrid ablation (Morris cells inside CountMin):",
+        f"{'algorithm':<26}{'workload':<20}{'state changes':>14}"
+        f"{'frac/update':>13}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.algorithm:<26}{row.workload:<20}"
+            f"{row.state_changes:>14}{row.change_fraction:>13.4f}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# E10: KMV distinct elements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KMVResult:
+    k: int
+    trials: int
+    median_rel_error: float
+    mean_state_changes_by_m: dict[int, float]
+
+
+def kmv_experiment(
+    n: int = 30_000,
+    ms: tuple[int, ...] = (20_000, 80_000),
+    k: int = 256,
+    trials: int = 5,
+    seed: int = 0,
+) -> KMVResult:
+    """E10: F0 accuracy plus state-change growth in ``m``."""
+    errors = []
+    changes: dict[int, list[int]] = {m: [] for m in ms}
+    for t in range(trials):
+        for m in ms:
+            stream = uniform_stream(n, m, seed=seed + 31 * t)
+            algo = KMVDistinctElements(k=k, seed=seed + 97 * t)
+            algo.process_stream(stream)
+            changes[m].append(algo.state_changes)
+            if m == max(ms):
+                truth = len(set(stream))
+                errors.append(abs(algo.f0_estimate() - truth) / truth)
+    return KMVResult(
+        k=k,
+        trials=trials,
+        median_rel_error=float(statistics.median(errors)),
+        mean_state_changes_by_m={
+            m: float(statistics.mean(values)) for m, values in changes.items()
+        },
+    )
+
+
+def format_kmv(result: KMVResult) -> str:
+    lines = [
+        f"E10 KMV distinct elements (k={result.k}, {result.trials} trials):",
+        f"  median rel error: {result.median_rel_error:.3f}",
+    ]
+    for m, mean_changes in sorted(result.mean_state_changes_by_m.items()):
+        lines.append(
+            f"  m={m:>7}: mean state changes {mean_changes:.1f} "
+            f"({mean_changes / m:.4f}/update)"
+        )
+    return "\n".join(lines)

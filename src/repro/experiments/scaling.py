@@ -1,0 +1,127 @@
+"""Experiments E1/E4: state-change scaling exponents vs theory.
+
+Theorems 1.1 and 1.3 predict ``Õ(n^{1-1/p})`` state changes.  These
+experiments sweep the universe size ``n`` (with ``m`` proportional),
+measure the state changes of the heavy-hitter / moment estimators, and
+fit the log-log slope; the theory predicts a slope of ``1 - 1/p`` up to
+logarithmic wiggle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core import FpEstimator, FullSampleAndHold
+from repro.state.algorithm import StreamAlgorithm
+from repro.streams import zipf_stream
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a slope")
+    log_x = [math.log(x) for x in xs]
+    log_y = [math.log(max(1e-12, y)) for y in ys]
+    mean_x = sum(log_x) / len(log_x)
+    mean_y = sum(log_y) / len(log_y)
+    covariance = sum(
+        (lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y)
+    )
+    variance = sum((lx - mean_x) ** 2 for lx in log_x)
+    return covariance / variance
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """State-change counts over an ``n`` sweep plus the fitted slope."""
+
+    p: float
+    ns: tuple[int, ...]
+    state_changes: tuple[int, ...]
+    fitted_slope: float
+    theory_slope: float
+
+    def format(self, label: str) -> str:
+        lines = [
+            f"{label}: state changes vs n (p={self.p})",
+            f"{'n':>10}{'state changes':>16}",
+        ]
+        for n, changes in zip(self.ns, self.state_changes):
+            lines.append(f"{n:>10}{changes:>16}")
+        lines.append(
+            f"fitted log-log slope = {self.fitted_slope:.3f} "
+            f"(theory: 1 - 1/p = {self.theory_slope:.3f})"
+        )
+        return "\n".join(lines)
+
+
+def state_change_scaling(
+    algorithm_factory: Callable[[int, int, int], StreamAlgorithm],
+    p: float,
+    ns: Sequence[int],
+    m_factor: int = 4,
+    skew: float = 1.05,
+    seed: int = 0,
+) -> ScalingResult:
+    """Sweep ``n`` and fit the state-change growth exponent.
+
+    ``algorithm_factory(n, m, seed)`` builds the algorithm under test.
+    """
+    changes = []
+    for i, n in enumerate(ns):
+        m = m_factor * n
+        stream = zipf_stream(n, m, skew=skew, seed=seed + i)
+        algo = algorithm_factory(n, m, seed + i)
+        algo.process_stream(stream)
+        changes.append(algo.state_changes)
+    return ScalingResult(
+        p=p,
+        ns=tuple(ns),
+        state_changes=tuple(changes),
+        fitted_slope=loglog_slope(ns, changes),
+        theory_slope=1.0 - 1.0 / p,
+    )
+
+
+def heavy_hitter_scaling(
+    p: float,
+    ns: Sequence[int] = (2**10, 2**12, 2**14, 2**16),
+    epsilon: float = 1.0,
+    seed: int = 0,
+) -> ScalingResult:
+    """E1: FullSampleAndHold state changes vs ``n``."""
+    return state_change_scaling(
+        lambda n, m, s: FullSampleAndHold(
+            n=n, m=m, p=p, epsilon=epsilon, seed=s, repetitions=1
+        ),
+        p=p,
+        ns=ns,
+        seed=seed,
+    )
+
+
+def fp_scaling(
+    p: float,
+    ns: Sequence[int] = (2**10, 2**12, 2**14),
+    epsilon: float = 1.0,
+    seed: int = 0,
+) -> ScalingResult:
+    """E4: FpEstimator state changes vs ``n``."""
+    return state_change_scaling(
+        lambda n, m, s: FpEstimator(
+            n=n,
+            m=m,
+            p=p,
+            epsilon=epsilon,
+            seed=s,
+            repetitions=1,
+            inner_kwargs={"repetitions": 1},
+        ),
+        p=p,
+        ns=ns,
+        seed=seed,
+    )

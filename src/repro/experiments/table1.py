@@ -1,0 +1,103 @@
+"""Experiment T1: regenerate the paper's Table 1 empirically.
+
+Table 1 compares the number of internal state changes of classical
+heavy-hitter summaries (``O(m)``: Misra–Gries [MG82], CountMin [CM05],
+SpaceSaving [MAA05], CountSketch [CCF04]) against the paper's
+``Õ(n^{1-1/p})`` algorithm.  Here every algorithm runs on the shared
+tracked-memory substrate over the same stream, and the table reports
+the *measured* state changes, per-update change fraction, and peak
+space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines import CountMin, CountSketch, MisraGries, SpaceSaving
+from repro.core import FullSampleAndHold
+from repro.streams import zipf_stream
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One algorithm's audit on the shared workload."""
+
+    algorithm: str
+    paper_bound: str
+    state_changes: int
+    change_fraction: float
+    peak_words: int
+
+
+def run_table1(
+    n: int = 2**14,
+    m: int | None = None,
+    epsilon: float = 0.5,
+    p: float = 2.0,
+    skew: float = 1.1,
+    seed: int = 0,
+) -> list[Table1Row]:
+    """Run every Table 1 contender on one Zipf stream and audit it.
+
+    Defaults put the sweep in the regime where the paper's sampling
+    rate ``rho ~ n^{1-1/p} log(nm) / (eps^2 m)`` is comfortably below
+    1, so the state-change gap is visible (at very small ``n``/``m``
+    the theoretical rate saturates and every algorithm writes often).
+    """
+    if m is None:
+        m = 8 * n
+    stream = zipf_stream(n, m, skew=skew, seed=seed)
+    k = max(2, int(math.ceil(2.0 / epsilon)))
+
+    contenders = [
+        ("Misra-Gries [MG82]", "O(m)", MisraGries(k=k)),
+        ("CountMin [CM05]", "O(m)", CountMin.for_accuracy(epsilon, seed=seed)),
+        ("SpaceSaving [MAA05]", "O(m)", SpaceSaving(k=k)),
+        (
+            "CountSketch [CCF04]",
+            "O(m)",
+            CountSketch.for_accuracy(max(0.2, epsilon), seed=seed),
+        ),
+        (
+            "FullSampleAndHold (this paper)",
+            "~O(n^{1-1/p})",
+            FullSampleAndHold(n=n, m=m, p=p, epsilon=epsilon, seed=seed),
+        ),
+    ]
+
+    rows = []
+    for name, bound, algo in contenders:
+        algo.process_stream(stream)
+        report = algo.report()
+        rows.append(
+            Table1Row(
+                algorithm=name,
+                paper_bound=bound,
+                state_changes=report.state_changes,
+                change_fraction=report.state_change_fraction,
+                peak_words=report.peak_words,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[Table1Row], n: int, m: int) -> str:
+    """Render the measured Table 1 as aligned text."""
+    header = (
+        f"Table 1 (measured): state changes on a Zipf stream, "
+        f"n={n}, m={m}\n"
+    )
+    lines = [
+        header,
+        f"{'Algorithm':<34}{'Paper bound':<16}{'State changes':>14}"
+        f"{'Frac/update':>13}{'Peak words':>12}",
+        "-" * 89,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.algorithm:<34}{row.paper_bound:<16}"
+            f"{row.state_changes:>14}{row.change_fraction:>13.4f}"
+            f"{row.peak_words:>12}"
+        )
+    return "\n".join(lines)

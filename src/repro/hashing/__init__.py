@@ -1,0 +1,29 @@
+"""Hashing and pseudorandomness substrate.
+
+* k-wise independent hash families over ``GF(2^61 - 1)``
+  (:mod:`repro.hashing.prime_field`),
+* nested stream/universe subsampling (:mod:`repro.hashing.subsample`),
+* p-stable variate generation and derandomization
+  (:mod:`repro.hashing.pstable`).
+"""
+
+from repro.hashing.prime_field import MERSENNE_P, KWiseHash, hash_to_unit
+from repro.hashing.pstable import (
+    DerandomizedStable,
+    sample_pstable,
+    sample_pstable_array,
+    stable_abs_median,
+)
+from repro.hashing.subsample import NestedStreamSampler, NestedUniverseSampler
+
+__all__ = [
+    "MERSENNE_P",
+    "KWiseHash",
+    "hash_to_unit",
+    "DerandomizedStable",
+    "sample_pstable",
+    "sample_pstable_array",
+    "stable_abs_median",
+    "NestedStreamSampler",
+    "NestedUniverseSampler",
+]

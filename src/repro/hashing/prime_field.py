@@ -1,0 +1,102 @@
+"""k-wise independent hash families over a Mersenne prime field.
+
+Streaming sketches need limited-independence hash functions whose
+description fits in a few words: CountMin needs pairwise independence,
+CountSketch needs 4-wise, and the p-stable sketch of [JW19] needs
+``O(log(1/eps)/log log(1/eps))``-wise independence.  The standard
+construction is a random degree-``(k-1)`` polynomial over ``GF(P)`` with
+``P = 2^61 - 1`` (a Mersenne prime, enabling fast modular reduction).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+#: Mersenne prime 2^61 - 1; universe items must be < MERSENNE_P.
+MERSENNE_P = (1 << 61) - 1
+
+
+def _mod_mersenne(x: int) -> int:
+    """Reduce ``x`` modulo ``2^61 - 1`` without a division.
+
+    Valid for ``0 <= x < 2^122``, which covers products of two reduced
+    residues.
+    """
+    x = (x & MERSENNE_P) + (x >> 61)
+    if x >= MERSENNE_P:
+        x -= MERSENNE_P
+    return x
+
+
+class KWiseHash:
+    """A k-wise independent hash function ``h: [P] -> [P]``.
+
+    Parameters
+    ----------
+    k:
+        Independence level (polynomial degree ``k - 1``); ``k >= 1``.
+    seed:
+        Seeds the coefficient draw; runs with equal seeds share the
+        hash function (needed for nested subsampling across levels).
+    rng:
+        Optional explicit PRNG; overrides ``seed``.
+    """
+
+    __slots__ = ("k", "_coeffs")
+
+    def __init__(
+        self,
+        k: int,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"independence level k must be >= 1: {k}")
+        if rng is None:
+            rng = random.Random(seed)
+        self.k = k
+        # Leading coefficient non-zero so the polynomial has exact degree
+        # k-1; the remaining coefficients are uniform in GF(P).
+        coeffs = [rng.randrange(MERSENNE_P) for _ in range(k - 1)]
+        coeffs.append(rng.randrange(1, MERSENNE_P))
+        self._coeffs: Sequence[int] = tuple(coeffs)
+
+    def __call__(self, x: int) -> int:
+        """Evaluate the polynomial at ``x`` by Horner's rule."""
+        acc = 0
+        for c in reversed(self._coeffs):
+            acc = _mod_mersenne(_mod_mersenne(acc * x) + c)
+        return acc
+
+    def unit(self, x: int) -> float:
+        """Hash into ``[0, 1)`` (uniform under k-wise independence)."""
+        return self(x) / MERSENNE_P
+
+    def bucket(self, x: int, num_buckets: int) -> int:
+        """Hash into ``range(num_buckets)``."""
+        if num_buckets <= 0:
+            raise ValueError(f"num_buckets must be positive: {num_buckets}")
+        return self(x) % num_buckets
+
+    def sign(self, x: int) -> int:
+        """Hash into ``{-1, +1}`` (for CountSketch-style sketches)."""
+        return 1 if self(x) & 1 else -1
+
+    @property
+    def description_words(self) -> int:
+        """Words needed to store the hash function (its coefficients)."""
+        return self.k
+
+
+def hash_to_unit(seed: int, *parts: int) -> float:
+    """Deterministic pseudo-uniform ``[0,1)`` value from ``(seed, parts)``.
+
+    Used to derandomize per-(row, item) random variates: the same
+    ``(seed, parts)`` tuple always yields the same value, so a sketch
+    can regenerate an item's randomness on demand instead of storing a
+    full random matrix (the trick [JW19] attributes to limited-
+    independence generation).
+    """
+    mix = random.Random(hash((seed,) + parts))
+    return mix.random()

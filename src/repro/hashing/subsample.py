@@ -1,0 +1,105 @@
+"""Subsampling primitives used by Algorithms 2 and 3.
+
+Two distinct subsampling modes appear in the paper:
+
+* **Stream subsampling** (Algorithm 2, ``FullSampleAndHold``): each
+  stream *update* survives independently with probability
+  ``p_x = min(1, 2^{1-x})``.  Levels are nested: an update surviving at
+  level ``x`` also survives at every level ``< x``.  Implemented by
+  drawing one uniform ``u`` per update and admitting it to all levels
+  with ``p_x >= u``.
+
+* **Universe subsampling** (Algorithm 3): each universe *element* is
+  assigned a maximum survival level via a hash function, so that the
+  induced subsets ``I_1 ⊇ I_2 ⊇ ...`` are consistent across the whole
+  stream (every occurrence of an item lands in exactly the same
+  levels).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.hashing.prime_field import KWiseHash
+
+
+class NestedUniverseSampler:
+    """Hash-based nested subsets ``I_1 ⊇ I_2 ⊇ ... ⊇ I_L`` of ``[n]``.
+
+    Level 1 contains every element (``p_1 = 1``); level ``l`` keeps each
+    element with probability ``2^{1-l}``.  Element ``j`` belongs to all
+    levels ``l <= level_of(j)``.
+
+    Parameters
+    ----------
+    num_levels:
+        Deepest level ``L``.
+    seed:
+        Hash seed; equal seeds give identical subsets.
+    independence:
+        k-wise independence of the underlying hash (default pairwise
+        suffices for the variance bounds used in Lemma 3.6's analysis).
+    """
+
+    def __init__(
+        self, num_levels: int, seed: int | None = None, independence: int = 2
+    ) -> None:
+        if num_levels < 1:
+            raise ValueError(f"num_levels must be >= 1: {num_levels}")
+        self.num_levels = num_levels
+        self._hash = KWiseHash(independence, seed=seed)
+
+    def level_of(self, item: int) -> int:
+        """Deepest level containing ``item`` (in ``[1, num_levels]``).
+
+        ``P[level_of(j) >= l] = 2^{1-l}``, so membership in level ``l``
+        happens with exactly the paper's rate ``p_l = min(1, 2^{1-l})``.
+        """
+        u = self._hash.unit(item)
+        if u <= 0.0:
+            return self.num_levels
+        # level >= l  iff  u < 2^{1-l}  iff  l < 1 - log2(u)
+        deepest = int(math.floor(1.0 - math.log2(u)))
+        return max(1, min(self.num_levels, deepest))
+
+    def contains(self, item: int, level: int) -> bool:
+        """Whether ``item`` belongs to subset ``I_level``."""
+        if not 1 <= level <= self.num_levels:
+            raise ValueError(
+                f"level {level} outside [1, {self.num_levels}]"
+            )
+        return self.level_of(item) >= level
+
+    def rate(self, level: int) -> float:
+        """Survival probability ``p_l = min(1, 2^{1-l})`` of a level."""
+        return min(1.0, 2.0 ** (1 - level))
+
+
+class NestedStreamSampler:
+    """Per-update nested sampling at rates ``p_x = min(1, 2^{1-x})``.
+
+    Each call to :meth:`draw_level` consumes one uniform variate and
+    returns the deepest level the update survives to; the update belongs
+    to every level up to and including that depth.  Unlike universe
+    subsampling this is independent across updates, matching Algorithm 2
+    (which subsamples positions of ``[m]``, not identities).
+    """
+
+    def __init__(self, num_levels: int, rng: random.Random) -> None:
+        if num_levels < 1:
+            raise ValueError(f"num_levels must be >= 1: {num_levels}")
+        self.num_levels = num_levels
+        self._rng = rng
+
+    def draw_level(self) -> int:
+        """Deepest surviving level for the next stream update."""
+        u = self._rng.random()
+        if u <= 0.0:
+            return self.num_levels
+        deepest = int(math.floor(1.0 - math.log2(u)))
+        return max(1, min(self.num_levels, deepest))
+
+    def rate(self, level: int) -> float:
+        """Survival probability of ``level``."""
+        return min(1.0, 2.0 ** (1 - level))

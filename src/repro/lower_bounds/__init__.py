@@ -1,0 +1,13 @@
+"""Empirical counterpart of the paper's lower bounds (Section 4)."""
+
+from repro.lower_bounds.distinguisher import (
+    GameResult,
+    SampledDistinguisher,
+    run_distinguishing_game,
+)
+
+__all__ = [
+    "GameResult",
+    "SampledDistinguisher",
+    "run_distinguishing_game",
+]

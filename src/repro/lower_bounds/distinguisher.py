@@ -1,0 +1,155 @@
+"""The Theorem 1.2/1.4 distinguishing game, run empirically.
+
+The lower-bound proofs reduce ``Fp`` approximation (and ``Lp``-heavy
+hitters) to distinguishing the hard pair ``(S1, S2)``: ``S1`` hides a
+block of ``~n^{1/p}`` copies of one item at a random position, ``S2``
+is a permutation, and ``Fp(S1) / Fp(S2) -> 2``.  Any algorithm whose
+state changes fewer than ``~n^{1-1/p}`` times is (with constant
+probability) in the same state before and after the block, hence
+cannot tell the streams apart.
+
+This module makes the argument measurable:
+
+* :class:`SampledDistinguisher` — a write-budgeted strawman that
+  records ``B`` uniformly-sampled stream items and declares "S1" on
+  seeing a duplicate.  Two samples collide only if both land in the
+  hidden block, so its advantage rises from ~0 to ~1 precisely as the
+  budget crosses ``n^{1-1/p}`` — the lower bound's knee, traced
+  empirically (experiment E7).
+* :func:`run_distinguishing_game` — runs any algorithm factory over a
+  population of instances and reports accuracy plus the measured
+  state-change audit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.registers import TrackedDict
+from repro.state.tracker import StateTracker
+from repro.streams.adversarial import lower_bound_pair
+
+
+class SampledDistinguisher(StreamAlgorithm):
+    """Write-budgeted duplicate detector (the lower-bound strawman).
+
+    Samples each update with probability ``budget / m`` and stores the
+    sampled items; its only evidence for "S1" is a duplicate among
+    samples.  State changes are ``~budget`` by construction, so its
+    success probability as a function of ``budget / n^{1-1/p}`` traces
+    the Theorem 1.4 threshold.
+    """
+
+    name = "SampledDistinguisher"
+
+    def __init__(
+        self,
+        budget: int,
+        m: int,
+        rng: random.Random | None = None,
+        tracker: StateTracker | None = None,
+    ) -> None:
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1: {budget}")
+        if m < 1:
+            raise ValueError(f"stream length hint must be >= 1: {m}")
+        super().__init__(tracker)
+        self.budget = budget
+        self.m = m
+        self._rng = rng if rng is not None else random.Random()
+        self._probability = min(1.0, budget / m)
+        self._samples: TrackedDict[int, int] = TrackedDict(self.tracker, "dup")
+        self._duplicate_seen = False
+
+    def _update(self, item: int) -> None:
+        if self._rng.random() >= self._probability:
+            return
+        if item in self._samples:
+            # Reads are free; the duplicate flag is one tracked write.
+            if not self._duplicate_seen:
+                self._duplicate_seen = True
+                self.tracker.mark_dirty()
+            return
+        self._samples[item] = 1
+
+    @property
+    def saw_duplicate(self) -> bool:
+        """Whether any sampled item repeated (evidence for ``S1``)."""
+        return self._duplicate_seen
+
+    def guesses_s1(self) -> bool:
+        """The strawman's decision."""
+        return self._duplicate_seen
+
+
+@dataclass(frozen=True)
+class GameResult:
+    """Outcome of a distinguishing-game population run."""
+
+    #: Fraction of instances classified correctly (0.5 = coin flip).
+    accuracy: float
+    #: Mean state changes on the ``S1`` runs.
+    mean_state_changes_s1: float
+    #: Mean state changes on the ``S2`` runs.
+    mean_state_changes_s2: float
+    #: Number of instances played.
+    trials: int
+
+    @property
+    def advantage(self) -> float:
+        """Distinguishing advantage ``2 * accuracy - 1``."""
+        return 2.0 * self.accuracy - 1.0
+
+
+def run_distinguishing_game(
+    algorithm_factory: Callable[[int], StreamAlgorithm],
+    decide: Callable[[StreamAlgorithm], bool],
+    n: int,
+    p: float,
+    trials: int = 20,
+    epsilon: float = 1.0,
+    seed: int = 0,
+) -> GameResult:
+    """Play the Theorem 1.2/1.4 game over a population of hard pairs.
+
+    Parameters
+    ----------
+    algorithm_factory:
+        Builds a fresh algorithm given a per-run seed.
+    decide:
+        Reads the finished algorithm and returns True for "this was
+        S1" (the block stream).
+    n, p, epsilon:
+        Hard-instance parameters (see
+        :func:`~repro.streams.adversarial.lower_bound_pair`).
+    trials:
+        Instances played; each instance contributes one ``S1`` run and
+        one ``S2`` run.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1: {trials}")
+    correct = 0
+    changes_s1 = 0
+    changes_s2 = 0
+    for t in range(trials):
+        instance = lower_bound_pair(n, p, epsilon=epsilon, seed=seed + 7 * t)
+
+        algo1 = algorithm_factory(seed + 1000 + t)
+        algo1.process_stream(instance.s1)
+        correct += decide(algo1) is True
+        changes_s1 += algo1.state_changes
+
+        algo2 = algorithm_factory(seed + 2000 + t)
+        algo2.process_stream(instance.s2)
+        correct += decide(algo2) is False
+        changes_s2 += algo2.state_changes
+
+    return GameResult(
+        accuracy=correct / (2 * trials),
+        mean_state_changes_s1=changes_s1 / trials,
+        mean_state_changes_s2=changes_s2 / trials,
+        trials=trials,
+    )

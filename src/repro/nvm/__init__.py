@@ -1,0 +1,7 @@
+"""NVM wear simulation: the paper's Section 1.1 motivation, made
+measurable (experiment A3)."""
+
+from repro.nvm.cost_model import DRAM, NAND_FLASH, PCM, NVMCostModel
+from repro.nvm.device import NVMDevice
+
+__all__ = ["DRAM", "NAND_FLASH", "PCM", "NVMCostModel", "NVMDevice"]

@@ -1,0 +1,111 @@
+"""Asymmetric read/write cost models for non-volatile memory.
+
+The paper's motivation (Section 1.1): NVM reads are cheap, writes are
+expensive — higher energy, higher latency, and bounded endurance
+([BFG+15, MSCT14, BT11]).  :class:`NVMCostModel` turns a
+:class:`~repro.state.report.StateChangeReport` into energy/latency
+totals so that the state-change audit of an algorithm can be priced on
+a concrete technology.  The presets use order-of-magnitude constants
+from the literature the paper cites; they are meant for *relative*
+comparisons between algorithms, not absolute device predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.state.report import StateChangeReport
+
+
+@dataclass(frozen=True)
+class NVMCostModel:
+    """Per-operation costs of one memory technology.
+
+    Attributes
+    ----------
+    name:
+        Technology label.
+    read_energy_nj / write_energy_nj:
+        Energy per word read/write, nanojoules.
+    read_latency_ns / write_latency_ns:
+        Latency per word read/write, nanoseconds.
+    endurance:
+        Writes a cell tolerates before wearing out.
+    """
+
+    name: str
+    read_energy_nj: float
+    write_energy_nj: float
+    read_latency_ns: float
+    write_latency_ns: float
+    endurance: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "read_energy_nj",
+            "write_energy_nj",
+            "read_latency_ns",
+            "write_latency_ns",
+            "endurance",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    @property
+    def write_read_energy_ratio(self) -> float:
+        """How many reads one write costs (the asymmetry factor)."""
+        return self.write_energy_nj / self.read_energy_nj
+
+    def energy_nj(
+        self, report: StateChangeReport, reads_per_update: float = 2.0
+    ) -> float:
+        """Total energy of a run: reads on every update, plus writes.
+
+        ``reads_per_update`` models the lookups an algorithm performs
+        per stream update (hash probes, reservoir scans); the write
+        side comes from the audited mutation count.
+        """
+        read_cost = report.stream_length * reads_per_update * self.read_energy_nj
+        write_cost = report.total_writes * self.write_energy_nj
+        return read_cost + write_cost
+
+    def latency_ns(
+        self, report: StateChangeReport, reads_per_update: float = 2.0
+    ) -> float:
+        """Total memory latency of a run (reads + writes, serialized)."""
+        read_cost = report.stream_length * reads_per_update * self.read_latency_ns
+        write_cost = report.total_writes * self.write_latency_ns
+        return read_cost + write_cost
+
+
+#: Phase-change memory: ~10-50x write/read energy asymmetry, endurance
+#: ~10^8 ([LIMB09, QGR11] via the paper's Section 1.1).
+PCM = NVMCostModel(
+    name="PCM",
+    read_energy_nj=1.0,
+    write_energy_nj=30.0,
+    read_latency_ns=50.0,
+    write_latency_ns=500.0,
+    endurance=1e8,
+)
+
+#: NAND flash: block writes are very expensive; cell endurance
+#: 10^4 - 10^6 ([BT11]).
+NAND_FLASH = NVMCostModel(
+    name="NAND",
+    read_energy_nj=2.0,
+    write_energy_nj=200.0,
+    read_latency_ns=25_000.0,
+    write_latency_ns=200_000.0,
+    endurance=1e5,
+)
+
+#: DRAM control: symmetric costs, effectively unbounded endurance.
+DRAM = NVMCostModel(
+    name="DRAM",
+    read_energy_nj=1.0,
+    write_energy_nj=1.0,
+    read_latency_ns=10.0,
+    write_latency_ns=10.0,
+    endurance=1e16,
+)

@@ -1,0 +1,22 @@
+"""State-change accounting substrate (the paper's Section 1.5 cost model).
+
+All algorithms in :mod:`repro` keep their working memory in tracked
+registers bound to a :class:`StateTracker`, so that the number of
+internal state changes, the per-cell write histogram, and the peak space
+in words are measured uniformly across the paper's algorithms and the
+Table 1 baselines.
+"""
+
+from repro.state.algorithm import StreamAlgorithm
+from repro.state.registers import TrackedArray, TrackedDict, TrackedValue
+from repro.state.report import StateChangeReport
+from repro.state.tracker import StateTracker
+
+__all__ = [
+    "StateChangeReport",
+    "StateTracker",
+    "StreamAlgorithm",
+    "TrackedArray",
+    "TrackedDict",
+    "TrackedValue",
+]

@@ -1,0 +1,63 @@
+"""Common base class for every instrumented streaming algorithm.
+
+:class:`StreamAlgorithm` owns a :class:`~repro.state.tracker.StateTracker`
+and enforces the paper's clock discipline: subclasses implement
+``_update(item)``; the public :meth:`process` wraps it with a tracker
+``tick()`` so that all mutations triggered by one stream update are
+attributed to one potential state change ``X_t``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from repro.state.report import StateChangeReport
+from repro.state.tracker import StateTracker
+
+
+class StreamAlgorithm(abc.ABC):
+    """Abstract insertion-only streaming algorithm over universe ``[n]``.
+
+    Subclasses must implement :meth:`_update`.  Items are integers in
+    ``range(n)`` (the paper's ``[n]``, zero-indexed here).
+    """
+
+    def __init__(self, tracker: StateTracker | None = None) -> None:
+        self.tracker = tracker if tracker is not None else StateTracker()
+        self._items_processed = 0
+
+    # ------------------------------------------------------------------
+    # Stream interface
+    # ------------------------------------------------------------------
+    def process(self, item: int) -> None:
+        """Feed one stream update and advance the state-change clock."""
+        self._update(item)
+        self.tracker.tick()
+        self._items_processed += 1
+
+    def process_stream(self, stream: Iterable[int]) -> None:
+        """Feed every update of ``stream`` in order."""
+        for item in stream:
+            self.process(item)
+
+    @abc.abstractmethod
+    def _update(self, item: int) -> None:
+        """Handle one stream update (mutations go through tracked cells)."""
+
+    # ------------------------------------------------------------------
+    # Audit
+    # ------------------------------------------------------------------
+    @property
+    def items_processed(self) -> int:
+        """Number of stream updates consumed so far."""
+        return self._items_processed
+
+    @property
+    def state_changes(self) -> int:
+        """Total state changes so far (the paper's ``sum_t X_t``)."""
+        return self.tracker.state_changes
+
+    def report(self) -> StateChangeReport:
+        """Snapshot the run's full state-change audit."""
+        return self.tracker.report()

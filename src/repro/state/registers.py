@@ -1,0 +1,180 @@
+"""Tracked registers: the memory cells streaming algorithms write to.
+
+Three container shapes cover every algorithm in the library:
+
+* :class:`TrackedValue` — a single word (a counter, a flag, a sample).
+* :class:`TrackedArray` — a fixed-length array of words (a reservoir,
+  a sketch row).
+* :class:`TrackedDict` — a dynamic key-value store whose live size is
+  charged against the space budget (the hold-counter table, Misra-Gries
+  summaries).
+
+Every mutation is routed through the owning
+:class:`~repro.state.tracker.StateTracker`, which decides whether the
+write changed the state.  Writes of an identical value are "silent":
+they cost a write *attempt* but not a state change, matching the
+paper's definition that ``X_t = 1`` only when ``sigma_t != sigma_{t-1}``.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, TypeVar
+
+from repro.state.tracker import StateTracker
+
+T = TypeVar("T")
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class TrackedValue(Generic[T]):
+    """A single tracked memory word."""
+
+    __slots__ = ("_tracker", "_cell_id", "_value")
+
+    def __init__(self, tracker: StateTracker, cell_id: str, initial: T) -> None:
+        self._tracker = tracker
+        self._cell_id = cell_id
+        self._value = initial
+        tracker.allocate(1)
+
+    @property
+    def value(self) -> T:
+        """Read the cell (free under the asymmetric cost model)."""
+        return self._value
+
+    def set(self, new_value: T) -> bool:
+        """Write ``new_value``; returns True iff the contents changed."""
+        mutated = new_value != self._value
+        self._tracker.record_write(self._cell_id, mutated)
+        self._value = new_value
+        return mutated
+
+    def release(self) -> None:
+        """Free the word (e.g. when a counter is evicted)."""
+        self._tracker.free(1)
+
+    def __repr__(self) -> str:
+        return f"TrackedValue({self._cell_id}={self._value!r})"
+
+
+class TrackedArray(Generic[T]):
+    """A fixed-length array of tracked words (reservoirs, sketch rows)."""
+
+    __slots__ = ("_tracker", "_name", "_cells")
+
+    def __init__(
+        self, tracker: StateTracker, name: str, length: int, fill: T
+    ) -> None:
+        if length < 0:
+            raise ValueError(f"array length must be non-negative: {length}")
+        self._tracker = tracker
+        self._name = name
+        self._cells: list[T] = [fill] * length
+        tracker.allocate(length)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __getitem__(self, index: int) -> T:
+        return self._cells[index]
+
+    def __setitem__(self, index: int, new_value: T) -> None:
+        old = self._cells[index]
+        mutated = new_value != old
+        self._tracker.record_write(f"{self._name}[{index}]", mutated)
+        self._cells[index] = new_value
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._cells)
+
+    def index_of(self, value: T) -> int | None:
+        """Linear scan for ``value``; None when absent (a read, free)."""
+        try:
+            return self._cells.index(value)
+        except ValueError:
+            return None
+
+    def release(self) -> None:
+        """Free the whole array."""
+        self._tracker.free(len(self._cells))
+        self._cells = []
+
+    def __repr__(self) -> str:
+        return f"TrackedArray({self._name}, len={len(self._cells)})"
+
+
+class TrackedDict(Generic[K, V]):
+    """A dynamic tracked map; each live entry costs ``entry_words`` words.
+
+    Insertion allocates, deletion frees, and every value overwrite is a
+    write attempt against the per-key cell.  Used for hold-counter
+    tables and dictionary-based baselines.
+    """
+
+    __slots__ = ("_tracker", "_name", "_entry_words", "_data")
+
+    def __init__(
+        self, tracker: StateTracker, name: str, entry_words: int = 1
+    ) -> None:
+        if entry_words <= 0:
+            raise ValueError(f"entry_words must be positive: {entry_words}")
+        self._tracker = tracker
+        self._name = name
+        self._entry_words = entry_words
+        self._data: dict[K, V] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __getitem__(self, key: K) -> V:
+        return self._data[key]
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        return self._data.get(key, default)
+
+    def __setitem__(self, key: K, value: V) -> None:
+        cell_id = f"{self._name}[{key!r}]"
+        if key in self._data:
+            mutated = self._data[key] != value
+            self._tracker.record_write(cell_id, mutated)
+        else:
+            self._tracker.allocate(self._entry_words)
+            self._tracker.record_write(cell_id, True)
+        self._data[key] = value
+
+    def __delitem__(self, key: K) -> None:
+        del self._data[key]
+        self._tracker.free(self._entry_words)
+        self._tracker.record_write(f"{self._name}[{key!r}]", True)
+
+    def pop(self, key: K) -> V:
+        """Remove and return the entry for ``key``."""
+        value = self._data[key]
+        del self[key]
+        return value
+
+    def keys(self):
+        return self._data.keys()
+
+    def values(self):
+        return self._data.values()
+
+    def items(self):
+        return self._data.items()
+
+    def clear(self) -> None:
+        """Drop every entry, freeing its space."""
+        if self._data:
+            self._tracker.free(self._entry_words * len(self._data))
+            self._tracker.mark_dirty()
+        self._data.clear()
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)
+
+    def __repr__(self) -> str:
+        return f"TrackedDict({self._name}, entries={len(self._data)})"

@@ -1,0 +1,81 @@
+"""Audit reports produced by the state-change accounting substrate.
+
+The paper (Section 1.5) defines the cost measure reproduced here: for an
+algorithm holding memory state ``sigma_t`` after stream update ``t``, the
+indicator ``X_t = 1`` iff ``sigma_t != sigma_{t-1}``, and the *number of
+internal state changes* is ``sum_t X_t``.  A *word* of space is
+``O(log n + log m)`` bits.
+
+:class:`StateChangeReport` is a frozen snapshot of everything the
+:class:`~repro.state.tracker.StateTracker` measured; it is the common
+currency of the experiment harness (Table 1, E1, E4, E7, A3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StateChangeReport:
+    """Immutable audit of one algorithm run over one stream.
+
+    Attributes
+    ----------
+    stream_length:
+        Number of stream updates processed (the paper's ``m``).
+    state_changes:
+        Number of timesteps ``t`` with ``sigma_t != sigma_{t-1}`` — the
+        paper's central complexity measure.
+    total_writes:
+        Number of *cell mutations* summed over the stream.  A single
+        timestep may mutate many cells; ``total_writes >= state_changes``
+        always holds.  This is the quantity that drives NVM wear.
+    total_write_attempts:
+        Number of write operations issued, including writes that stored
+        a value identical to the previous contents (which do **not**
+        count as state changes; e.g. NVM controllers skip them via
+        read-before-write).
+    peak_words:
+        Maximum number of live memory words at any point in the run.
+    current_words:
+        Words live at the end of the run.
+    cell_writes:
+        Mapping ``cell id -> number of mutations`` of that cell; the
+        per-cell wear histogram used by the NVM simulator.
+    """
+
+    stream_length: int
+    state_changes: int
+    total_writes: int
+    total_write_attempts: int
+    peak_words: int
+    current_words: int
+    cell_writes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def state_change_fraction(self) -> float:
+        """Fraction of stream updates that mutated the state.
+
+        A value of 1.0 means the algorithm writes on every update (the
+        behaviour of classical sketches in Table 1); sublinear-state-
+        change algorithms drive this toward 0 as ``m`` grows.
+        """
+        if self.stream_length == 0:
+            return 0.0
+        return self.state_changes / self.stream_length
+
+    @property
+    def max_cell_wear(self) -> int:
+        """Largest number of mutations suffered by any single cell."""
+        if not self.cell_writes:
+            return 0
+        return max(self.cell_writes.values())
+
+    def summary(self) -> str:
+        """One-line human-readable audit summary."""
+        return (
+            f"m={self.stream_length} state_changes={self.state_changes} "
+            f"({self.state_change_fraction:.4f}/update) "
+            f"writes={self.total_writes} peak_words={self.peak_words}"
+        )

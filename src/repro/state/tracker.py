@@ -1,0 +1,174 @@
+"""State-change accounting: the instrumented memory all algorithms run on.
+
+Every streaming algorithm in this library — the paper's algorithms and
+the Table 1 baselines alike — stores its working memory in *tracked
+registers* (:mod:`repro.state.registers`) bound to a single
+:class:`StateTracker`.  The tracker implements the paper's cost model
+(Section 1.5):
+
+* ``tick()`` is called exactly once per stream update; if any register
+  cell changed value since the previous tick, the update counts as one
+  *state change* (``X_t = 1``).
+* Writes that store the value already present do **not** change the
+  state (``sigma_t == sigma_{t-1}``) and are counted separately as
+  ``silent`` write attempts.
+* Space is accounted in *words*; allocation and deallocation update a
+  live-word counter whose maximum is the reported space usage.
+
+The tracker also exposes a listener interface so that downstream
+consumers (e.g. the NVM wear simulator in :mod:`repro.nvm`) can observe
+the raw write trace without the algorithms knowing about them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Protocol
+
+from repro.state.report import StateChangeReport
+
+#: Signature of a write listener: ``(timestep, cell_id, mutated)``.
+WriteListener = Callable[[int, str, bool], None]
+
+
+class SupportsWriteListener(Protocol):
+    """Objects that can observe the write trace (e.g. an NVM device)."""
+
+    def on_write(self, timestep: int, cell_id: str, mutated: bool) -> None:
+        """Called for every write attempt issued through the tracker."""
+
+
+class StateTracker:
+    """Counts state changes, cell writes, and live words for one run.
+
+    Parameters
+    ----------
+    record_cells:
+        When True (default), keep a per-cell mutation histogram.  Turn
+        off for very large experiments where only the aggregate counts
+        matter.
+    """
+
+    def __init__(self, record_cells: bool = True) -> None:
+        self._record_cells = record_cells
+        self._timestep = 0
+        self._dirty = False
+        self._state_changes = 0
+        self._total_writes = 0
+        self._write_attempts = 0
+        self._current_words = 0
+        self._peak_words = 0
+        self._cell_writes: Counter[str] = Counter()
+        self._listeners: list[WriteListener] = []
+
+    # ------------------------------------------------------------------
+    # Stream clock
+    # ------------------------------------------------------------------
+    @property
+    def timestep(self) -> int:
+        """Number of ``tick()`` calls so far (the stream position ``t``)."""
+        return self._timestep
+
+    def tick(self) -> bool:
+        """Advance the stream clock by one update.
+
+        Returns True iff the state changed during the update that just
+        ended (the paper's indicator ``X_t``).
+        """
+        changed = self._dirty
+        if changed:
+            self._state_changes += 1
+        self._dirty = False
+        self._timestep += 1
+        return changed
+
+    # ------------------------------------------------------------------
+    # Write path (called by tracked registers)
+    # ------------------------------------------------------------------
+    def record_write(self, cell_id: str, mutated: bool) -> None:
+        """Record one write attempt against ``cell_id``.
+
+        ``mutated`` is False when the stored value equals the previous
+        contents; such writes are "silent" and do not set the dirty flag
+        (the memory state is unchanged, so ``sigma_t == sigma_{t-1}``).
+        """
+        self._write_attempts += 1
+        if mutated:
+            self._total_writes += 1
+            self._dirty = True
+            if self._record_cells:
+                self._cell_writes[cell_id] += 1
+        for listener in self._listeners:
+            listener(self._timestep, cell_id, mutated)
+
+    def mark_dirty(self) -> None:
+        """Force the current update to count as a state change.
+
+        Used for structural mutations that have no single-cell identity
+        (e.g. freeing a block of counters).
+        """
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Space accounting (words)
+    # ------------------------------------------------------------------
+    def allocate(self, words: int) -> None:
+        """Account for ``words`` newly-live memory words."""
+        if words < 0:
+            raise ValueError(f"cannot allocate negative words: {words}")
+        self._current_words += words
+        if self._current_words > self._peak_words:
+            self._peak_words = self._current_words
+
+    def free(self, words: int) -> None:
+        """Release ``words`` previously-allocated memory words."""
+        if words < 0:
+            raise ValueError(f"cannot free negative words: {words}")
+        if words > self._current_words:
+            raise ValueError(
+                f"freeing {words} words but only {self._current_words} live"
+            )
+        self._current_words -= words
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: WriteListener) -> None:
+        """Subscribe ``listener`` to the raw write trace."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: WriteListener) -> None:
+        """Unsubscribe a previously added listener."""
+        self._listeners.remove(listener)
+
+    @property
+    def state_changes(self) -> int:
+        """Number of updates whose processing mutated the state."""
+        return self._state_changes
+
+    @property
+    def total_writes(self) -> int:
+        """Number of cell mutations across the whole run."""
+        return self._total_writes
+
+    @property
+    def peak_words(self) -> int:
+        """High-water mark of live words."""
+        return self._peak_words
+
+    @property
+    def current_words(self) -> int:
+        """Words live right now."""
+        return self._current_words
+
+    def report(self) -> StateChangeReport:
+        """Snapshot the audit into an immutable report."""
+        return StateChangeReport(
+            stream_length=self._timestep,
+            state_changes=self._state_changes,
+            total_writes=self._total_writes,
+            total_write_attempts=self._write_attempts,
+            peak_words=self._peak_words,
+            current_words=self._current_words,
+            cell_writes=dict(self._cell_writes),
+        )

@@ -1,0 +1,32 @@
+"""Stream workloads: generators, ground truth, adversarial instances."""
+
+from repro.streams.adversarial import (
+    LowerBoundInstance,
+    PseudoHeavyInstance,
+    lower_bound_pair,
+    pseudo_heavy_counterexample,
+)
+from repro.streams.frequency import FrequencyVector
+from repro.streams.traceio import read_trace, write_trace
+from repro.streams.generators import (
+    permutation_stream,
+    planted_heavy_hitter_stream,
+    round_robin_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+__all__ = [
+    "FrequencyVector",
+    "LowerBoundInstance",
+    "PseudoHeavyInstance",
+    "lower_bound_pair",
+    "permutation_stream",
+    "planted_heavy_hitter_stream",
+    "pseudo_heavy_counterexample",
+    "read_trace",
+    "write_trace",
+    "round_robin_stream",
+    "uniform_stream",
+    "zipf_stream",
+]

@@ -1,0 +1,258 @@
+"""Adversarial stream constructions from the paper's proofs.
+
+Two families are implemented:
+
+* :func:`lower_bound_pair` — the hard pair ``(S1, S2)`` from the proofs
+  of Theorems 1.2 and 1.4: ``S1`` hides a block ``B`` of ``~n^{1/p}``
+  repetitions of one random item inside otherwise-distinct updates,
+  while ``S2`` is a random permutation.  ``Fp(S1) ~ 2n`` vs
+  ``Fp(S2) = n``, so any ``(2 - eps)``-approximation must distinguish
+  them, yet the block's random position forces ``Omega(n^{1-1/p})``
+  state changes.
+
+* :func:`pseudo_heavy_counterexample` — the Section 1.4 stream that
+  defeats per-counter maintenance (the [BO13, BKSV14] failure mode):
+  "pseudo-heavy" items of frequency ``n^{1/4}`` arrive in concentrated
+  special blocks, while the single true ``L2``-heavy hitter of
+  frequency ``sqrt(n)`` trickles in ``n^{1/8}`` occurrences per block —
+  locally small, globally heavy.  Algorithms that evict the smallest
+  counters globally lose the heavy hitter; the paper's dyadic
+  age-bucketed maintenance keeps it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LowerBoundInstance:
+    """One draw of the Theorem 1.2/1.4 hard distribution."""
+
+    #: Stream with the hidden heavy block.
+    s1: list[int]
+    #: Flat stream (random permutation of the universe).
+    s2: list[int]
+    #: The repeated item in ``s1``.
+    heavy_item: int
+    #: Start offset of the block ``B`` within ``s1``.
+    block_start: int
+    #: Number of repetitions of ``heavy_item`` (``~eps * n^{1/p}``).
+    block_length: int
+
+
+def lower_bound_pair(
+    n: int, p: float, epsilon: float = 1.0, seed: int | None = None
+) -> LowerBoundInstance:
+    """Draw the hard pair ``(S1, S2)`` of Theorems 1.2 and 1.4.
+
+    Parameters
+    ----------
+    n:
+        Universe size; both streams have length ``n``.
+    p:
+        Moment order (block length scales as ``n^{1/p}``).
+    epsilon:
+        Heavy-hitter threshold scaling of Theorem 1.2; ``epsilon = 1``
+        gives the Theorem 1.4 moment-gap instance.
+    """
+    if n < 4:
+        raise ValueError(f"universe too small for the construction: n={n}")
+    if p < 1:
+        raise ValueError(f"the construction needs p >= 1: {p}")
+    if not 0 < epsilon <= 1:
+        raise ValueError(f"epsilon must be in (0, 1]: {epsilon}")
+
+    rng = random.Random(seed)
+    block_length = max(2, int(round(epsilon * n ** (1.0 / p))))
+    if block_length > n:
+        raise ValueError(
+            f"block length {block_length} exceeds stream length {n}"
+        )
+
+    heavy_item = rng.randrange(n)
+    # Distinct filler items, none equal to the heavy item.
+    fillers = [i for i in range(n) if i != heavy_item]
+    rng.shuffle(fillers)
+    fillers = fillers[: n - block_length]
+
+    block_start = rng.randrange(n - block_length + 1)
+    s1 = (
+        fillers[:block_start]
+        + [heavy_item] * block_length
+        + fillers[block_start:]
+    )
+
+    s2 = list(range(n))
+    rng.shuffle(s2)
+    return LowerBoundInstance(
+        s1=s1,
+        s2=s2,
+        heavy_item=heavy_item,
+        block_start=block_start,
+        block_length=block_length,
+    )
+
+
+@dataclass(frozen=True)
+class PseudoHeavyInstance:
+    """One draw of the Section 1.4 counterexample stream."""
+
+    stream: list[int]
+    #: The single true L2-heavy hitter (frequency ``~sqrt(n)``).
+    heavy_item: int
+    #: Frequency of the heavy item.
+    heavy_frequency: int
+    #: Items with frequency ``~n^{1/4}`` concentrated in special blocks.
+    pseudo_heavy_items: set[int]
+    #: Frequency of each pseudo-heavy item.
+    pseudo_heavy_frequency: int
+
+
+def pseudo_heavy_counterexample(
+    n: int, seed: int | None = None
+) -> PseudoHeavyInstance:
+    """Build the Section 1.4 stream that defeats global-eviction holding.
+
+    The stream has ``sqrt(n)`` blocks of ``sqrt(n)`` updates.  The first
+    ``n^{1/4}`` blocks are *special*: each carries ``n^{1/4}`` distinct
+    pseudo-heavy items, each repeated ``n^{1/4}`` times.  After each
+    special block, the following ``n^{1/8}`` blocks each contain
+    ``n^{1/8}`` occurrences of the single true heavy hitter, padded with
+    fresh light items.  All remaining blocks are entirely light items.
+
+    ``F2 = Theta(n)`` and only the heavy hitter (frequency
+    ``n^{1/4} * n^{1/8} * n^{1/8} = sqrt(n)``) crosses a constant-``eps``
+    ``L2`` threshold.
+    """
+    if n < 256:
+        raise ValueError(
+            f"need n >= 256 so that n^{{1/8}} >= 2 blocks exist: n={n}"
+        )
+    rng = random.Random(seed)
+
+    block_size = int(round(math.sqrt(n)))
+    num_blocks = block_size
+    quarter = max(2, int(round(n**0.25)))
+    eighth = max(2, int(round(n**0.125)))
+
+    num_special = quarter
+    heavy_item = 0
+    next_fresh = 1  # allocator for distinct pseudo-heavy and light ids
+
+    def take_fresh(count: int) -> list[int]:
+        nonlocal next_fresh
+        ids = list(range(next_fresh, next_fresh + count))
+        next_fresh += count
+        return ids
+
+    pseudo_heavy_items: set[int] = set()
+    blocks: list[list[int]] = []
+    # Which blocks carry heavy-hitter occurrences: the `eighth` blocks
+    # following each special block (paper's T = x + S).
+    heavy_blocks = set()
+    for w in range(num_special):
+        for x in range(1, eighth + 1):
+            heavy_blocks.add(w + num_special * x)
+    heavy_blocks = {b for b in heavy_blocks if num_special <= b < num_blocks}
+
+    heavy_frequency = 0
+    for b in range(num_blocks):
+        if b < num_special:
+            items = take_fresh(quarter)
+            pseudo_heavy_items.update(items)
+            block = [item for item in items for _ in range(quarter)]
+            block = block[:block_size]
+            while len(block) < block_size:
+                block.extend(take_fresh(1))
+            rng.shuffle(block)
+        elif b in heavy_blocks:
+            block = [heavy_item] * eighth
+            heavy_frequency += eighth
+            block.extend(take_fresh(block_size - eighth))
+            rng.shuffle(block)
+        else:
+            block = take_fresh(block_size)
+        blocks.append(block)
+
+    stream = [item for block in blocks for item in block]
+    return PseudoHeavyInstance(
+        stream=stream,
+        heavy_item=heavy_item,
+        heavy_frequency=heavy_frequency,
+        pseudo_heavy_items=pseudo_heavy_items,
+        pseudo_heavy_frequency=quarter,
+    )
+
+
+def amplified_counterexample(
+    num_pseudo: int = 60,
+    pseudo_frequency: int = 60,
+    heavy_frequency: int = 400,
+    trickle_gap: int = 100,
+    seed: int | None = None,
+) -> PseudoHeavyInstance:
+    """Finite-scale amplification of the Section 1.4 counterexample.
+
+    The paper's instance separates the eviction policies only
+    asymptotically (the pseudo-heavy/heavy count gap is ``n^{1/8}``,
+    i.e. a factor 4 at ``n = 2^16``, which prunes cannot resolve).
+    This variant makes the *mechanism* visible at laptop scale:
+
+    * Phase 1 plants ``num_pseudo`` pseudo-heavy items, each appearing
+      ``pseudo_frequency`` times in a concentrated burst — under global
+      eviction their counters are immortal (always in the top half).
+    * Phase 2 trickles the single true heavy hitter one occurrence
+      every ``trickle_gap`` updates among fresh light items, so between
+      consecutive counter-maintenance rounds the heavy counter stays
+      far below ``pseudo_frequency`` — global eviction keeps killing
+      it, while dyadic age bucketing only compares it against its
+      same-age light peers (which it beats).
+
+    The true heavy hitter's final frequency, ``heavy_frequency``,
+    dominates every pseudo-heavy item, so any correct heavy-hitter
+    algorithm must prefer it.
+    """
+    if num_pseudo < 1 or pseudo_frequency < 2:
+        raise ValueError("need num_pseudo >= 1 and pseudo_frequency >= 2")
+    if heavy_frequency <= pseudo_frequency:
+        raise ValueError(
+            "the true heavy hitter must dominate the pseudo-heavy items"
+        )
+    if trickle_gap < 1:
+        raise ValueError(f"trickle_gap must be >= 1: {trickle_gap}")
+    rng = random.Random(seed)
+
+    heavy_item = 0
+    pseudo_items = list(range(1, num_pseudo + 1))
+    next_fresh = num_pseudo + 1
+
+    phase1: list[int] = []
+    for item in pseudo_items:
+        phase1.extend([item] * pseudo_frequency)
+    # Mild local shuffling keeps bursts concentrated but not periodic.
+    rng.shuffle(phase1)
+
+    phase2: list[int] = []
+    for _ in range(heavy_frequency):
+        phase2.append(heavy_item)
+        # Fillers appear twice so that sampled fillers open counters
+        # and keep the maintenance machinery firing (a once-only item
+        # can never trigger the hold step).
+        num_pairs = (trickle_gap - 1) // 2
+        for fresh in range(next_fresh, next_fresh + num_pairs):
+            phase2.extend((fresh, fresh))
+        next_fresh += num_pairs
+        if (trickle_gap - 1) % 2:
+            phase2.append(next_fresh)
+            next_fresh += 1
+
+    return PseudoHeavyInstance(
+        stream=phase1 + phase2,
+        heavy_item=heavy_item,
+        heavy_frequency=heavy_frequency,
+        pseudo_heavy_items=set(pseudo_items),
+        pseudo_heavy_frequency=pseudo_frequency,
+    )

@@ -1,0 +1,117 @@
+"""Ground-truth frequency vectors and the statistics the paper studies.
+
+Every experiment compares an algorithm's output against the exact
+quantity computed here from the full stream: ``Fp`` moments, ``Lp``
+norms, Shannon entropy, and the ``Lp``-heavy-hitter set with the
+paper's two-sided threshold (report everything ``>= eps * ||f||_p``,
+never report anything ``< (eps/2) * ||f||_p``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Mapping
+
+
+class FrequencyVector:
+    """Exact frequency vector ``f`` of an insertion-only stream."""
+
+    def __init__(self, frequencies: Mapping[int, int]) -> None:
+        for item, count in frequencies.items():
+            if count < 0:
+                raise ValueError(f"negative frequency for item {item}: {count}")
+        self._freq: dict[int, int] = {
+            item: count for item, count in frequencies.items() if count > 0
+        }
+
+    @classmethod
+    def from_stream(cls, stream: Iterable[int]) -> "FrequencyVector":
+        """Materialize ``f_i = |{t : u_t = i}|`` from the stream."""
+        return cls(Counter(stream))
+
+    # ------------------------------------------------------------------
+    # Basic access
+    # ------------------------------------------------------------------
+    def __getitem__(self, item: int) -> int:
+        return self._freq.get(item, 0)
+
+    def __len__(self) -> int:
+        """Number of distinct items (the support size / ``F0``)."""
+        return len(self._freq)
+
+    def items(self):
+        return self._freq.items()
+
+    @property
+    def stream_length(self) -> int:
+        """Total number of updates ``m = F1``."""
+        return sum(self._freq.values())
+
+    @property
+    def support(self) -> set[int]:
+        """Items with non-zero frequency."""
+        return set(self._freq)
+
+    # ------------------------------------------------------------------
+    # Moments and norms
+    # ------------------------------------------------------------------
+    def fp_moment(self, p: float) -> float:
+        """``Fp(f) = sum_i f_i^p`` (``F0`` counts distinct items)."""
+        if p < 0:
+            raise ValueError(f"moment order p must be >= 0: {p}")
+        if p == 0:
+            return float(len(self._freq))
+        return float(sum(count**p for count in self._freq.values()))
+
+    def lp_norm(self, p: float) -> float:
+        """``||f||_p = Fp(f)^{1/p}``."""
+        if p <= 0:
+            raise ValueError(f"norm order p must be positive: {p}")
+        return self.fp_moment(p) ** (1.0 / p)
+
+    def shannon_entropy(self) -> float:
+        """Empirical Shannon entropy (bits) of the stream distribution.
+
+        ``H = -sum_i (f_i/m) * log2(f_i/m)``; 0 for an empty stream.
+        """
+        m = self.stream_length
+        if m == 0:
+            return 0.0
+        entropy = 0.0
+        for count in self._freq.values():
+            q = count / m
+            entropy -= q * math.log2(q)
+        return entropy
+
+    # ------------------------------------------------------------------
+    # Heavy hitters
+    # ------------------------------------------------------------------
+    def heavy_hitters(self, p: float, epsilon: float) -> set[int]:
+        """Items with ``f_i >= epsilon * ||f||_p`` (must be reported)."""
+        if not 0 < epsilon <= 1:
+            raise ValueError(f"epsilon must be in (0, 1]: {epsilon}")
+        threshold = epsilon * self.lp_norm(p)
+        return {item for item, count in self._freq.items() if count >= threshold}
+
+    def forbidden_items(self, p: float, epsilon: float) -> set[int]:
+        """Items with ``f_i < (epsilon/2) * ||f||_p`` (must not be reported)."""
+        if not 0 < epsilon <= 1:
+            raise ValueError(f"epsilon must be in (0, 1]: {epsilon}")
+        threshold = 0.5 * epsilon * self.lp_norm(p)
+        return {item for item, count in self._freq.items() if count < threshold}
+
+    def linf_error(self, estimates: Mapping[int, float]) -> float:
+        """``max_i |f_i - fhat_i|`` over the union of supports.
+
+        Items absent from ``estimates`` are treated as estimated 0, and
+        estimated items absent from ``f`` as true 0, matching the
+        guarantee ``||fhat - f||_inf`` of Theorem 1.1.
+        """
+        items = self.support | set(estimates)
+        if not items:
+            return 0.0
+        return max(
+            abs(self._freq.get(item, 0) - estimates.get(item, 0.0))
+            for item in items
+        )

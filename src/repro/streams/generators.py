@@ -1,0 +1,119 @@
+"""Workload generators for the experiment suite.
+
+The paper's motivating workloads are skewed frequency distributions
+(network flows, iceberg queries), so the primary generator is a Zipf
+stream; uniform, permutation, round-robin and planted-heavy-hitter
+streams cover the corner cases exercised by the theorems and the
+Section 1.4 discussion.
+
+All generators return plain ``list[int]`` streams over the universe
+``range(n)`` and take an explicit seed for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+
+def zipf_stream(
+    n: int, m: int, skew: float = 1.1, seed: int | None = None
+) -> list[int]:
+    """``m`` i.i.d. draws from a Zipf(``skew``) law over ``range(n)``.
+
+    Item ``i`` has probability proportional to ``(i+1)^{-skew}``; item 0
+    is the most frequent.
+    """
+    if n <= 0 or m < 0:
+        raise ValueError(f"need n > 0 and m >= 0: n={n}, m={m}")
+    if skew <= 0:
+        raise ValueError(f"skew must be positive: {skew}")
+    rng = np.random.default_rng(seed)
+    weights = (np.arange(1, n + 1, dtype=np.float64)) ** (-skew)
+    weights /= weights.sum()
+    return rng.choice(n, size=m, p=weights).tolist()
+
+
+def uniform_stream(n: int, m: int, seed: int | None = None) -> list[int]:
+    """``m`` i.i.d. uniform draws from ``range(n)``."""
+    if n <= 0 or m < 0:
+        raise ValueError(f"need n > 0 and m >= 0: n={n}, m={m}")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n, size=m).tolist()
+
+
+def permutation_stream(n: int, seed: int | None = None) -> list[int]:
+    """A uniformly random permutation of ``range(n)``.
+
+    Every frequency is exactly 1, so ``Fp = n`` for all ``p`` — the
+    "flat" side of the lower-bound instances (stream ``S2`` in the
+    proofs of Theorems 1.2/1.4).
+    """
+    if n <= 0:
+        raise ValueError(f"need n > 0: n={n}")
+    rng = random.Random(seed)
+    stream = list(range(n))
+    rng.shuffle(stream)
+    return stream
+
+
+def round_robin_stream(n: int, m: int) -> list[int]:
+    """Deterministic cyclic stream ``0, 1, ..., n-1, 0, 1, ...``.
+
+    The worst case for sample-based heavy hitters with clustered
+    occurrences absent; useful as a no-heavy-hitter control.
+    """
+    if n <= 0 or m < 0:
+        raise ValueError(f"need n > 0 and m >= 0: n={n}, m={m}")
+    return [t % n for t in range(m)]
+
+
+def planted_heavy_hitter_stream(
+    n: int,
+    m: int,
+    heavy_items: dict[int, int],
+    background: str = "uniform",
+    skew: float = 1.1,
+    seed: int | None = None,
+) -> list[int]:
+    """A background stream with specified items planted at exact counts.
+
+    Parameters
+    ----------
+    heavy_items:
+        Mapping ``item -> frequency``; these occurrences are mixed
+        uniformly at random into the background stream.
+    background:
+        ``"uniform"`` or ``"zipf"``; background draws avoid the planted
+        items so the planted frequencies are exact.
+    """
+    planted_total = sum(heavy_items.values())
+    if planted_total > m:
+        raise ValueError(
+            f"planted occurrences ({planted_total}) exceed stream length {m}"
+        )
+    for item, count in heavy_items.items():
+        if not 0 <= item < n:
+            raise ValueError(f"planted item {item} outside universe [0, {n})")
+        if count <= 0:
+            raise ValueError(f"planted count must be positive: {count}")
+
+    rng = random.Random(seed)
+    background_universe = [i for i in range(n) if i not in heavy_items]
+    if not background_universe and planted_total < m:
+        raise ValueError("no background items available to fill the stream")
+
+    num_background = m - planted_total
+    if background == "uniform":
+        body = [rng.choice(background_universe) for _ in range(num_background)]
+    elif background == "zipf":
+        weights = [(i + 1) ** (-skew) for i in range(len(background_universe))]
+        body = rng.choices(background_universe, weights=weights, k=num_background)
+    else:
+        raise ValueError(f"unknown background kind: {background!r}")
+
+    for item, count in heavy_items.items():
+        body.extend([item] * count)
+    rng.shuffle(body)
+    return body

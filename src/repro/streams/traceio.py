@@ -1,0 +1,47 @@
+"""Reading and writing stream traces as plain text files.
+
+One integer item per line — the interchange format the CLI's
+``audit --input`` consumes, so external traces (packet logs, query
+logs) can be replayed through any algorithm in the library.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+
+def write_trace(path: str | pathlib.Path, stream: Iterable[int]) -> int:
+    """Write a stream to ``path``; returns the number of items written."""
+    count = 0
+    with open(path, "w") as handle:
+        for item in stream:
+            handle.write(f"{int(item)}\n")
+            count += 1
+    return count
+
+
+def read_trace(path: str | pathlib.Path) -> list[int]:
+    """Read a stream from ``path`` (blank lines ignored).
+
+    Raises ``ValueError`` on malformed or negative entries, since all
+    algorithms expect universe items in ``range(n)``.
+    """
+    stream: list[int] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                item = int(text)
+            except ValueError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not an integer: {text!r}"
+                ) from error
+            if item < 0:
+                raise ValueError(
+                    f"{path}:{line_number}: negative item: {item}"
+                )
+            stream.append(item)
+    return stream

@@ -1,0 +1,113 @@
+"""Tests for the adversarial instances from the paper's proofs."""
+
+import math
+
+import pytest
+
+from repro.streams import (
+    FrequencyVector,
+    lower_bound_pair,
+    pseudo_heavy_counterexample,
+)
+
+
+class TestLowerBoundPair:
+    def test_stream_lengths_equal_n(self):
+        inst = lower_bound_pair(256, p=2, seed=0)
+        assert len(inst.s1) == 256
+        assert len(inst.s2) == 256
+
+    def test_s2_is_permutation(self):
+        inst = lower_bound_pair(128, p=2, seed=1)
+        assert sorted(inst.s2) == list(range(128))
+
+    def test_s1_block_structure(self):
+        inst = lower_bound_pair(512, p=2, seed=2)
+        block = inst.s1[inst.block_start : inst.block_start + inst.block_length]
+        assert all(x == inst.heavy_item for x in block)
+        f = FrequencyVector.from_stream(inst.s1)
+        assert f[inst.heavy_item] == inst.block_length
+        # All other items distinct.
+        others = [c for item, c in f.items() if item != inst.heavy_item]
+        assert all(c == 1 for c in others)
+
+    def test_block_length_scales_with_p(self):
+        n = 4096
+        inst2 = lower_bound_pair(n, p=2, seed=3)
+        inst4 = lower_bound_pair(n, p=4, seed=3)
+        assert inst2.block_length == pytest.approx(math.sqrt(n), rel=0.01)
+        assert inst4.block_length < inst2.block_length
+
+    def test_moment_gap_close_to_two(self):
+        n = 10000
+        inst = lower_bound_pair(n, p=2, seed=4)
+        f1 = FrequencyVector.from_stream(inst.s1).fp_moment(2)
+        f2 = FrequencyVector.from_stream(inst.s2).fp_moment(2)
+        # Fp(S1) = 2n - n^{1/p}, Fp(S2) = n.
+        assert f2 == n
+        assert f1 / f2 == pytest.approx(2.0, rel=0.02)
+
+    def test_epsilon_scales_block(self):
+        inst_full = lower_bound_pair(4096, p=2, epsilon=1.0, seed=5)
+        inst_half = lower_bound_pair(4096, p=2, epsilon=0.5, seed=5)
+        assert inst_half.block_length == pytest.approx(
+            inst_full.block_length / 2, abs=1
+        )
+
+    def test_heavy_item_is_heavy_hitter(self):
+        inst = lower_bound_pair(4096, p=2, epsilon=0.5, seed=6)
+        f = FrequencyVector.from_stream(inst.s1)
+        # Block item has frequency eps*n^{1/2}; threshold eps/2*||f||_2
+        # with ||f||_2 ~ sqrt(2n - sqrt(n)).
+        assert f[inst.heavy_item] >= 0.25 * f.lp_norm(2)
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            lower_bound_pair(2, p=2)
+        with pytest.raises(ValueError):
+            lower_bound_pair(100, p=0.5)
+        with pytest.raises(ValueError):
+            lower_bound_pair(100, p=2, epsilon=0)
+
+    def test_reproducible(self):
+        a = lower_bound_pair(256, p=2, seed=7)
+        b = lower_bound_pair(256, p=2, seed=7)
+        assert a.s1 == b.s1
+        assert a.s2 == b.s2
+
+
+class TestPseudoHeavyCounterexample:
+    def test_structure(self):
+        inst = pseudo_heavy_counterexample(4096, seed=0)
+        f = FrequencyVector.from_stream(inst.stream)
+        assert f[inst.heavy_item] == inst.heavy_frequency
+        # Heavy frequency ~ sqrt(n).
+        assert inst.heavy_frequency >= 0.3 * math.sqrt(4096)
+        for item in inst.pseudo_heavy_items:
+            assert f[item] == inst.pseudo_heavy_frequency
+
+    def test_heavy_is_the_unique_l2_heavy_hitter(self):
+        inst = pseudo_heavy_counterexample(65536, seed=1)
+        f = FrequencyVector.from_stream(inst.stream)
+        l2 = f.lp_norm(2)
+        assert f[inst.heavy_item] >= 0.3 * l2
+        for item in inst.pseudo_heavy_items:
+            assert f[item] < f[inst.heavy_item]
+
+    def test_heavy_occurrences_spread_across_blocks(self):
+        inst = pseudo_heavy_counterexample(4096, seed=2)
+        positions = [
+            t for t, item in enumerate(inst.stream) if item == inst.heavy_item
+        ]
+        spread = positions[-1] - positions[0]
+        assert spread > len(inst.stream) // 8
+
+    def test_too_small_n_raises(self):
+        with pytest.raises(ValueError):
+            pseudo_heavy_counterexample(100)
+
+    def test_f2_is_theta_n(self):
+        n = 16384
+        inst = pseudo_heavy_counterexample(n, seed=3)
+        f2 = FrequencyVector.from_stream(inst.stream).fp_moment(2)
+        assert n * 0.5 <= f2 <= n * 20

@@ -1,0 +1,252 @@
+"""Tests for the classical baselines (Table 1 competitors)."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    AMSSketch,
+    CountMin,
+    CountSketch,
+    ExactFrequencyCounter,
+    MisraGries,
+    NaiveSampleAndHold,
+    ReservoirSampler,
+    SpaceSaving,
+)
+from repro.streams import FrequencyVector, uniform_stream, zipf_stream
+
+
+class TestExactCounter:
+    def test_exact_frequencies(self):
+        algo = ExactFrequencyCounter()
+        algo.process_stream([1, 2, 2, 3, 3, 3])
+        assert algo.estimate(3) == 3
+        assert algo.estimate(99) == 0
+        assert algo.estimates() == {1: 1.0, 2: 2.0, 3: 3.0}
+
+    def test_state_changes_equal_stream_length(self):
+        algo = ExactFrequencyCounter()
+        algo.process_stream([5] * 100)
+        assert algo.state_changes == 100
+
+
+class TestMisraGries:
+    def test_underestimates_within_bound(self):
+        stream = zipf_stream(200, 5000, skew=1.3, seed=0)
+        f = FrequencyVector.from_stream(stream)
+        algo = MisraGries(k=20)
+        algo.process_stream(stream)
+        for item, count in f.items():
+            est = algo.estimate(item)
+            assert est <= count
+            assert est >= count - algo.additive_error_bound()
+
+    def test_tracks_dominant_item(self):
+        stream = [7] * 900 + list(range(100))
+        random.Random(1).shuffle(stream)
+        algo = MisraGries(k=10)
+        algo.process_stream(stream)
+        assert algo.estimate(7) >= 900 - len(stream) / 10
+
+    def test_at_most_k_minus_one_counters(self):
+        algo = MisraGries(k=5)
+        algo.process_stream(uniform_stream(100, 2000, seed=2))
+        assert len(algo.estimates()) <= 4
+
+    def test_theta_m_state_changes(self):
+        stream = zipf_stream(50, 2000, seed=3)
+        algo = MisraGries(k=10)
+        algo.process_stream(stream)
+        assert algo.state_changes > 0.5 * len(stream)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            MisraGries(k=1)
+
+
+class TestSpaceSaving:
+    def test_overestimates_within_bound(self):
+        stream = zipf_stream(200, 5000, skew=1.3, seed=4)
+        f = FrequencyVector.from_stream(stream)
+        algo = SpaceSaving(k=30)
+        algo.process_stream(stream)
+        for item in algo.estimates():
+            assert algo.estimate(item) >= f[item] - 1e-9
+            assert algo.estimate(item) <= f[item] + algo.additive_error_bound()
+
+    def test_exactly_k_counters_when_saturated(self):
+        algo = SpaceSaving(k=8)
+        algo.process_stream(uniform_stream(1000, 3000, seed=5))
+        assert len(algo.estimates()) == 8
+
+    def test_every_update_writes(self):
+        algo = SpaceSaving(k=4)
+        stream = uniform_stream(100, 500, seed=6)
+        algo.process_stream(stream)
+        assert algo.state_changes == len(stream)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(k=0)
+
+
+class TestCountMin:
+    def test_overestimates(self):
+        stream = zipf_stream(500, 3000, seed=7)
+        f = FrequencyVector.from_stream(stream)
+        algo = CountMin(width=200, depth=4, seed=7)
+        algo.process_stream(stream)
+        for item in f.support:
+            assert algo.estimate(item) >= f[item]
+
+    def test_error_bound_mostly_holds(self):
+        stream = zipf_stream(500, 3000, seed=8)
+        f = FrequencyVector.from_stream(stream)
+        algo = CountMin.for_accuracy(epsilon=0.01, delta=0.01, seed=8)
+        algo.process_stream(stream)
+        errors = [algo.estimate(i) - f[i] for i in f.support]
+        violating = sum(e > 0.01 * len(stream) for e in errors)
+        assert violating <= 0.05 * len(f.support)
+
+    def test_one_state_change_per_update(self):
+        algo = CountMin(width=64, depth=3, seed=9)
+        stream = uniform_stream(100, 400, seed=9)
+        algo.process_stream(stream)
+        assert algo.state_changes == len(stream)
+
+    def test_estimates_for(self):
+        algo = CountMin(width=64, depth=3, seed=10)
+        algo.process_stream([1, 1, 2])
+        result = algo.estimates_for({1, 2, 3})
+        assert result[1] >= 2 and result[2] >= 1
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            CountMin(width=0, depth=1)
+
+    def test_for_accuracy_dims(self):
+        algo = CountMin.for_accuracy(epsilon=0.1, delta=0.05)
+        assert algo.width >= 27
+        assert algo.depth >= 3
+
+
+class TestCountSketch:
+    def test_unbiased_point_queries(self):
+        stream = zipf_stream(300, 4000, skew=1.5, seed=11)
+        f = FrequencyVector.from_stream(stream)
+        algo = CountSketch(width=512, depth=5, seed=11)
+        algo.process_stream(stream)
+        l2 = f.lp_norm(2)
+        for item in list(f.support)[:50]:
+            assert abs(algo.estimate(item) - f[item]) <= l2 / 2
+
+    def test_f2_estimate(self):
+        stream = zipf_stream(300, 4000, seed=12)
+        f2 = FrequencyVector.from_stream(stream).fp_moment(2)
+        algo = CountSketch(width=1024, depth=7, seed=12)
+        algo.process_stream(stream)
+        assert algo.f2_estimate() == pytest.approx(f2, rel=0.3)
+
+    def test_theta_m_state_changes(self):
+        algo = CountSketch(width=64, depth=3, seed=13)
+        stream = uniform_stream(100, 400, seed=13)
+        algo.process_stream(stream)
+        assert algo.state_changes >= 0.95 * len(stream)
+
+    def test_for_accuracy_odd_depth(self):
+        algo = CountSketch.for_accuracy(epsilon=0.5, delta=0.1)
+        assert algo.depth % 2 == 1
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=4, depth=0)
+
+
+class TestAMS:
+    def test_f2_accuracy(self):
+        stream = zipf_stream(200, 3000, seed=14)
+        f2 = FrequencyVector.from_stream(stream).fp_moment(2)
+        algo = AMSSketch.for_accuracy(epsilon=0.2, delta=0.05, seed=14)
+        algo.process_stream(stream)
+        assert algo.f2_estimate() == pytest.approx(f2, rel=0.35)
+
+    def test_every_update_writes(self):
+        algo = AMSSketch(num_groups=2, group_size=4, seed=15)
+        stream = uniform_stream(50, 300, seed=15)
+        algo.process_stream(stream)
+        assert algo.state_changes == len(stream)
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            AMSSketch(num_groups=0, group_size=4)
+
+
+class TestReservoir:
+    def test_sample_size(self):
+        algo = ReservoirSampler(k=32, rng=random.Random(16))
+        algo.process_stream(uniform_stream(1000, 5000, seed=16))
+        assert len(algo.sample) == 32
+
+    def test_partial_fill(self):
+        algo = ReservoirSampler(k=100, rng=random.Random(17))
+        algo.process_stream([1, 2, 3])
+        assert sorted(algo.sample) == [1, 2, 3]
+
+    def test_uniformity(self):
+        hits = 0
+        trials = 400
+        for t in range(trials):
+            algo = ReservoirSampler(k=1, rng=random.Random(t))
+            algo.process_stream(list(range(10)))
+            hits += algo.sample[0] == 0
+        # P[keep first item] = 1/10.
+        assert 0.04 * trials / 10 < hits < 3 * trials / 10 + 10
+
+    def test_slot_changes_sublinear(self):
+        """Slot replacements are O(k log m) even though the seen-counter
+        makes total state changes Theta(m)."""
+        algo = ReservoirSampler(k=8, rng=random.Random(18))
+        m = 20000
+        algo.process_stream(uniform_stream(1000, m, seed=18))
+        report = algo.report()
+        slot_writes = sum(
+            count
+            for cell, count in report.cell_writes.items()
+            if cell.startswith("reservoir[")
+        )
+        assert slot_writes < 8 * 20  # ~ k * ln(m) = 8 * 9.9
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(k=0)
+
+
+class TestNaiveSampleAndHold:
+    def test_holds_sampled_items(self):
+        algo = NaiveSampleAndHold(1.0, capacity=100, rng=random.Random(19))
+        algo.process_stream([4, 4, 4, 5])
+        assert algo.estimate(4) == 3
+        assert algo.estimate(5) == 1
+
+    def test_eviction_keeps_capacity(self):
+        algo = NaiveSampleAndHold(1.0, capacity=10, rng=random.Random(20))
+        algo.process_stream(list(range(100)))
+        assert len(algo.estimates()) <= 11
+
+    def test_eviction_drops_small_counters(self):
+        algo = NaiveSampleAndHold(1.0, capacity=4, rng=random.Random(21))
+        algo.process_stream([1] * 10 + [2, 3, 4, 5, 6])
+        assert algo.estimate(1) == 10  # the big counter survives
+
+    def test_sampling_reduces_state_changes(self):
+        stream = uniform_stream(10_000, 20_000, seed=22)
+        sparse = NaiveSampleAndHold(0.01, capacity=500, rng=random.Random(22))
+        sparse.process_stream(stream)
+        assert sparse.state_changes < 0.2 * len(stream)
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            NaiveSampleAndHold(0.0, capacity=10)
+        with pytest.raises(ValueError):
+            NaiveSampleAndHold(0.5, capacity=1)

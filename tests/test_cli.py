@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAudit:
+    def test_audit_heavy_hitters(self, capsys):
+        code = main([
+            "audit", "--algorithm", "heavy-hitters",
+            "--n", "256", "--m", "4096", "--seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "state_changes=" in out
+        assert "heavy hitters:" in out
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["misra-gries", "space-saving", "count-min", "count-min-morris",
+         "count-sketch", "exact", "sample-and-hold"],
+    )
+    def test_audit_each_algorithm(self, capsys, algorithm):
+        code = main([
+            "audit", "--algorithm", algorithm,
+            "--n", "128", "--m", "1024", "--seed", "2",
+        ])
+        assert code == 0
+        assert "audit:" in capsys.readouterr().out
+
+    def test_audit_kmv(self, capsys):
+        code = main([
+            "audit", "--algorithm", "kmv",
+            "--workload", "uniform", "--n", "512", "--m", "2048",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "distinct estimate:" in out
+
+    def test_audit_with_truth(self, capsys):
+        code = main([
+            "audit", "--algorithm", "misra-gries",
+            "--n", "64", "--m", "512", "--truth",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ground truth:" in out
+
+    def test_audit_from_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("\n".join(["3"] * 50 + ["1", "2"]))
+        code = main([
+            "audit", "--algorithm", "exact", "--input", str(trace),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3: 50" in out
+
+    def test_unknown_algorithm_exits(self):
+        with pytest.raises(SystemExit):
+            main(["audit", "--algorithm", "quantum", "--m", "16"])
+
+
+class TestTable1:
+    def test_table1_prints(self, capsys):
+        code = main(["table1", "--n", "1024", "--m", "4096"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Misra-Gries" in out
+        assert "this paper" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,179 @@
+"""Tests for exact / Morris / median-Morris counters (Theorem 1.5)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counters import (
+    ExactCounter,
+    MedianMorrisCounter,
+    MorrisCounter,
+)
+from repro.state import StateTracker
+
+
+class TestExactCounter:
+    def test_counts_exactly(self):
+        tracker = StateTracker()
+        counter = ExactCounter(tracker)
+        for _ in range(100):
+            counter.add()
+        assert counter.estimate == 100
+
+    def test_every_increment_is_a_write(self):
+        tracker = StateTracker()
+        counter = ExactCounter(tracker)
+        for _ in range(50):
+            counter.add()
+            tracker.tick()
+        assert tracker.state_changes == 50
+
+    def test_weighted_add(self):
+        counter = ExactCounter(StateTracker())
+        counter.add(2.5)
+        counter.add(0.5)
+        assert counter.estimate == 3.0
+
+    def test_zero_add_is_free(self):
+        tracker = StateTracker()
+        counter = ExactCounter(tracker)
+        counter.add(0)
+        assert tracker.total_writes == 0
+
+    def test_negative_add_raises(self):
+        with pytest.raises(ValueError):
+            ExactCounter(StateTracker()).add(-1)
+
+    def test_release_frees_word(self):
+        tracker = StateTracker()
+        counter = ExactCounter(tracker)
+        counter.release()
+        assert tracker.current_words == 0
+
+
+class TestMorrisCounter:
+    def test_unbiased_mean(self):
+        """Average of many independent counters approaches the truth."""
+        rng = random.Random(0)
+        n, copies = 500, 400
+        total = 0.0
+        for _ in range(copies):
+            counter = MorrisCounter(StateTracker(), a=0.5, rng=rng)
+            for _ in range(n):
+                counter.add()
+            total += counter.estimate
+        assert total / copies == pytest.approx(n, rel=0.1)
+
+    def test_few_state_changes(self):
+        tracker = StateTracker()
+        counter = MorrisCounter(tracker, a=0.5, rng=random.Random(1))
+        n = 100_000
+        for _ in range(n):
+            counter.add()
+            tracker.tick()
+        # Level grows like log_{1.5}(a*n) ~ 27; allow generous slack.
+        assert tracker.state_changes < 100
+        assert counter.estimate == pytest.approx(n, rel=0.5)
+
+    def test_accuracy_parameterization(self):
+        counter = MorrisCounter.with_accuracy(
+            StateTracker(), epsilon=0.1, delta=0.1, rng=random.Random(2)
+        )
+        assert counter.a == pytest.approx(2 * 0.1**2 * 0.1)
+
+    def test_with_accuracy_rejects_bad_args(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            MorrisCounter.with_accuracy(StateTracker(), 0, 0.1, rng)
+        with pytest.raises(ValueError):
+            MorrisCounter.with_accuracy(StateTracker(), 0.1, 0, rng)
+        with pytest.raises(ValueError):
+            MorrisCounter.with_accuracy(StateTracker(), 0.1, 1.0, rng)
+
+    def test_weighted_add_unbiased(self):
+        rng = random.Random(3)
+        total_weight = 0.0
+        estimates = 0.0
+        copies = 400
+        for _ in range(copies):
+            counter = MorrisCounter(StateTracker(), a=0.3, rng=rng)
+            for w in (0.2, 1.7, 3.1, 0.05, 10.0):
+                counter.add(w)
+            total_weight = 15.05
+            estimates += counter.estimate
+        assert estimates / copies == pytest.approx(total_weight, rel=0.15)
+
+    def test_large_weight_climbs_levels_deterministically(self):
+        counter = MorrisCounter(StateTracker(), a=0.5, rng=random.Random(4))
+        counter.add(1e6)
+        assert counter.estimate == pytest.approx(1e6, rel=0.5)
+        assert counter.level > 10
+
+    def test_invalid_a_raises(self):
+        with pytest.raises(ValueError):
+            MorrisCounter(StateTracker(), a=0, rng=random.Random(0))
+
+    def test_negative_weight_raises(self):
+        counter = MorrisCounter(StateTracker(), a=0.5, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            counter.add(-2)
+
+    def test_zero_weight_noop(self):
+        tracker = StateTracker()
+        counter = MorrisCounter(tracker, a=0.5, rng=random.Random(0))
+        counter.add(0)
+        assert counter.level == 0
+        assert tracker.total_writes == 0
+
+    def test_estimate_zero_initially(self):
+        counter = MorrisCounter(StateTracker(), a=0.5, rng=random.Random(0))
+        assert counter.estimate == 0.0
+
+    @given(st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=25, deadline=None)
+    def test_estimate_within_chebyshev_band_mostly(self, n):
+        """With a = 2*eps^2*delta (eps=0.5, delta=0.2) the estimate is
+        within 50% of n with probability >= 0.8; a single trial at fixed
+        derived seed must stay within a much looser 5x band."""
+        counter = MorrisCounter.with_accuracy(
+            StateTracker(), epsilon=0.5, delta=0.2, rng=random.Random(n)
+        )
+        for _ in range(n):
+            counter.add()
+        assert counter.estimate <= 6 * n + 10
+        assert counter.estimate >= n / 6 - 10
+
+
+class TestMedianMorrisCounter:
+    def test_odd_number_of_copies(self):
+        counter = MedianMorrisCounter(
+            StateTracker(), epsilon=0.3, delta=0.05, rng=random.Random(0)
+        )
+        assert counter.num_copies % 2 == 1
+        assert counter.num_copies >= 3
+
+    def test_median_is_accurate(self):
+        counter = MedianMorrisCounter(
+            StateTracker(), epsilon=0.2, delta=0.01, rng=random.Random(1)
+        )
+        n = 5000
+        for _ in range(n):
+            counter.add()
+        assert counter.estimate == pytest.approx(n, rel=0.5)
+
+    def test_space_scales_with_copies(self):
+        tracker = StateTracker()
+        counter = MedianMorrisCounter(
+            tracker, epsilon=0.3, delta=0.001, rng=random.Random(2)
+        )
+        assert tracker.current_words == counter.num_copies
+        counter.release()
+        assert tracker.current_words == 0
+
+    def test_invalid_delta_raises(self):
+        with pytest.raises(ValueError):
+            MedianMorrisCounter(
+                StateTracker(), epsilon=0.3, delta=0, rng=random.Random(0)
+            )

@@ -1,0 +1,144 @@
+"""Tests for the experiment harness (small parameterizations)."""
+
+import pytest
+
+from repro.experiments import (
+    budget_advantage_curve,
+    counter_ablation,
+    eviction_ablation,
+    format_budget_curve,
+    format_counter_ablation,
+    format_eviction_ablation,
+    format_morris_tradeoff,
+    format_nvm_wear,
+    format_table1,
+    heavy_hitter_scaling,
+    loglog_slope,
+    morris_tradeoff,
+    nvm_wear_comparison,
+    run_table1,
+)
+
+
+class TestLogLogSlope:
+    def test_exact_power_law(self):
+        xs = [10, 100, 1000]
+        ys = [x**0.7 for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(0.7)
+
+    def test_constant_is_slope_zero(self):
+        assert loglog_slope([1, 10, 100], [5, 5, 5]) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [2])
+        with pytest.raises(ValueError):
+            loglog_slope([1, 2], [3])
+
+
+class TestTable1:
+    def test_ours_beats_baselines(self):
+        rows = run_table1(n=2**12, m=2**15, seed=0)
+        by_name = {row.algorithm: row for row in rows}
+        ours = next(v for k, v in by_name.items() if "this paper" in k)
+        for name, row in by_name.items():
+            if "this paper" not in name:
+                assert row.state_changes >= 0.99 * 2**15
+                assert ours.state_changes < row.state_changes
+
+    def test_format_contains_all_rows(self):
+        rows = run_table1(n=2**10, m=2**12, seed=1)
+        text = format_table1(rows, 2**10, 2**12)
+        for row in rows:
+            assert row.algorithm in text
+
+
+class TestScaling:
+    def test_heavy_hitter_scaling_result_shape(self):
+        result = heavy_hitter_scaling(
+            p=2.0, ns=(2**9, 2**11, 2**13), seed=0
+        )
+        assert len(result.state_changes) == 3
+        assert result.theory_slope == pytest.approx(0.5)
+        assert "slope" in result.format("E1")
+
+    def test_state_changes_increase_with_n(self):
+        result = heavy_hitter_scaling(
+            p=2.0, ns=(2**9, 2**13), seed=1
+        )
+        assert result.state_changes[1] > result.state_changes[0]
+
+
+class TestMorrisTradeoff:
+    def test_monotone_tradeoff(self):
+        rows = morris_tradeoff(count=20000, a_values=(0.5, 0.03), trials=4)
+        coarse, fine = rows
+        assert coarse.mean_state_changes < fine.mean_state_changes
+        assert coarse.mean_rel_error > fine.mean_rel_error
+
+    def test_format(self):
+        rows = morris_tradeoff(count=1000, a_values=(0.5,), trials=2)
+        assert "Morris" in format_morris_tradeoff(rows)
+
+
+class TestLowerBoundCurve:
+    def test_advantage_increases_with_budget(self):
+        points = budget_advantage_curve(
+            n=1024, p=2.0, budget_factors=(0.125, 8.0), trials=10, seed=0
+        )
+        assert points[1].accuracy > points[0].accuracy
+        assert "lower-bound" in format_budget_curve(points, 1024, 2.0)
+
+
+class TestAblations:
+    def test_counter_ablation_tradeoff(self):
+        rows = counter_ablation(n=512, m=10000, trials=2, seed=0)
+        by_kind = {row.counter_kind: row for row in rows}
+        assert (
+            by_kind["morris"].mean_state_changes
+            < by_kind["exact"].mean_state_changes
+        )
+        assert by_kind["exact"].mean_heavy_rel_error <= 0.01
+        assert "A1" in format_counter_ablation(rows)
+
+    def test_eviction_ablation_separates_policies(self):
+        rows = eviction_ablation(trials=3, seed=0)
+        by_policy = {row.policy: row for row in rows}
+        paper = by_policy["age-bucketed (paper)"]
+        naive = by_policy["global smallest (naive)"]
+        assert paper.detection_rate > naive.detection_rate
+        assert paper.mean_heavy_estimate > naive.mean_heavy_estimate
+        assert "A2" in format_eviction_ablation(rows)
+
+    def test_nvm_wear_comparison(self):
+        rows = nvm_wear_comparison(n=512, m=2048, seed=0)
+        assert any("FullSampleAndHold" in row.algorithm for row in rows)
+        leveled = [r for r in rows if r.wear_policy == "round-robin"]
+        direct = [r for r in rows if r.wear_policy == "none"]
+        # Leveling never hurts the lifetime.
+        for lev, dir_ in zip(leveled, direct):
+            assert lev.lifetime_workloads >= dir_.lifetime_workloads
+        assert "A3" in format_nvm_wear(rows)
+
+
+class TestAmplifiedCounterexample:
+    def test_structure(self):
+        from repro.streams.adversarial import amplified_counterexample
+        from repro.streams import FrequencyVector
+
+        inst = amplified_counterexample(seed=0)
+        f = FrequencyVector.from_stream(inst.stream)
+        assert f[inst.heavy_item] == inst.heavy_frequency
+        for item in inst.pseudo_heavy_items:
+            assert f[item] == inst.pseudo_heavy_frequency
+        assert inst.heavy_frequency > inst.pseudo_heavy_frequency
+
+    def test_validation(self):
+        from repro.streams.adversarial import amplified_counterexample
+
+        with pytest.raises(ValueError):
+            amplified_counterexample(num_pseudo=0)
+        with pytest.raises(ValueError):
+            amplified_counterexample(heavy_frequency=10, pseudo_frequency=60)
+        with pytest.raises(ValueError):
+            amplified_counterexample(trickle_gap=0)

@@ -1,0 +1,65 @@
+"""Tests for the extension experiments (A4, E10) at small sizes."""
+
+from repro.experiments.extensions import (
+    format_kmv,
+    format_sketch_hybrid,
+    kmv_experiment,
+    sketch_hybrid_comparison,
+)
+
+
+class TestSketchHybrid:
+    def test_rows_cover_all_combinations(self):
+        rows = sketch_hybrid_comparison(
+            n_skewed=32, n_uniform=5000, m=5000, seed=0
+        )
+        assert len(rows) == 6
+        workloads = {row.workload for row in rows}
+        assert len(workloads) == 2
+
+    def test_exact_countmin_is_linear(self):
+        rows = sketch_hybrid_comparison(
+            n_skewed=32, n_uniform=5000, m=5000, seed=1
+        )
+        for row in rows:
+            if row.algorithm.startswith("CountMin (exact"):
+                assert row.change_fraction > 0.95
+
+    def test_morris_cells_help_more_on_skew(self):
+        rows = sketch_hybrid_comparison(
+            n_skewed=32, n_uniform=20000, m=20000, seed=2
+        )
+        morris = {
+            row.workload: row.change_fraction
+            for row in rows
+            if "Morris" in row.algorithm
+        }
+        skewed = next(v for k, v in morris.items() if "skew" in k)
+        uniform = next(v for k, v in morris.items() if "uniform" in k)
+        assert skewed < uniform
+
+    def test_format(self):
+        rows = sketch_hybrid_comparison(
+            n_skewed=32, n_uniform=1000, m=1000, seed=3
+        )
+        assert "A4" in format_sketch_hybrid(rows)
+
+
+class TestKMVExperiment:
+    def test_result_shape(self):
+        result = kmv_experiment(
+            n=2000, ms=(1000, 4000), k=64, trials=2, seed=0
+        )
+        assert set(result.mean_state_changes_by_m) == {1000, 4000}
+        assert result.median_rel_error < 0.5
+
+    def test_state_changes_grow_slowly(self):
+        result = kmv_experiment(
+            n=5000, ms=(2000, 8000), k=64, trials=3, seed=1
+        )
+        changes = result.mean_state_changes_by_m
+        assert changes[8000] < 2.5 * changes[2000]
+
+    def test_format(self):
+        result = kmv_experiment(n=500, ms=(500,), k=16, trials=2, seed=2)
+        assert "E10" in format_kmv(result)

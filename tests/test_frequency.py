@@ -1,0 +1,131 @@
+"""Tests for the ground-truth frequency vector."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import FrequencyVector
+
+
+class TestConstruction:
+    def test_from_stream(self):
+        f = FrequencyVector.from_stream([1, 2, 2, 3, 3, 3])
+        assert f[1] == 1
+        assert f[2] == 2
+        assert f[3] == 3
+        assert f[99] == 0
+
+    def test_zero_counts_dropped(self):
+        f = FrequencyVector({1: 0, 2: 5})
+        assert len(f) == 1
+        assert f.support == {2}
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            FrequencyVector({1: -3})
+
+    def test_stream_length(self):
+        f = FrequencyVector.from_stream([5] * 10 + [6] * 4)
+        assert f.stream_length == 14
+
+
+class TestMoments:
+    def test_f1_is_stream_length(self):
+        f = FrequencyVector.from_stream([1, 1, 2, 3])
+        assert f.fp_moment(1) == 4
+
+    def test_f2(self):
+        f = FrequencyVector.from_stream([1, 1, 2])
+        assert f.fp_moment(2) == 5  # 2^2 + 1
+
+    def test_f0_distinct(self):
+        f = FrequencyVector.from_stream([1, 1, 2, 9])
+        assert f.fp_moment(0) == 3
+
+    def test_fractional_p(self):
+        f = FrequencyVector({1: 4})
+        assert f.fp_moment(0.5) == pytest.approx(2.0)
+
+    def test_lp_norm(self):
+        f = FrequencyVector({1: 3, 2: 4})
+        assert f.lp_norm(2) == pytest.approx(5.0)
+
+    def test_negative_p_raises(self):
+        with pytest.raises(ValueError):
+            FrequencyVector({1: 1}).fp_moment(-1)
+        with pytest.raises(ValueError):
+            FrequencyVector({1: 1}).lp_norm(0)
+
+    @given(st.dictionaries(st.integers(0, 50), st.integers(1, 40), min_size=1))
+    @settings(max_examples=60)
+    def test_moment_monotone_in_p(self, freqs):
+        """For p <= q, Fp >= Fq iff all f_i... instead check the norm
+        ordering ||f||_p >= ||f||_q for p <= q (power-mean inequality)."""
+        f = FrequencyVector(freqs)
+        assert f.lp_norm(1) >= f.lp_norm(2) - 1e-9
+        assert f.lp_norm(2) >= f.lp_norm(3) - 1e-9
+
+
+class TestEntropy:
+    def test_uniform_entropy(self):
+        f = FrequencyVector({i: 1 for i in range(8)})
+        assert f.shannon_entropy() == pytest.approx(3.0)
+
+    def test_deterministic_entropy_zero(self):
+        f = FrequencyVector({7: 100})
+        assert f.shannon_entropy() == 0.0
+
+    def test_empty_entropy_zero(self):
+        assert FrequencyVector({}).shannon_entropy() == 0.0
+
+    def test_biased_coin(self):
+        f = FrequencyVector({0: 3, 1: 1})
+        expected = -(0.75 * math.log2(0.75) + 0.25 * math.log2(0.25))
+        assert f.shannon_entropy() == pytest.approx(expected)
+
+
+class TestHeavyHitters:
+    def test_threshold_classification(self):
+        # ||f||_2 = sqrt(100 + 4 + 1) ~ 10.25
+        f = FrequencyVector({1: 10, 2: 2, 3: 1})
+        assert f.heavy_hitters(2, 0.9) == {1}
+        assert 3 in f.forbidden_items(2, 0.9)
+
+    def test_all_heavy_when_epsilon_tiny(self):
+        f = FrequencyVector({1: 5, 2: 5})
+        assert f.heavy_hitters(1, 0.001) == {1, 2}
+
+    def test_invalid_epsilon_raises(self):
+        f = FrequencyVector({1: 1})
+        with pytest.raises(ValueError):
+            f.heavy_hitters(2, 0.0)
+        with pytest.raises(ValueError):
+            f.forbidden_items(2, 1.5)
+
+    @given(
+        st.dictionaries(st.integers(0, 30), st.integers(1, 20), min_size=1),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_heavy_and_forbidden_disjoint(self, freqs, epsilon):
+        f = FrequencyVector(freqs)
+        assert not (f.heavy_hitters(2, epsilon) & f.forbidden_items(2, epsilon))
+
+
+class TestLinfError:
+    def test_exact_estimates_zero_error(self):
+        f = FrequencyVector({1: 5, 2: 3})
+        assert f.linf_error({1: 5.0, 2: 3.0}) == 0.0
+
+    def test_missing_estimate_counts_full_frequency(self):
+        f = FrequencyVector({1: 5})
+        assert f.linf_error({}) == 5.0
+
+    def test_spurious_estimate_counts(self):
+        f = FrequencyVector({})
+        assert f.linf_error({9: 4.0}) == 4.0
+
+    def test_empty_both(self):
+        assert FrequencyVector({}).linf_error({}) == 0.0

@@ -1,0 +1,103 @@
+"""Tests for Algorithm 2 (FullSampleAndHold)."""
+
+import pytest
+
+from repro.core import FullSampleAndHold
+from repro.streams import (
+    FrequencyVector,
+    planted_heavy_hitter_stream,
+    zipf_stream,
+)
+
+
+class TestConstruction:
+    def test_even_repetitions_rounded_up_to_odd(self):
+        algo = FullSampleAndHold(n=100, m=100, p=2, epsilon=0.5, repetitions=2)
+        assert algo.repetitions == 3
+
+    def test_default_levels_scale_with_m(self):
+        small = FullSampleAndHold(n=100, m=100, p=2, epsilon=0.5)
+        large = FullSampleAndHold(n=100, m=10000, p=2, epsilon=0.5)
+        assert large.num_levels > small.num_levels
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            FullSampleAndHold(n=10, m=10, p=2, epsilon=0.5, repetitions=0)
+        with pytest.raises(ValueError):
+            FullSampleAndHold(n=10, m=10, p=2, epsilon=0.5, level_rule="avg")
+
+
+class TestEstimation:
+    def test_finds_planted_heavy_hitter(self):
+        n, m = 1000, 15000
+        stream = planted_heavy_hitter_stream(n, m, {13: 4000}, seed=0)
+        algo = FullSampleAndHold(n=n, m=m, p=2, epsilon=0.5, seed=0)
+        algo.process_stream(stream)
+        estimate = algo.estimate(13)
+        assert estimate >= 0.4 * 4000
+        assert estimate <= 2.5 * 4000
+
+    def test_light_items_do_not_dominate(self):
+        n, m = 1000, 15000
+        stream = planted_heavy_hitter_stream(n, m, {13: 4000}, seed=1)
+        algo = FullSampleAndHold(n=n, m=m, p=2, epsilon=0.5, seed=1)
+        algo.process_stream(stream)
+        estimates = algo.estimates()
+        heavy = estimates.get(13, 0.0)
+        others = [v for k, v in estimates.items() if k != 13]
+        assert heavy > 0
+        if others:
+            assert heavy >= max(others)
+
+    def test_min_length_rule_runs(self):
+        n, m = 500, 8000
+        stream = planted_heavy_hitter_stream(n, m, {7: 2500}, seed=2)
+        algo = FullSampleAndHold(
+            n=n, m=m, p=2, epsilon=0.5, seed=2, level_rule="min-length"
+        )
+        algo.process_stream(stream)
+        assert algo.estimate(7) >= 0.3 * 2500
+
+    def test_unknown_item_zero(self):
+        algo = FullSampleAndHold(n=100, m=100, p=2, epsilon=0.5, seed=3)
+        algo.process_stream([1] * 50)
+        assert algo.estimate(77) == 0.0
+
+
+class TestLevels:
+    def test_level_lengths_halve(self):
+        n, m = 200, 20000
+        algo = FullSampleAndHold(n=n, m=m, p=2, epsilon=0.5, seed=4)
+        algo.process_stream(zipf_stream(n, m, seed=4))
+        m1 = algo.level_length(1)
+        m3 = algo.level_length(3)
+        assert m1 == pytest.approx(m, rel=0.35)
+        assert m3 == pytest.approx(m / 4, rel=0.6)
+
+    def test_level_length_bounds_checked(self):
+        algo = FullSampleAndHold(n=10, m=10, p=2, epsilon=0.5)
+        with pytest.raises(ValueError):
+            algo.level_length(0)
+        with pytest.raises(ValueError):
+            algo.level_length(algo.num_levels + 1)
+
+
+class TestStateChanges:
+    def test_sublinear_state_changes_on_long_stream(self):
+        n, m = 1024, 50000
+        stream = zipf_stream(n, m, skew=1.2, seed=5)
+        algo = FullSampleAndHold(n=n, m=m, p=2, epsilon=1.0, seed=5)
+        algo.process_stream(stream)
+        assert algo.state_changes < 0.8 * m
+
+    def test_one_sidedness_after_rescaling(self):
+        """Rescaled estimates stay within a constant factor above truth
+        (subsampled counts concentrate; Morris noise adds slack)."""
+        n, m = 500, 12000
+        stream = planted_heavy_hitter_stream(n, m, {3: 3000, 4: 1500}, seed=6)
+        f = FrequencyVector.from_stream(stream)
+        algo = FullSampleAndHold(n=n, m=m, p=2, epsilon=0.5, seed=6)
+        algo.process_stream(stream)
+        for item, fhat in algo.estimates().items():
+            if f[item] >= 100:
+                assert fhat <= 4.0 * f[item]

@@ -1,0 +1,112 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.streams import (
+    FrequencyVector,
+    permutation_stream,
+    planted_heavy_hitter_stream,
+    round_robin_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+
+class TestZipf:
+    def test_length_and_universe(self):
+        stream = zipf_stream(100, 1000, seed=0)
+        assert len(stream) == 1000
+        assert all(0 <= x < 100 for x in stream)
+
+    def test_skew_concentrates_mass(self):
+        stream = zipf_stream(1000, 20000, skew=1.5, seed=1)
+        f = FrequencyVector.from_stream(stream)
+        assert f[0] > f[100]
+        assert f[0] > 0.05 * len(stream)
+
+    def test_reproducible(self):
+        assert zipf_stream(50, 500, seed=9) == zipf_stream(50, 500, seed=9)
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            zipf_stream(0, 10)
+        with pytest.raises(ValueError):
+            zipf_stream(10, -1)
+        with pytest.raises(ValueError):
+            zipf_stream(10, 10, skew=0)
+
+
+class TestUniform:
+    def test_length_and_universe(self):
+        stream = uniform_stream(64, 640, seed=0)
+        assert len(stream) == 640
+        assert all(0 <= x < 64 for x in stream)
+
+    def test_roughly_flat(self):
+        f = FrequencyVector.from_stream(uniform_stream(10, 10000, seed=2))
+        counts = [f[i] for i in range(10)]
+        assert max(counts) < 2 * min(counts)
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            uniform_stream(0, 10)
+
+
+class TestPermutation:
+    def test_is_permutation(self):
+        stream = permutation_stream(128, seed=3)
+        assert sorted(stream) == list(range(128))
+
+    def test_all_frequencies_one(self):
+        f = FrequencyVector.from_stream(permutation_stream(50, seed=4))
+        assert all(count == 1 for _, count in f.items())
+        assert f.fp_moment(2) == 50
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            permutation_stream(0)
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        assert round_robin_stream(3, 7) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            round_robin_stream(0, 5)
+
+
+class TestPlantedHeavyHitters:
+    def test_exact_planted_counts(self):
+        stream = planted_heavy_hitter_stream(
+            1000, 5000, {7: 300, 8: 150}, seed=5
+        )
+        f = FrequencyVector.from_stream(stream)
+        assert f[7] == 300
+        assert f[8] == 150
+        assert len(stream) == 5000
+
+    def test_zipf_background(self):
+        stream = planted_heavy_hitter_stream(
+            500, 2000, {3: 100}, background="zipf", seed=6
+        )
+        assert FrequencyVector.from_stream(stream)[3] == 100
+
+    def test_overfull_raises(self):
+        with pytest.raises(ValueError):
+            planted_heavy_hitter_stream(10, 5, {1: 10})
+
+    def test_bad_item_raises(self):
+        with pytest.raises(ValueError):
+            planted_heavy_hitter_stream(10, 100, {50: 5})
+        with pytest.raises(ValueError):
+            planted_heavy_hitter_stream(10, 100, {5: 0})
+
+    def test_unknown_background_raises(self):
+        with pytest.raises(ValueError):
+            planted_heavy_hitter_stream(10, 100, {5: 5}, background="pareto")
+
+    def test_reproducible(self):
+        a = planted_heavy_hitter_stream(100, 400, {1: 50}, seed=8)
+        b = planted_heavy_hitter_stream(100, 400, {1: 50}, seed=8)
+        assert a == b

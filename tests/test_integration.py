@@ -1,0 +1,151 @@
+"""Cross-module integration tests: one pass, many answers; NVM wiring;
+determinism; the full pipeline a downstream user would run."""
+
+import random
+
+import pytest
+
+from repro import (
+    FrequencyVector,
+    FullSampleAndHold,
+    HeavyHitters,
+    SampleAndHold,
+    SampleAndHoldParams,
+    planted_heavy_hitter_stream,
+    zipf_stream,
+)
+from repro.baselines import MisraGries
+from repro.nvm import PCM, NVMDevice
+
+
+class TestOnePassManyAnswers:
+    """A single HeavyHitters pass answers point queries, the heavy-
+    hitter list, the Fp moment, the norm, and the audit."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        n, m = 512, 12000
+        stream = planted_heavy_hitter_stream(n, m, {3: 4000}, seed=0)
+        algo = HeavyHitters(
+            n=n, m=m, p=2, epsilon=0.5, seed=0,
+            inner_kwargs={"repetitions": 1},
+        )
+        algo.process_stream(stream)
+        return algo, FrequencyVector.from_stream(stream)
+
+    def test_point_query(self, pipeline):
+        algo, f = pipeline
+        assert algo.estimate(3) == pytest.approx(f[3], rel=0.5)
+
+    def test_heavy_hitter_list(self, pipeline):
+        algo, f = pipeline
+        assert 3 in algo.heavy_hitters()
+
+    def test_moment_and_norm_consistent(self, pipeline):
+        algo, f = pipeline
+        assert algo.norm_estimate() == pytest.approx(
+            algo.fp_estimate() ** 0.5
+        )
+        assert algo.fp_estimate() == pytest.approx(f.fp_moment(2), rel=0.8)
+
+    def test_audit_totals_consistent(self, pipeline):
+        algo, f = pipeline
+        report = algo.report()
+        assert report.stream_length == f.stream_length
+        assert report.state_changes <= report.total_writes
+        assert report.total_writes <= report.total_write_attempts
+        assert sum(report.cell_writes.values()) == report.total_writes
+
+
+class TestNVMIntegration:
+    def test_device_observes_exact_write_count(self):
+        n, m = 256, 5000
+        algo = FullSampleAndHold(
+            n=n, m=m, p=2, epsilon=0.5, seed=1, repetitions=1
+        )
+        device = NVMDevice(512, PCM, wear_leveling="round-robin")
+        device.attach(algo.tracker)
+        algo.process_stream(zipf_stream(n, m, seed=1))
+        assert device.total_writes == algo.report().total_writes
+
+    def test_multiple_devices_one_trace(self):
+        algo = MisraGries(k=8)
+        devices = [
+            NVMDevice(64, PCM, wear_leveling=policy, seed=2)
+            for policy in ("none", "round-robin", "random")
+        ]
+        for device in devices:
+            device.attach(algo.tracker)
+        algo.process_stream(zipf_stream(100, 3000, seed=2))
+        writes = {device.total_writes for device in devices}
+        assert len(writes) == 1  # all saw the same trace
+
+
+class TestDeterminism:
+    def test_sample_and_hold_deterministic_given_seed(self):
+        n, m = 256, 8000
+        stream = zipf_stream(n, m, seed=3)
+        params = SampleAndHoldParams.from_problem(n=n, m=m, p=2, epsilon=0.5)
+        runs = []
+        for _ in range(2):
+            algo = SampleAndHold(params, rng=random.Random(42))
+            algo.process_stream(stream)
+            runs.append((algo.estimates(), algo.state_changes))
+        assert runs[0] == runs[1]
+
+    def test_full_stack_deterministic_given_seed(self):
+        n, m = 128, 3000
+        stream = zipf_stream(n, m, seed=4)
+        results = []
+        for _ in range(2):
+            algo = HeavyHitters(
+                n=n, m=m, p=2, epsilon=0.5, seed=7,
+                inner_kwargs={"repetitions": 1},
+            )
+            algo.process_stream(stream)
+            results.append((algo.fp_estimate(), algo.state_changes))
+        assert results[0] == results[1]
+
+    def test_different_seeds_differ(self):
+        n, m = 128, 3000
+        stream = zipf_stream(n, m, seed=5)
+        changes = set()
+        for seed in (1, 2, 3):
+            algo = FullSampleAndHold(
+                n=n, m=m, p=2, epsilon=0.5, seed=seed, repetitions=1
+            )
+            algo.process_stream(stream)
+            changes.add(algo.state_changes)
+        assert len(changes) > 1
+
+
+class TestIncrementalProcessing:
+    def test_interleaved_queries_do_not_mutate(self):
+        """Queries are reads: issuing them mid-stream must not change
+        the audit."""
+        n, m = 128, 2000
+        stream = zipf_stream(n, m, seed=6)
+        algo = FullSampleAndHold(
+            n=n, m=m, p=2, epsilon=0.5, seed=6, repetitions=1
+        )
+        for i, item in enumerate(stream):
+            algo.process(item)
+            if i % 500 == 0:
+                before = algo.state_changes
+                algo.estimates()
+                assert algo.state_changes == before
+
+    def test_prefix_suffix_equals_whole(self):
+        """process_stream is just repeated process()."""
+        stream = zipf_stream(64, 1000, seed=7)
+        whole = FullSampleAndHold(
+            n=64, m=1000, p=2, epsilon=0.5, seed=8, repetitions=1
+        )
+        split = FullSampleAndHold(
+            n=64, m=1000, p=2, epsilon=0.5, seed=8, repetitions=1
+        )
+        whole.process_stream(stream)
+        split.process_stream(stream[:400])
+        split.process_stream(stream[400:])
+        assert whole.estimates() == split.estimates()
+        assert whole.state_changes == split.state_changes

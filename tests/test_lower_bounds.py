@@ -1,0 +1,140 @@
+"""Tests for the distinguishing game (Theorems 1.2/1.4, empirically)."""
+
+import random
+
+import pytest
+
+from repro.lower_bounds import (
+    GameResult,
+    SampledDistinguisher,
+    run_distinguishing_game,
+)
+from repro.streams import lower_bound_pair
+
+
+class TestSampledDistinguisher:
+    def test_detects_obvious_duplicates(self):
+        algo = SampledDistinguisher(budget=100, m=10, rng=random.Random(0))
+        algo.process_stream([5] * 10)
+        assert algo.saw_duplicate
+        assert algo.guesses_s1()
+
+    def test_no_duplicates_on_permutation(self):
+        algo = SampledDistinguisher(budget=50, m=100, rng=random.Random(1))
+        algo.process_stream(list(range(100)))
+        assert not algo.saw_duplicate
+
+    def test_state_changes_bounded_by_budget(self):
+        m = 5000
+        budget = 64
+        algo = SampledDistinguisher(budget=budget, m=m, rng=random.Random(2))
+        algo.process_stream(list(range(m)))
+        # Each sampled distinct item costs one write; generous factor
+        # for sampling variance.
+        assert algo.state_changes <= 3 * budget
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            SampledDistinguisher(budget=0, m=10)
+        with pytest.raises(ValueError):
+            SampledDistinguisher(budget=1, m=0)
+
+
+class TestGame:
+    def test_large_budget_wins(self):
+        """Budget >> n^{1-1/p} distinguishes reliably."""
+        n, p = 1024, 2.0
+        budget = int(8 * n ** (1 - 1 / p))  # 256
+        result = run_distinguishing_game(
+            algorithm_factory=lambda s: SampledDistinguisher(
+                budget, n, rng=random.Random(s)
+            ),
+            decide=lambda algo: algo.guesses_s1(),
+            n=n,
+            p=p,
+            trials=15,
+            seed=3,
+        )
+        assert result.accuracy >= 0.8
+
+    def test_tiny_budget_fails(self):
+        """Budget << n^{1-1/p} cannot beat coin flipping by much."""
+        n, p = 4096, 2.0
+        budget = max(1, int(0.1 * n ** (1 - 1 / p)))  # ~6
+        result = run_distinguishing_game(
+            algorithm_factory=lambda s: SampledDistinguisher(
+                budget, n, rng=random.Random(s)
+            ),
+            decide=lambda algo: algo.guesses_s1(),
+            n=n,
+            p=p,
+            trials=15,
+            seed=4,
+        )
+        assert result.accuracy <= 0.7
+
+    def test_advantage_definition(self):
+        result = GameResult(
+            accuracy=0.75,
+            mean_state_changes_s1=1.0,
+            mean_state_changes_s2=1.0,
+            trials=4,
+        )
+        assert result.advantage == pytest.approx(0.5)
+
+    def test_state_changes_reported(self):
+        n, p = 512, 2.0
+        result = run_distinguishing_game(
+            algorithm_factory=lambda s: SampledDistinguisher(
+                32, n, rng=random.Random(s)
+            ),
+            decide=lambda algo: algo.guesses_s1(),
+            n=n,
+            p=p,
+            trials=5,
+            seed=5,
+        )
+        assert result.mean_state_changes_s1 > 0
+        assert result.mean_state_changes_s2 > 0
+
+    def test_invalid_trials_raise(self):
+        with pytest.raises(ValueError):
+            run_distinguishing_game(
+                algorithm_factory=lambda s: SampledDistinguisher(1, 1),
+                decide=lambda algo: True,
+                n=64,
+                p=2,
+                trials=0,
+            )
+
+    def test_exact_moment_algorithm_distinguishes(self):
+        """An exact F2 computation always wins the game (sanity)."""
+        from repro.baselines import ExactFrequencyCounter
+
+        n, p = 512, 2.0
+
+        def decide(algo):
+            f2 = sum(v**2 for v in algo.estimates().values())
+            return f2 > 1.5 * n
+
+        result = run_distinguishing_game(
+            algorithm_factory=lambda s: ExactFrequencyCounter(),
+            decide=decide,
+            n=n,
+            p=p,
+            trials=8,
+            seed=6,
+        )
+        assert result.accuracy == 1.0
+        # ... but it pays Theta(m) state changes to do so.
+        assert result.mean_state_changes_s1 >= n - 1
+
+
+class TestHardInstanceGap:
+    def test_fp_gap_requires_distinguishing(self):
+        from repro.streams import FrequencyVector
+
+        inst = lower_bound_pair(2048, p=3, seed=7)
+        f1 = FrequencyVector.from_stream(inst.s1).fp_moment(3)
+        f2 = FrequencyVector.from_stream(inst.s2).fp_moment(3)
+        assert f1 / f2 > 1.8

@@ -1,0 +1,130 @@
+"""Tests for the NVM cost model and wear simulator."""
+
+import pytest
+
+from repro.nvm import DRAM, NAND_FLASH, PCM, NVMCostModel, NVMDevice
+from repro.state import StateTracker, TrackedValue
+
+
+class TestCostModel:
+    def test_presets_are_asymmetric(self):
+        assert PCM.write_read_energy_ratio > 10
+        assert NAND_FLASH.write_read_energy_ratio > 10
+        assert DRAM.write_read_energy_ratio == 1.0
+
+    def test_energy_accounts_reads_and_writes(self):
+        tracker = StateTracker()
+        cell = TrackedValue(tracker, "c", 0)
+        for i in range(10):
+            cell.set(i + 1)
+            tracker.tick()
+        report = tracker.report()
+        energy = PCM.energy_nj(report, reads_per_update=2.0)
+        assert energy == pytest.approx(10 * 2 * 1.0 + 10 * 30.0)
+
+    def test_latency(self):
+        tracker = StateTracker()
+        cell = TrackedValue(tracker, "c", 0)
+        cell.set(1)
+        tracker.tick()
+        report = tracker.report()
+        assert DRAM.latency_ns(report, reads_per_update=1.0) == pytest.approx(20.0)
+
+    def test_invalid_model_raises(self):
+        with pytest.raises(ValueError):
+            NVMCostModel("bad", 0.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestDevicePlacement:
+    def _tracker_with_writes(self, pattern):
+        tracker = StateTracker()
+        device_writes = []
+        for cell_id in pattern:
+            tracker.record_write(cell_id, mutated=True)
+        return tracker
+
+    def test_direct_mapping_concentrates_wear(self):
+        device = NVMDevice(8, PCM, wear_leveling="none")
+        for _ in range(100):
+            device.on_write(0, "hot", True)
+        assert device.max_wear == 100
+        assert device.wear_imbalance == pytest.approx(8.0)
+
+    def test_round_robin_levels_wear(self):
+        device = NVMDevice(8, PCM, wear_leveling="round-robin")
+        for _ in range(800):
+            device.on_write(0, "hot", True)
+        assert device.max_wear == 100
+        assert device.wear_imbalance == pytest.approx(1.0)
+
+    def test_random_roughly_levels(self):
+        device = NVMDevice(4, PCM, wear_leveling="random", seed=0)
+        for _ in range(4000):
+            device.on_write(0, "hot", True)
+        assert device.wear_imbalance < 1.2
+
+    def test_silent_writes_skipped_by_default(self):
+        device = NVMDevice(4, PCM)
+        device.on_write(0, "c", False)
+        assert device.total_writes == 0
+
+    def test_silent_writes_counted_when_configured(self):
+        device = NVMDevice(4, PCM, count_silent_writes=True)
+        device.on_write(0, "c", False)
+        assert device.total_writes == 1
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            NVMDevice(0, PCM)
+        with pytest.raises(ValueError):
+            NVMDevice(4, PCM, wear_leveling="magic")
+
+
+class TestLifetime:
+    def test_fresh_device_infinite_lifetime(self):
+        device = NVMDevice(4, PCM)
+        assert device.lifetime_workloads() == float("inf")
+        assert not device.is_worn_out
+
+    def test_lifetime_scales_with_endurance(self):
+        nand = NVMDevice(4, NAND_FLASH, wear_leveling="round-robin")
+        pcm = NVMDevice(4, PCM, wear_leveling="round-robin")
+        for _ in range(400):
+            nand.on_write(0, "c", True)
+            pcm.on_write(0, "c", True)
+        assert pcm.lifetime_workloads() > nand.lifetime_workloads()
+
+    def test_worn_out_detection(self):
+        tiny = NVMCostModel("tiny", 1, 2, 1, 1, endurance=10)
+        device = NVMDevice(1, tiny)
+        for _ in range(11):
+            device.on_write(0, "c", True)
+        assert device.is_worn_out
+
+
+class TestTrackerIntegration:
+    def test_attach_consumes_algorithm_writes(self):
+        from repro.baselines import MisraGries
+        from repro.streams import zipf_stream
+
+        algo = MisraGries(k=10)
+        device = NVMDevice(64, PCM, wear_leveling="round-robin")
+        device.attach(algo.tracker)
+        stream = zipf_stream(100, 2000, seed=0)
+        algo.process_stream(stream)
+        assert device.total_writes == algo.report().total_writes
+        assert device.total_writes > 0
+
+    def test_wear_leveling_extends_lifetime_on_real_trace(self):
+        from repro.baselines import SpaceSaving
+        from repro.streams import zipf_stream
+
+        stream = zipf_stream(200, 4000, skew=1.4, seed=1)
+        lifetimes = {}
+        for policy in ("none", "round-robin"):
+            algo = SpaceSaving(k=8)
+            device = NVMDevice(256, PCM, wear_leveling=policy, seed=2)
+            device.attach(algo.tracker)
+            algo.process_stream(stream)
+            lifetimes[policy] = device.lifetime_workloads()
+        assert lifetimes["round-robin"] > lifetimes["none"]

@@ -1,0 +1,80 @@
+"""Tests for p-stable variate generation (Definition 3.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hashing import (
+    DerandomizedStable,
+    sample_pstable,
+    sample_pstable_array,
+    stable_abs_median,
+)
+
+
+class TestSamplePStable:
+    def test_p1_is_cauchy_tan(self):
+        assert sample_pstable(1.0, 0.5, 0.3) == pytest.approx(math.tan(0.5))
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            sample_pstable(0.0, 0.1, 0.5)
+        with pytest.raises(ValueError):
+            sample_pstable(2.5, 0.1, 0.5)
+
+    def test_p2_is_gaussian_scale(self):
+        # For p=2 the CMS transform yields N(0, 2) (variance 2).
+        rng = np.random.default_rng(0)
+        draws = sample_pstable_array(2.0, 100_000, rng)
+        assert np.std(draws) == pytest.approx(math.sqrt(2.0), rel=0.02)
+        assert np.mean(draws) == pytest.approx(0.0, abs=0.02)
+
+
+class TestStabilityProperty:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 1.5])
+    def test_sum_scales_like_lp_norm(self, p):
+        """sum_i Z_i x_i ~ ||x||_p Z: compare |.|-medians of both sides."""
+        rng = np.random.default_rng(42)
+        x = np.array([3.0, 4.0, 1.0, 2.0])
+        lp = float(np.sum(np.abs(x) ** p)) ** (1.0 / p)
+        trials = 60_000
+        z = sample_pstable_array(p, trials * len(x), rng).reshape(trials, len(x))
+        combo_median = float(np.median(np.abs(z @ x)))
+        single_median = stable_abs_median(p) * lp
+        assert combo_median == pytest.approx(single_median, rel=0.05)
+
+
+class TestStableAbsMedian:
+    def test_cauchy_median_is_one(self):
+        assert stable_abs_median(1.0) == 1.0
+
+    def test_gaussian_case_exact(self):
+        assert stable_abs_median(2.0) == pytest.approx(
+            math.sqrt(2.0) * 0.674489750196, rel=1e-9
+        )
+
+    def test_monte_carlo_case_reproducible(self):
+        assert stable_abs_median(0.5) == stable_abs_median(0.5)
+        assert stable_abs_median(0.5) > 0
+
+
+class TestDerandomizedStable:
+    def test_deterministic_per_cell(self):
+        gen = DerandomizedStable(0.5, seed=7)
+        assert gen.variate(3, 100) == gen.variate(3, 100)
+
+    def test_varies_across_cells(self):
+        gen = DerandomizedStable(0.5, seed=7)
+        values = {gen.variate(r, i) for r in range(5) for i in range(5)}
+        assert len(values) == 25
+
+    def test_distribution_matches_direct_sampling(self):
+        gen = DerandomizedStable(1.0, seed=3)
+        draws = np.array([gen.variate(0, i) for i in range(50_000)])
+        # Cauchy |.|-median is 1.
+        assert float(np.median(np.abs(draws))) == pytest.approx(1.0, rel=0.05)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            DerandomizedStable(3.0, seed=0)

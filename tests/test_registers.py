@@ -1,0 +1,134 @@
+"""Unit tests for tracked registers (values, arrays, dicts)."""
+
+import pytest
+
+from repro.state import StateTracker, TrackedArray, TrackedDict, TrackedValue
+
+
+class TestTrackedValue:
+    def test_set_new_value_counts_state_change(self):
+        tracker = StateTracker()
+        cell = TrackedValue(tracker, "x", 0)
+        assert cell.set(5) is True
+        tracker.tick()
+        assert tracker.state_changes == 1
+        assert cell.value == 5
+
+    def test_set_same_value_is_silent(self):
+        tracker = StateTracker()
+        cell = TrackedValue(tracker, "x", 7)
+        assert cell.set(7) is False
+        tracker.tick()
+        assert tracker.state_changes == 0
+
+    def test_allocation_and_release(self):
+        tracker = StateTracker()
+        cell = TrackedValue(tracker, "x", 0)
+        assert tracker.current_words == 1
+        cell.release()
+        assert tracker.current_words == 0
+
+
+class TestTrackedArray:
+    def test_allocates_length_words(self):
+        tracker = StateTracker()
+        arr = TrackedArray(tracker, "q", 16, fill=-1)
+        assert tracker.current_words == 16
+        assert len(arr) == 16
+        arr.release()
+        assert tracker.current_words == 0
+
+    def test_setitem_tracks_mutations_only(self):
+        tracker = StateTracker()
+        arr = TrackedArray(tracker, "q", 4, fill=0)
+        arr[2] = 9
+        arr[2] = 9  # silent
+        tracker.tick()
+        assert tracker.state_changes == 1
+        assert tracker.total_writes == 1
+        assert tracker.report().cell_writes == {"q[2]": 1}
+
+    def test_index_of(self):
+        tracker = StateTracker()
+        arr = TrackedArray(tracker, "q", 3, fill=0)
+        arr[1] = 42
+        assert arr.index_of(42) == 1
+        assert arr.index_of(99) is None
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            TrackedArray(StateTracker(), "q", -1, fill=0)
+
+    def test_iteration(self):
+        tracker = StateTracker()
+        arr = TrackedArray(tracker, "q", 3, fill=5)
+        assert list(arr) == [5, 5, 5]
+
+
+class TestTrackedDict:
+    def test_insert_allocates_and_counts(self):
+        tracker = StateTracker()
+        table = TrackedDict(tracker, "ctr", entry_words=2)
+        table[10] = 1
+        assert tracker.current_words == 2
+        assert 10 in table
+        assert table[10] == 1
+
+    def test_overwrite_same_value_is_silent(self):
+        tracker = StateTracker()
+        table = TrackedDict(tracker, "ctr")
+        table[1] = 5
+        tracker.tick()
+        table[1] = 5
+        tracker.tick()
+        assert tracker.state_changes == 1
+
+    def test_delete_frees_space_and_dirties(self):
+        tracker = StateTracker()
+        table = TrackedDict(tracker, "ctr", entry_words=3)
+        table[1] = 5
+        tracker.tick()
+        del table[1]
+        assert tracker.current_words == 0
+        assert tracker.tick() is True
+
+    def test_pop_returns_value(self):
+        tracker = StateTracker()
+        table = TrackedDict(tracker, "ctr")
+        table[7] = 99
+        assert table.pop(7) == 99
+        assert 7 not in table
+
+    def test_clear_frees_everything(self):
+        tracker = StateTracker()
+        table = TrackedDict(tracker, "ctr", entry_words=2)
+        table[1] = 1
+        table[2] = 2
+        table.clear()
+        assert len(table) == 0
+        assert tracker.current_words == 0
+
+    def test_clear_empty_dict_is_silent(self):
+        tracker = StateTracker()
+        table = TrackedDict(tracker, "ctr")
+        table.clear()
+        assert tracker.tick() is False
+
+    def test_get_with_default(self):
+        table = TrackedDict(StateTracker(), "ctr")
+        assert table.get(3) is None
+        assert table.get(3, 0) == 0
+
+    def test_entry_words_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TrackedDict(StateTracker(), "ctr", entry_words=0)
+
+    def test_iteration_and_views(self):
+        table = TrackedDict(StateTracker(), "ctr")
+        table[1] = "a"
+        table[2] = "b"
+        assert sorted(table.keys()) == [1, 2]
+        assert sorted(table.values()) == ["a", "b"]
+        assert sorted(table.items()) == [(1, "a"), (2, "b")]
+        assert sorted(iter(table)) == [1, 2]
+        assert len(table) == 2

@@ -1,0 +1,128 @@
+"""Unit tests for the state-change accounting substrate."""
+
+import pytest
+
+from repro.state import StateTracker
+
+
+class TestClock:
+    def test_tick_without_writes_is_not_a_state_change(self):
+        tracker = StateTracker()
+        assert tracker.tick() is False
+        assert tracker.state_changes == 0
+        assert tracker.timestep == 1
+
+    def test_mutating_write_marks_one_state_change_per_tick(self):
+        tracker = StateTracker()
+        tracker.record_write("c", mutated=True)
+        tracker.record_write("d", mutated=True)
+        assert tracker.tick() is True
+        assert tracker.state_changes == 1  # two writes, one timestep
+        assert tracker.total_writes == 2
+
+    def test_silent_write_is_not_a_state_change(self):
+        tracker = StateTracker()
+        tracker.record_write("c", mutated=False)
+        assert tracker.tick() is False
+        assert tracker.state_changes == 0
+        report = tracker.report()
+        assert report.total_write_attempts == 1
+        assert report.total_writes == 0
+
+    def test_dirty_flag_resets_between_ticks(self):
+        tracker = StateTracker()
+        tracker.record_write("c", mutated=True)
+        tracker.tick()
+        assert tracker.tick() is False
+        assert tracker.state_changes == 1
+
+    def test_mark_dirty_forces_state_change(self):
+        tracker = StateTracker()
+        tracker.mark_dirty()
+        assert tracker.tick() is True
+
+
+class TestSpaceAccounting:
+    def test_peak_tracks_high_water_mark(self):
+        tracker = StateTracker()
+        tracker.allocate(10)
+        tracker.free(4)
+        tracker.allocate(2)
+        assert tracker.current_words == 8
+        assert tracker.peak_words == 10
+
+    def test_free_more_than_live_raises(self):
+        tracker = StateTracker()
+        tracker.allocate(3)
+        with pytest.raises(ValueError):
+            tracker.free(5)
+
+    def test_negative_allocation_raises(self):
+        tracker = StateTracker()
+        with pytest.raises(ValueError):
+            tracker.allocate(-1)
+        with pytest.raises(ValueError):
+            tracker.free(-1)
+
+
+class TestCellHistogram:
+    def test_per_cell_writes_recorded(self):
+        tracker = StateTracker()
+        for _ in range(3):
+            tracker.record_write("hot", mutated=True)
+        tracker.record_write("cold", mutated=True)
+        report = tracker.report()
+        assert report.cell_writes == {"hot": 3, "cold": 1}
+        assert report.max_cell_wear == 3
+
+    def test_record_cells_false_skips_histogram(self):
+        tracker = StateTracker(record_cells=False)
+        tracker.record_write("c", mutated=True)
+        assert tracker.report().cell_writes == {}
+        assert tracker.total_writes == 1
+
+
+class TestListeners:
+    def test_listener_sees_all_write_attempts(self):
+        tracker = StateTracker()
+        events = []
+        tracker.add_listener(lambda t, cell, mutated: events.append((t, cell, mutated)))
+        tracker.record_write("a", mutated=True)
+        tracker.tick()
+        tracker.record_write("a", mutated=False)
+        assert events == [(0, "a", True), (1, "a", False)]
+
+    def test_removed_listener_stops_receiving(self):
+        tracker = StateTracker()
+        events = []
+        listener = lambda t, cell, mutated: events.append(cell)  # noqa: E731
+        tracker.add_listener(listener)
+        tracker.record_write("a", mutated=True)
+        tracker.remove_listener(listener)
+        tracker.record_write("b", mutated=True)
+        assert events == ["a"]
+
+
+class TestReport:
+    def test_state_change_fraction(self):
+        tracker = StateTracker()
+        tracker.record_write("c", mutated=True)
+        tracker.tick()
+        for _ in range(3):
+            tracker.tick()
+        report = tracker.report()
+        assert report.stream_length == 4
+        assert report.state_change_fraction == pytest.approx(0.25)
+
+    def test_empty_report_fraction_zero(self):
+        report = StateTracker().report()
+        assert report.state_change_fraction == 0.0
+        assert report.max_cell_wear == 0
+
+    def test_summary_mentions_key_numbers(self):
+        tracker = StateTracker()
+        tracker.record_write("c", mutated=True)
+        tracker.tick()
+        text = tracker.report().summary()
+        assert "state_changes=1" in text
+        assert "m=1" in text

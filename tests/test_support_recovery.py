@@ -1,0 +1,78 @@
+"""Tests for sparse support recovery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.support_recovery import SparseSupportRecovery
+from repro.streams import uniform_stream
+
+
+class TestSparseStreams:
+    def test_recovers_exact_support(self):
+        algo = SparseSupportRecovery(k=5)
+        algo.process_stream([3, 1, 4, 1, 5, 3, 3, 1])
+        assert algo.support() == {1, 3, 4, 5}
+        assert algo.is_k_sparse()
+        assert not algo.overflowed
+
+    def test_state_changes_equal_distinct_items(self):
+        algo = SparseSupportRecovery(k=10)
+        stream = [7, 8, 9] * 1000
+        algo.process_stream(stream)
+        assert algo.state_changes == 3
+
+    def test_repeats_are_free(self):
+        algo = SparseSupportRecovery(k=2)
+        algo.process_stream([42] * 100_000)
+        assert algo.state_changes == 1
+        assert algo.support() == {42}
+
+    @given(st.lists(st.integers(0, 7), max_size=200))
+    @settings(max_examples=80)
+    def test_matches_set_semantics_when_sparse(self, stream):
+        algo = SparseSupportRecovery(k=8)
+        algo.process_stream(stream)
+        assert algo.support() == set(stream)
+        assert algo.state_changes == len(set(stream))
+
+
+class TestOverflow:
+    def test_non_sparse_stream_detected(self):
+        algo = SparseSupportRecovery(k=4, capacity_factor=2)
+        algo.process_stream(list(range(100)))
+        assert algo.overflowed
+        assert not algo.is_k_sparse()
+
+    def test_state_changes_bounded_on_any_stream(self):
+        k, factor = 8, 2
+        algo = SparseSupportRecovery(k=k, capacity_factor=factor)
+        algo.process_stream(uniform_stream(10_000, 50_000, seed=0))
+        assert algo.state_changes <= factor * k + 1
+
+    def test_frozen_after_overflow(self):
+        algo = SparseSupportRecovery(k=2, capacity_factor=1)
+        algo.process_stream(list(range(50)))
+        changes = algo.state_changes
+        algo.process_stream(list(range(50, 100)))
+        assert algo.state_changes == changes  # no further writes
+
+    def test_mild_violation_still_fully_reported(self):
+        algo = SparseSupportRecovery(k=4, capacity_factor=2)
+        algo.process_stream([0, 1, 2, 3, 4, 5])  # 6 distinct <= 8
+        assert algo.support() == {0, 1, 2, 3, 4, 5}
+        assert not algo.overflowed
+        assert not algo.is_k_sparse()  # promise was k=4
+
+
+class TestValidation:
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            SparseSupportRecovery(k=0)
+        with pytest.raises(ValueError):
+            SparseSupportRecovery(k=3, capacity_factor=0)
+
+    def test_space_bounded_by_capacity(self):
+        algo = SparseSupportRecovery(k=4, capacity_factor=2)
+        algo.process_stream(list(range(1000)))
+        assert algo.report().peak_words <= 2 * 4 + 2

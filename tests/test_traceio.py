@@ -1,0 +1,48 @@
+"""Tests for trace file I/O."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.traceio import read_trace, write_trace
+
+
+class TestRoundTrip:
+    def test_simple(self, tmp_path):
+        path = tmp_path / "t.txt"
+        stream = [1, 5, 2, 2, 9]
+        assert write_trace(path, stream) == 5
+        assert read_trace(path) == stream
+
+    @given(st.lists(st.integers(0, 10**9), max_size=100))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, stream):
+        import tempfile
+
+        with tempfile.NamedTemporaryFile("w", suffix=".txt") as handle:
+            write_trace(handle.name, stream)
+            assert read_trace(handle.name) == stream
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "t.txt"
+        write_trace(path, [])
+        assert read_trace(path) == []
+
+
+class TestValidation:
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("1\n\n 2 \n\n")
+        assert read_trace(path) == [1, 2]
+
+    def test_malformed_raises_with_location(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("1\nhello\n")
+        with pytest.raises(ValueError, match=":2:"):
+            read_trace(path)
+
+    def test_negative_raises(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("1\n-4\n")
+        with pytest.raises(ValueError, match="negative"):
+            read_trace(path)
