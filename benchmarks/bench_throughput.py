@@ -1,0 +1,97 @@
+"""Ingestion throughput: single-item ``process`` vs batched
+``process_many`` across representative sketches.
+
+The batched path keeps the paper's clock discipline (one tracker tick
+per item) but hoists the per-item attribute lookups out of the hot
+loop; this benchmark measures the resulting items/sec on both paths and
+writes a ``BENCH_throughput.json``-compatible dict to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro import registry
+from repro.streams import zipf_stream
+
+#: Representative sketch families (array-, dict-, and counter-backed).
+SKETCHES = ("count-min", "misra-gries", "space-saving", "kmv", "exact")
+
+
+def run_throughput(
+    m: int = 50_000,
+    n: int = 4096,
+    epsilon: float = 0.1,
+    skew: float = 1.2,
+    seed: int = 0,
+    sketches: tuple[str, ...] = SKETCHES,
+) -> dict:
+    """Measure items/sec for both ingestion paths on each sketch.
+
+    Both paths ingest the identical stream into identically-seeded
+    fresh instances, so the work per item is the same and the delta is
+    pure Python dispatch overhead.
+    """
+    stream = zipf_stream(n, m, skew=skew, seed=seed)
+    results: dict[str, dict[str, float]] = {}
+    for name in sketches:
+        single = registry.create(name, n=n, m=m, epsilon=epsilon, seed=seed)
+        start = time.perf_counter()
+        for item in stream:
+            single.process(item)
+        single_seconds = time.perf_counter() - start
+
+        batched = registry.create(name, n=n, m=m, epsilon=epsilon, seed=seed)
+        start = time.perf_counter()
+        batched.process_many(stream)
+        batched_seconds = time.perf_counter() - start
+
+        assert batched.items_processed == single.items_processed == m
+        results[name] = {
+            "items": m,
+            "single_items_per_sec": m / single_seconds,
+            "batched_items_per_sec": m / batched_seconds,
+            "batched_speedup": single_seconds / batched_seconds,
+        }
+    return {
+        "benchmark": "throughput",
+        "stream": {"n": n, "m": m, "skew": skew, "seed": seed},
+        "results": results,
+    }
+
+
+def format_throughput(payload: dict) -> str:
+    """Render the throughput dict as an aligned text table."""
+    lines = [
+        "Ingestion throughput — process() vs process_many()",
+        f"{'sketch':>16}{'single it/s':>14}{'batched it/s':>14}"
+        f"{'speedup':>9}",
+    ]
+    for name, row in payload["results"].items():
+        lines.append(
+            f"{name:>16}{row['single_items_per_sec']:>14.0f}"
+            f"{row['batched_items_per_sec']:>14.0f}"
+            f"{row['batched_speedup']:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def test_throughput(save_result):
+    payload = run_throughput(m=30_000)
+    save_result("BENCH_throughput_table", format_throughput(payload))
+    results_path = (
+        __import__("pathlib").Path(__file__).parent
+        / "results"
+        / "BENCH_throughput.json"
+    )
+    results_path.write_text(json.dumps(payload, indent=2) + "\n")
+    # The batched path must never be meaningfully slower than the
+    # single-item path (same per-item work, less dispatch overhead).
+    for name, row in payload["results"].items():
+        assert row["batched_speedup"] > 0.9, (name, row)
+
+
+if __name__ == "__main__":
+    print(format_throughput(run_throughput()))

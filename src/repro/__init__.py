@@ -35,7 +35,15 @@ from repro.core import (
 from repro.core.entropy import EntropyEstimator
 from repro.core.fp_pstable import PStableFpEstimator
 from repro.core.support_recovery import SparseSupportRecovery
-from repro.state import StateChangeReport, StateTracker, StreamAlgorithm
+from repro.runtime import Checkpoint, ShardedRunner, ShardedRunResult
+from repro.state import (
+    NotMergeableError,
+    NotSerializableError,
+    Sketch,
+    StateChangeReport,
+    StateTracker,
+    StreamAlgorithm,
+)
 from repro.streams import (
     FrequencyVector,
     lower_bound_pair,
@@ -50,6 +58,7 @@ from repro.streams import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Checkpoint",
     "EntropyEstimator",
     "ExactCounter",
     "FpEstimator",
@@ -58,9 +67,14 @@ __all__ = [
     "HeavyHitters",
     "MedianMorrisCounter",
     "MorrisCounter",
+    "NotMergeableError",
+    "NotSerializableError",
     "PStableFpEstimator",
     "SampleAndHold",
     "SampleAndHoldParams",
+    "ShardedRunResult",
+    "ShardedRunner",
+    "Sketch",
     "SparseSupportRecovery",
     "StateChangeReport",
     "StateTracker",

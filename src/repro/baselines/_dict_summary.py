@@ -1,0 +1,29 @@
+"""Shared helpers for the dict-backed summaries.
+
+``ExactFrequencyCounter``, ``MisraGries``, and ``SpaceSaving`` all keep
+an (item → count) :class:`~repro.state.registers.TrackedDict`; the
+add-merge over two summaries and the ``[[item, count], ...]`` payload
+round-trip are identical across them and live here so the family-
+specific merge rules (k-th-largest subtraction, minimum floors) stay
+single-site.
+"""
+
+from __future__ import annotations
+
+
+def added_counts(mine, theirs) -> dict[int, int]:
+    """Entrywise sum of two (item → count) mappings."""
+    combined = dict(mine.items())
+    for item, count in theirs.items():
+        combined[item] = combined.get(item, 0) + count
+    return combined
+
+
+def dict_payload(cells) -> list[list[int]]:
+    """JSON-safe ``[[item, count], ...]`` snapshot of a tracked dict."""
+    return [[item, count] for item, count in cells.items()]
+
+
+def load_dict_payload(cells, pairs) -> None:
+    """Restore a :func:`dict_payload` snapshot (untracked load)."""
+    cells.load({int(item): int(count) for item, count in pairs})

@@ -19,9 +19,14 @@ from repro.state.tracker import StateTracker
 
 
 class AMSSketch(StreamAlgorithm):
-    """AMS ``F2`` estimator with median-of-means boosting."""
+    """AMS ``F2`` estimator with median-of-means boosting.
+
+    A linear sketch: instances sharing ``(num_groups, group_size,
+    seed)`` merge by adding the sign-sums ``Z_c`` coordinate-wise.
+    """
 
     name = "AMS"
+    mergeable = True
 
     def __init__(
         self,
@@ -37,10 +42,12 @@ class AMSSketch(StreamAlgorithm):
         super().__init__(tracker)
         self.num_groups = num_groups
         self.group_size = group_size
+        self.seed = 0 if seed is None else seed
         total = num_groups * group_size
         self._sums = TrackedArray(self.tracker, "ams", total, fill=0)
-        base = 0 if seed is None else seed
-        self._signs = [KWiseHash(4, seed=base + 37 * c) for c in range(total)]
+        self._signs = [
+            KWiseHash(4, seed=self.seed + 37 * c) for c in range(total)
+        ]
         self.tracker.allocate(sum(h.description_words for h in self._signs))
 
     @classmethod
@@ -70,3 +77,32 @@ class AMSSketch(StreamAlgorithm):
             ]
             group_means.append(sum(values) / len(values))
         return float(statistics.median(group_means))
+
+    # ------------------------------------------------------------------
+    # Mergeable sketch protocol
+    # ------------------------------------------------------------------
+    def _merge_same_type(self, other: "AMSSketch") -> None:
+        if (other.num_groups, other.group_size, other.seed) != (
+            self.num_groups,
+            self.group_size,
+            self.seed,
+        ):
+            raise ValueError(
+                f"incompatible AMS sketches: "
+                f"{self.num_groups}x{self.group_size}/seed={self.seed} vs "
+                f"{other.num_groups}x{other.group_size}/seed={other.seed}"
+            )
+        self._sums.load([a + b for a, b in zip(self._sums, other._sums)])
+
+    def _config_state(self) -> dict:
+        return {
+            "num_groups": self.num_groups,
+            "group_size": self.group_size,
+            "seed": self.seed,
+        }
+
+    def _payload_state(self) -> dict:
+        return {"sums": list(self._sums)}
+
+    def _load_payload(self, payload: dict) -> None:
+        self._sums.load([int(v) for v in payload["sums"]])

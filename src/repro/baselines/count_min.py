@@ -18,9 +18,15 @@ from repro.state.tracker import StateTracker
 
 
 class CountMin(StreamAlgorithm):
-    """CountMin sketch with ``depth x width`` tracked counters."""
+    """CountMin sketch with ``depth x width`` tracked counters.
+
+    CountMin is a linear sketch, so two instances built with the same
+    ``(width, depth, seed)`` merge by cell-wise addition and the merged
+    sketch is *identical* to one that saw both streams.
+    """
 
     name = "CountMin"
+    mergeable = True
 
     def __init__(
         self,
@@ -34,12 +40,14 @@ class CountMin(StreamAlgorithm):
         super().__init__(tracker)
         self.width = width
         self.depth = depth
+        self.seed = 0 if seed is None else seed
         self._rows = [
             TrackedArray(self.tracker, f"cm[{r}]", width, fill=0)
             for r in range(depth)
         ]
-        base = 0 if seed is None else seed
-        self._hashes = [KWiseHash(2, seed=base + 1000 * r) for r in range(depth)]
+        self._hashes = [
+            KWiseHash(2, seed=self.seed + 1000 * r) for r in range(depth)
+        ]
         # Hash descriptions occupy memory too.
         self.tracker.allocate(sum(h.description_words for h in self._hashes))
 
@@ -73,3 +81,30 @@ class CountMin(StreamAlgorithm):
     def estimates_for(self, items: set[int]) -> dict[int, float]:
         """Point queries for a candidate set (CountMin has no item list)."""
         return {item: self.estimate(item) for item in items}
+
+    # ------------------------------------------------------------------
+    # Mergeable sketch protocol
+    # ------------------------------------------------------------------
+    def _merge_same_type(self, other: "CountMin") -> None:
+        if (other.width, other.depth, other.seed) != (
+            self.width,
+            self.depth,
+            self.seed,
+        ):
+            raise ValueError(
+                f"incompatible CountMin sketches: "
+                f"{self.width}x{self.depth}/seed={self.seed} vs "
+                f"{other.width}x{other.depth}/seed={other.seed}"
+            )
+        for row, other_row in zip(self._rows, other._rows):
+            row.load([a + b for a, b in zip(row, other_row)])
+
+    def _config_state(self) -> dict:
+        return {"width": self.width, "depth": self.depth, "seed": self.seed}
+
+    def _payload_state(self) -> dict:
+        return {"rows": [list(row) for row in self._rows]}
+
+    def _load_payload(self, payload: dict) -> None:
+        for row, values in zip(self._rows, payload["rows"]):
+            row.load([int(v) for v in values])

@@ -36,6 +36,7 @@ class CountMinMorris(StreamAlgorithm):
     """
 
     name = "CountMin-Morris"
+    mergeable = True
 
     def __init__(
         self,
@@ -50,7 +51,9 @@ class CountMinMorris(StreamAlgorithm):
         super().__init__(tracker)
         self.width = width
         self.depth = depth
-        base = 0 if seed is None else seed
+        self.a = a
+        self.seed = 0 if seed is None else seed
+        base = self.seed
         rng = random.Random(base)
         self._rows = [
             [
@@ -88,3 +91,41 @@ class CountMinMorris(StreamAlgorithm):
             row[h.bucket(item, self.width)].estimate
             for row, h in zip(self._rows, self._hashes)
         )
+
+    # ------------------------------------------------------------------
+    # Mergeable sketch protocol
+    # ------------------------------------------------------------------
+    # Cells merge pairwise via the unbiased Morris merge (a weighted
+    # climb by the other cell's estimate), so the merged sketch stays an
+    # unbiased per-cell estimate of the combined hashed-in mass.
+    def _merge_same_type(self, other: "CountMinMorris") -> None:
+        if (other.width, other.depth, other.a, other.seed) != (
+            self.width,
+            self.depth,
+            self.a,
+            self.seed,
+        ):
+            raise ValueError(
+                f"incompatible CountMin-Morris sketches: "
+                f"{self.width}x{self.depth}/a={self.a}/seed={self.seed} vs "
+                f"{other.width}x{other.depth}/a={other.a}/seed={other.seed}"
+            )
+        for row, other_row in zip(self._rows, other._rows):
+            for cell, other_cell in zip(row, other_row):
+                cell.merge_from(other_cell)
+
+    def _config_state(self) -> dict:
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "a": self.a,
+            "seed": self.seed,
+        }
+
+    def _payload_state(self) -> dict:
+        return {"levels": [[cell.level for cell in row] for row in self._rows]}
+
+    def _load_payload(self, payload: dict) -> None:
+        for row, levels in zip(self._rows, payload["levels"]):
+            for cell, level in zip(row, levels):
+                cell.load_level(level)

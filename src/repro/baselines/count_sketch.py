@@ -19,9 +19,14 @@ from repro.state.tracker import StateTracker
 
 
 class CountSketch(StreamAlgorithm):
-    """CountSketch with ``depth x width`` signed tracked counters."""
+    """CountSketch with ``depth x width`` signed tracked counters.
+
+    A linear sketch: instances sharing ``(width, depth, seed)`` merge
+    by cell-wise addition, exactly matching a single-instance run.
+    """
 
     name = "CountSketch"
+    mergeable = True
 
     def __init__(
         self,
@@ -35,11 +40,12 @@ class CountSketch(StreamAlgorithm):
         super().__init__(tracker)
         self.width = width
         self.depth = depth
+        self.seed = 0 if seed is None else seed
         self._rows = [
             TrackedArray(self.tracker, f"cs[{r}]", width, fill=0)
             for r in range(depth)
         ]
-        base = 0 if seed is None else seed
+        base = self.seed
         self._bucket_hashes = [
             KWiseHash(2, seed=base + 1000 * r) for r in range(depth)
         ]
@@ -87,3 +93,30 @@ class CountSketch(StreamAlgorithm):
         """``F2`` estimate: median over rows of the row's squared mass."""
         row_sums = [sum(cell * cell for cell in row) for row in self._rows]
         return float(statistics.median(row_sums))
+
+    # ------------------------------------------------------------------
+    # Mergeable sketch protocol
+    # ------------------------------------------------------------------
+    def _merge_same_type(self, other: "CountSketch") -> None:
+        if (other.width, other.depth, other.seed) != (
+            self.width,
+            self.depth,
+            self.seed,
+        ):
+            raise ValueError(
+                f"incompatible CountSketch sketches: "
+                f"{self.width}x{self.depth}/seed={self.seed} vs "
+                f"{other.width}x{other.depth}/seed={other.seed}"
+            )
+        for row, other_row in zip(self._rows, other._rows):
+            row.load([a + b for a, b in zip(row, other_row)])
+
+    def _config_state(self) -> dict:
+        return {"width": self.width, "depth": self.depth, "seed": self.seed}
+
+    def _payload_state(self) -> dict:
+        return {"rows": [list(row) for row in self._rows]}
+
+    def _load_payload(self, payload: dict) -> None:
+        for row, values in zip(self._rows, payload["rows"]):
+            row.load([int(v) for v in values])

@@ -7,15 +7,24 @@ anchoring the ``O(m)`` end of Table 1.
 
 from __future__ import annotations
 
+from repro.baselines._dict_summary import (
+    added_counts,
+    dict_payload,
+    load_dict_payload,
+)
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedDict
 from repro.state.tracker import StateTracker
 
 
 class ExactFrequencyCounter(StreamAlgorithm):
-    """Exact frequencies via a tracked hash table (space ``O(F0)``)."""
+    """Exact frequencies via a tracked hash table (space ``O(F0)``).
+
+    Trivially mergeable: frequency vectors add.
+    """
 
     name = "Exact"
+    mergeable = True
 
     def __init__(self, tracker: StateTracker | None = None) -> None:
         super().__init__(tracker)
@@ -31,3 +40,18 @@ class ExactFrequencyCounter(StreamAlgorithm):
     def estimates(self) -> dict[int, float]:
         """All stored frequencies (exact)."""
         return {item: float(count) for item, count in self._counts.items()}
+
+    # ------------------------------------------------------------------
+    # Mergeable sketch protocol
+    # ------------------------------------------------------------------
+    def _merge_same_type(self, other: "ExactFrequencyCounter") -> None:
+        self._counts.load(added_counts(self._counts, other._counts))
+
+    def _config_state(self) -> dict:
+        return {}
+
+    def _payload_state(self) -> dict:
+        return {"counts": dict_payload(self._counts)}
+
+    def _load_payload(self, payload: dict) -> None:
+        load_dict_payload(self._counts, payload["counts"])

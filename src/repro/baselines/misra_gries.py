@@ -10,15 +10,28 @@ behaviour the paper contrasts against.
 
 from __future__ import annotations
 
+from repro.baselines._dict_summary import (
+    added_counts,
+    dict_payload,
+    load_dict_payload,
+)
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedDict
 from repro.state.tracker import StateTracker
 
 
 class MisraGries(StreamAlgorithm):
-    """Misra–Gries summary with ``k - 1`` counters."""
+    """Misra–Gries summary with ``k - 1`` counters.
+
+    Mergeable per [ACHPWY12] ("Mergeable Summaries"): add the two
+    summaries' counters, then subtract the ``k``-th largest combined
+    count from every entry and drop the non-positive ones.  The merged
+    summary keeps the ``f_i - (m_1 + m_2)/k <= fhat_i <= f_i``
+    guarantee of a single instance over the concatenated stream.
+    """
 
     name = "Misra-Gries"
+    mergeable = True
 
     def __init__(self, k: int, tracker: StateTracker | None = None) -> None:
         if k < 2:
@@ -54,3 +67,33 @@ class MisraGries(StreamAlgorithm):
     def additive_error_bound(self) -> float:
         """Worst-case underestimation ``m/k`` after ``m`` updates."""
         return self.items_processed / self.k
+
+    # ------------------------------------------------------------------
+    # Mergeable sketch protocol
+    # ------------------------------------------------------------------
+    def _merge_same_type(self, other: "MisraGries") -> None:
+        if other.k != self.k:
+            raise ValueError(
+                f"incompatible Misra-Gries summaries: k={self.k} vs "
+                f"k={other.k}"
+            )
+        combined = added_counts(self._counters, other._counters)
+        if len(combined) > self.k - 1:
+            # Subtract the k-th largest combined count; at most k - 1
+            # entries stay positive ([ACHPWY12] merge rule).
+            kth = sorted(combined.values(), reverse=True)[self.k - 1]
+            combined = {
+                item: count - kth
+                for item, count in combined.items()
+                if count - kth > 0
+            }
+        self._counters.load(combined)
+
+    def _config_state(self) -> dict:
+        return {"k": self.k}
+
+    def _payload_state(self) -> dict:
+        return {"counters": dict_payload(self._counters)}
+
+    def _load_payload(self, payload: dict) -> None:
+        load_dict_payload(self._counters, payload["counters"])

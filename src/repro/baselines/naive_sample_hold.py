@@ -38,6 +38,7 @@ class NaiveSampleAndHold(StreamAlgorithm):
         sample_probability: float,
         capacity: int,
         rng: random.Random | None = None,
+        seed: int | None = None,
         tracker: StateTracker | None = None,
     ) -> None:
         if not 0 < sample_probability <= 1:
@@ -49,7 +50,7 @@ class NaiveSampleAndHold(StreamAlgorithm):
         super().__init__(tracker)
         self.sample_probability = sample_probability
         self.capacity = capacity
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = rng if rng is not None else random.Random(seed)
         self._counters: TrackedDict[int, int] = TrackedDict(self.tracker, "nsh")
 
     def _update(self, item: int) -> None:

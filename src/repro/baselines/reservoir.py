@@ -24,13 +24,14 @@ class ReservoirSampler(StreamAlgorithm):
         self,
         k: int,
         rng: random.Random | None = None,
+        seed: int | None = None,
         tracker: StateTracker | None = None,
     ) -> None:
         if k < 1:
             raise ValueError(f"reservoir size must be >= 1: {k}")
         super().__init__(tracker)
         self.k = k
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = rng if rng is not None else random.Random(seed)
         self._slots: TrackedArray[int | None] = TrackedArray(
             self.tracker, "reservoir", k, fill=None
         )

@@ -9,15 +9,25 @@ most ``m/k``.  Like Misra–Gries it writes on every update —
 
 from __future__ import annotations
 
+from repro.baselines._dict_summary import dict_payload, load_dict_payload
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedDict
 from repro.state.tracker import StateTracker
 
 
 class SpaceSaving(StreamAlgorithm):
-    """SpaceSaving summary with ``k`` counters."""
+    """SpaceSaving summary with ``k`` counters.
+
+    Mergeable with the parallel-SpaceSaving rule [CPE16]: over the
+    union of tracked items, an item absent from a *full* summary
+    contributes that summary's minimum count (it may have been evicted
+    holding up to that much mass) and the ``k`` largest combined
+    counts survive.  Merged estimates stay overestimates and the
+    additive error is bounded by the sum of the shards' bounds.
+    """
 
     name = "SpaceSaving"
+    mergeable = True
 
     def __init__(self, k: int, tracker: StateTracker | None = None) -> None:
         if k < 1:
@@ -48,3 +58,40 @@ class SpaceSaving(StreamAlgorithm):
     def additive_error_bound(self) -> float:
         """Worst-case overestimation ``m/k`` after ``m`` updates."""
         return self.items_processed / self.k
+
+    # ------------------------------------------------------------------
+    # Mergeable sketch protocol
+    # ------------------------------------------------------------------
+    def _merge_same_type(self, other: "SpaceSaving") -> None:
+        if other.k != self.k:
+            raise ValueError(
+                f"incompatible SpaceSaving summaries: k={self.k} vs "
+                f"k={other.k}"
+            )
+        mine = dict(self._counters.items())
+        theirs = dict(other._counters.items())
+        # An item missing from a full summary may have been evicted
+        # holding up to that summary's minimum count, so it counts as
+        # the minimum rather than zero — otherwise a heavy item evicted
+        # on one shard loses its mass and the overestimate invariant.
+        floor_mine = min(mine.values()) if len(mine) >= self.k else 0
+        floor_theirs = min(theirs.values()) if len(theirs) >= self.k else 0
+        combined = {
+            item: mine.get(item, floor_mine) + theirs.get(item, floor_theirs)
+            for item in mine.keys() | theirs.keys()
+        }
+        if len(combined) > self.k:
+            survivors = sorted(
+                combined.items(), key=lambda kv: kv[1], reverse=True
+            )[: self.k]
+            combined = dict(survivors)
+        self._counters.load(combined)
+
+    def _config_state(self) -> dict:
+        return {"k": self.k}
+
+    def _payload_state(self) -> dict:
+        return {"counters": dict_payload(self._counters)}
+
+    def _load_payload(self, payload: dict) -> None:
+        load_dict_payload(self._counters, payload["counters"])

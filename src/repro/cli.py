@@ -1,14 +1,18 @@
 """Command-line interface: audit algorithms and reproduce experiments.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro audit --algorithm heavy-hitters --workload zipf \
         --n 4096 --m 65536            # run one algorithm, print audit
+    python -m repro shard --sketch count-min --shards 1,2,4,8 \
+        --epsilon 0.1                 # sharded vs single-instance runs
     python -m repro table1            # regenerate Table 1
     python -m repro reproduce --quick # run the main experiment suite
 
 ``audit`` can also read a stream of integers from a file (one item per
 line) via ``--input``, which is how external traces are replayed.
+Algorithms are constructed through :mod:`repro.registry`, so every
+registered name works with both ``audit`` and (if mergeable) ``shard``.
 """
 
 from __future__ import annotations
@@ -17,16 +21,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.baselines import (
-    CountMin,
-    CountMinMorris,
-    CountSketch,
-    ExactFrequencyCounter,
-    MisraGries,
-    SpaceSaving,
-)
-from repro.core import FullSampleAndHold, HeavyHitters
-from repro.core.distinct import KMVDistinctElements
+from repro import registry
 from repro.streams import (
     FrequencyVector,
     uniform_stream,
@@ -35,34 +30,13 @@ from repro.streams import (
 
 
 def _build_algorithm(name: str, n: int, m: int, epsilon: float, seed: int):
-    """Instantiate an algorithm by CLI name."""
-    factories = {
-        "heavy-hitters": lambda: HeavyHitters(
-            n=n, m=m, p=2, epsilon=epsilon, seed=seed,
-            inner_kwargs={"repetitions": 1},
-        ),
-        "sample-and-hold": lambda: FullSampleAndHold(
-            n=n, m=m, p=2, epsilon=epsilon, seed=seed, repetitions=1
-        ),
-        "misra-gries": lambda: MisraGries(k=max(2, int(2 / epsilon))),
-        "space-saving": lambda: SpaceSaving(k=max(1, int(2 / epsilon))),
-        "count-min": lambda: CountMin.for_accuracy(epsilon, seed=seed),
-        "count-min-morris": lambda: CountMinMorris.for_accuracy(
-            epsilon, seed=seed
-        ),
-        "count-sketch": lambda: CountSketch.for_accuracy(
-            max(0.2, epsilon), seed=seed
-        ),
-        "exact": ExactFrequencyCounter,
-        "kmv": lambda: KMVDistinctElements.for_accuracy(
-            max(0.05, epsilon / 4), seed=seed
-        ),
-    }
-    if name not in factories:
+    """Instantiate an algorithm by registry name."""
+    try:
+        return registry.create(name, n=n, m=m, epsilon=epsilon, seed=seed)
+    except KeyError:
         raise SystemExit(
-            f"unknown algorithm {name!r}; choose from {sorted(factories)}"
-        )
-    return factories[name]()
+            f"unknown algorithm {name!r}; choose from {registry.names()}"
+        ) from None
 
 
 def _load_stream(args: argparse.Namespace) -> list[int]:
@@ -104,6 +78,54 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         f = FrequencyVector.from_stream(stream)
         print(f"ground truth: F2={f.fp_moment(2):.4g} "
               f"H={f.shannon_entropy():.3f} distinct={len(f)}")
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        format_shard_scaling,
+        is_scorable,
+        shard_scaling,
+    )
+
+    try:
+        shard_counts = tuple(
+            int(part) for part in args.shards.split(",") if part.strip()
+        )
+    except ValueError:
+        raise SystemExit(
+            f"--shards must be a comma-separated list of ints: "
+            f"{args.shards!r}"
+        ) from None
+    if not shard_counts or any(count < 1 for count in shard_counts):
+        raise SystemExit(f"shard counts must be >= 1: {args.shards!r}")
+    try:
+        spec = registry.spec(args.sketch)
+    except KeyError:
+        raise SystemExit(
+            f"unknown sketch {args.sketch!r}; choose from {registry.names()}"
+        ) from None
+    if not spec.mergeable and max(shard_counts) > 1:
+        raise SystemExit(
+            f"{args.sketch!r} is not mergeable and cannot be sharded; "
+            f"mergeable sketches: {registry.mergeable_names()}"
+        )
+    if not is_scorable(spec.cls):
+        raise SystemExit(
+            f"{args.sketch!r} has no frequency or moment estimate to "
+            f"score; pick a sketch with estimate()/f*_estimate()"
+        )
+    rows = shard_scaling(
+        sketch=args.sketch,
+        shard_counts=shard_counts,
+        n=args.n,
+        m=args.m,
+        epsilon=args.epsilon,
+        skew=args.skew,
+        partition=args.partition,
+        seed=args.seed,
+    )
+    print(format_shard_scaling(rows, args.sketch, args.partition))
     return 0
 
 
@@ -166,6 +188,22 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--truth", action="store_true",
                        help="also compute exact ground truth")
     audit.set_defaults(func=_cmd_audit)
+
+    shard = sub.add_parser(
+        "shard",
+        help="compare sharded ingestion against a single instance",
+    )
+    shard.add_argument("--sketch", default="count-min")
+    shard.add_argument("--shards", default="1,2,4,8",
+                       help="comma-separated shard counts")
+    shard.add_argument("--partition", default="hash",
+                       choices=["hash", "round-robin"])
+    shard.add_argument("--n", type=int, default=4096)
+    shard.add_argument("--m", type=int, default=65536)
+    shard.add_argument("--skew", type=float, default=1.2)
+    shard.add_argument("--epsilon", type=float, default=0.1)
+    shard.add_argument("--seed", type=int, default=0)
+    shard.set_defaults(func=_cmd_shard)
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")
     table1.add_argument("--n", type=int, default=2**14)

@@ -28,6 +28,7 @@ import itertools
 import math
 import random
 
+from repro.state.algorithm import NotMergeableError
 from repro.state.registers import TrackedValue
 from repro.state.tracker import StateTracker
 
@@ -75,6 +76,14 @@ class ExactCounter(ApproximateCounter):
     @property
     def estimate(self) -> float:
         return self._cell.value
+
+    def merge_from(self, other: "ApproximateCounter") -> None:
+        """Absorb ``other``'s count (untracked: merges are offline)."""
+        if not isinstance(other, ExactCounter):
+            raise NotMergeableError(
+                f"cannot merge {type(other).__name__} into ExactCounter"
+            )
+        self._cell.load(self._cell.value + other.estimate)
 
     def release(self) -> None:
         self._cell.release()
@@ -150,22 +159,30 @@ class MorrisCounter(ApproximateCounter):
         """
         return (1.0 + self.a) ** level
 
-    def add(self, weight: float = 1.0) -> None:
-        if weight < 0:
-            raise ValueError(f"counter increments must be >= 0: {weight}")
-        if weight == 0:
-            return
+    def _climbed_level(self, weight: float) -> int:
+        """Level reached after absorbing ``weight`` (unbiased).
+
+        Weight ``w`` first climbs whole levels deterministically while
+        ``w`` exceeds the current level gap, then flips a coin with
+        probability ``w_remainder / gap`` for the final level.
+        """
         level = self._level.value
         remaining = weight
-        # Deterministic whole-level climbs for large weights.
         gap = self._gap(level)
         while remaining >= gap:
             remaining -= gap
             level += 1
             gap = self._gap(level)
-        # Probabilistic final step keeps the estimator unbiased.
         if remaining > 0 and self._rng.random() < remaining / gap:
             level += 1
+        return level
+
+    def add(self, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise ValueError(f"counter increments must be >= 0: {weight}")
+        if weight == 0:
+            return
+        level = self._climbed_level(weight)
         if level != self._level.value:
             self._level.set(level)
 
@@ -178,6 +195,32 @@ class MorrisCounter(ApproximateCounter):
     def level(self) -> int:
         """Current stored level ``X`` (the only persisted word)."""
         return self._level.value
+
+    def merge_from(self, other: "ApproximateCounter") -> None:
+        """Absorb ``other``'s count; remains unbiased.
+
+        The other counter's estimate is unbiased for its true count, so
+        a weighted climb by that estimate keeps the merged estimator
+        unbiased (tower property).  The level write goes through the
+        untracked ``load`` path: merging is an offline reduce, not a
+        stream update, so it is not charged as a state change.
+        """
+        if not isinstance(other, MorrisCounter):
+            raise NotMergeableError(
+                f"cannot merge {type(other).__name__} into MorrisCounter"
+            )
+        if other.a != self.a:
+            raise ValueError(
+                f"cannot merge Morris counters with different growth "
+                f"parameters: {self.a} vs {other.a}"
+            )
+        weight = other.estimate
+        if weight > 0:
+            self._level.load(self._climbed_level(weight))
+
+    def load_level(self, level: int) -> None:
+        """Restore a serialized level (untracked; checkpoint path)."""
+        self._level.load(int(level))
 
     def release(self) -> None:
         self._level.release()
@@ -230,6 +273,35 @@ class MedianMorrisCounter(ApproximateCounter):
     def num_copies(self) -> int:
         """Number of independent Morris copies behind the median."""
         return len(self._copies)
+
+    @property
+    def levels(self) -> list[int]:
+        """Stored levels of every copy (the persisted words)."""
+        return [copy.level for copy in self._copies]
+
+    def merge_from(self, other: "ApproximateCounter") -> None:
+        """Absorb another median-of-Morris counter, copy by copy."""
+        if not isinstance(other, MedianMorrisCounter):
+            raise NotMergeableError(
+                f"cannot merge {type(other).__name__} into "
+                f"MedianMorrisCounter"
+            )
+        if other.num_copies != self.num_copies:
+            raise ValueError(
+                f"cannot merge MedianMorrisCounters with different copy "
+                f"counts: {self.num_copies} vs {other.num_copies}"
+            )
+        for mine, theirs in zip(self._copies, other._copies):
+            mine.merge_from(theirs)
+
+    def load_levels(self, levels: list[int]) -> None:
+        """Restore serialized per-copy levels (checkpoint path)."""
+        if len(levels) != len(self._copies):
+            raise ValueError(
+                f"expected {len(self._copies)} levels, got {len(levels)}"
+            )
+        for copy, level in zip(self._copies, levels):
+            copy.load_level(level)
 
     def release(self) -> None:
         for copy in self._copies:

@@ -43,6 +43,7 @@ class KMVDistinctElements(StreamAlgorithm):
     """
 
     name = "KMV"
+    mergeable = True
 
     def __init__(
         self,
@@ -54,7 +55,8 @@ class KMVDistinctElements(StreamAlgorithm):
             raise ValueError(f"KMV needs k >= 2: {k}")
         super().__init__(tracker)
         self.k = k
-        self._hash = KWiseHash(2, seed=seed)
+        self.seed = 0 if seed is None else seed
+        self._hash = KWiseHash(2, seed=self.seed)
         self.tracker.allocate(self._hash.description_words)
         # Sorted array of the k smallest unit hashes (1.0 = empty slot).
         self._minima: TrackedArray[float] = TrackedArray(
@@ -74,7 +76,11 @@ class KMVDistinctElements(StreamAlgorithm):
         """Sketch with standard error ``~epsilon``."""
         if not 0 < epsilon <= 1:
             raise ValueError(f"epsilon must be in (0, 1]: {epsilon}")
-        return cls(k=max(2, int(math.ceil(1.0 / epsilon**2))), seed=seed)
+        return cls(
+            k=max(2, int(math.ceil(1.0 / epsilon**2))),
+            seed=seed,
+            tracker=tracker,
+        )
 
     def _update(self, item: int) -> None:
         value = self._hash.unit(item)
@@ -114,3 +120,32 @@ class KMVDistinctElements(StreamAlgorithm):
         if v_k <= 0.0:
             return float(self.k)
         return (self.k - 1) / v_k
+
+    # ------------------------------------------------------------------
+    # Mergeable sketch protocol
+    # ------------------------------------------------------------------
+    # Two KMV sketches over the same hash merge by taking the k smallest
+    # of the union of minima — exactly the state of a single instance
+    # that saw both streams.
+    def _merge_same_type(self, other: "KMVDistinctElements") -> None:
+        if (other.k, other.seed) != (self.k, self.seed):
+            raise ValueError(
+                f"incompatible KMV sketches: k={self.k}/seed={self.seed} "
+                f"vs k={other.k}/seed={other.seed}"
+            )
+        union = {v for v in self._minima if v < 1.0}
+        union.update(v for v in other._minima if v < 1.0)
+        self._load_minima(sorted(union)[: self.k])
+
+    def _load_minima(self, occupied: list[float]) -> None:
+        self._minima.load(occupied + [1.0] * (self.k - len(occupied)))
+        self._members = set(occupied)
+
+    def _config_state(self) -> dict:
+        return {"k": self.k, "seed": self.seed}
+
+    def _payload_state(self) -> dict:
+        return {"minima": [v for v in self._minima if v < 1.0]}
+
+    def _load_payload(self, payload: dict) -> None:
+        self._load_minima(sorted(float(v) for v in payload["minima"]))

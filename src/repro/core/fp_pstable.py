@@ -72,6 +72,7 @@ class PStableFpEstimator(StreamAlgorithm):
     """
 
     name = "PStableFp"
+    mergeable = True
 
     def __init__(
         self,
@@ -93,6 +94,7 @@ class PStableFpEstimator(StreamAlgorithm):
         if num_rows is None:
             num_rows = min(400, max(20, int(math.ceil(4.0 / epsilon**2))))
         self.num_rows = num_rows
+        self.morris_a = morris_a
         self.seed = 0 if seed is None else seed
         self.variate_seed = self.seed if variate_seed is None else variate_seed
         self._rng = random.Random(self.seed)
@@ -188,3 +190,51 @@ class PStableFpEstimator(StreamAlgorithm):
     def fp_estimate(self, estimator: str = "median") -> float:
         """``Fp = ||f||_p^p`` estimate."""
         return self.lp_norm_estimate(estimator) ** self.p
+
+    # ------------------------------------------------------------------
+    # Mergeable sketch protocol
+    # ------------------------------------------------------------------
+    # Each row's positive/negative halves are monotone inner products
+    # ``<D^{(+/-)}, f>``, which add across stream shards; two sketches
+    # sharing a variate seed see the same matrix ``D``, so merging the
+    # Morris counters row-wise merges the sketches.
+    def _merge_same_type(self, other: "PStableFpEstimator") -> None:
+        if (other.p, other.num_rows, other.morris_a, other.variate_seed) != (
+            self.p,
+            self.num_rows,
+            self.morris_a,
+            self.variate_seed,
+        ):
+            raise ValueError(
+                f"incompatible p-stable sketches: "
+                f"p={self.p}/rows={self.num_rows}/a={self.morris_a}"
+                f"/variates={self.variate_seed} vs "
+                f"p={other.p}/rows={other.num_rows}/a={other.morris_a}"
+                f"/variates={other.variate_seed}"
+            )
+        for mine, theirs in zip(self._positive, other._positive):
+            mine.merge_from(theirs)
+        for mine, theirs in zip(self._negative, other._negative):
+            mine.merge_from(theirs)
+
+    def _config_state(self) -> dict:
+        return {
+            "p": self.p,
+            "epsilon": self.epsilon,
+            "num_rows": self.num_rows,
+            "morris_a": self.morris_a,
+            "seed": self.seed,
+            "variate_seed": self.variate_seed,
+        }
+
+    def _payload_state(self) -> dict:
+        return {
+            "positive": [counter.level for counter in self._positive],
+            "negative": [counter.level for counter in self._negative],
+        }
+
+    def _load_payload(self, payload: dict) -> None:
+        for counter, level in zip(self._positive, payload["positive"]):
+            counter.load_level(level)
+        for counter, level in zip(self._negative, payload["negative"]):
+            counter.load_level(level)

@@ -142,7 +142,11 @@ class SampleAndHold(StreamAlgorithm):
     params:
         Resolved sizes/probabilities (see :class:`SampleAndHoldParams`).
     rng:
-        Randomness for sampling, slot choice, and Morris coin flips.
+        Randomness for sampling, slot choice, and Morris coin flips;
+        overrides ``seed``.
+    seed:
+        Seed for the default RNG when ``rng`` is not given; runs with
+        equal seeds are reproducible.
     use_morris:
         When False, hold *exact* counters instead of Morris counters —
         the ablation of experiment A1 (accuracy up, state changes up).
@@ -161,6 +165,7 @@ class SampleAndHold(StreamAlgorithm):
         rng: random.Random | None = None,
         use_morris: bool = True,
         eviction: str = "age-bucketed",
+        seed: int | None = None,
         tracker: StateTracker | None = None,
     ) -> None:
         if eviction not in ("age-bucketed", "global"):
@@ -169,7 +174,7 @@ class SampleAndHold(StreamAlgorithm):
         self.params = params
         self.use_morris = use_morris
         self.eviction = eviction
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = rng if rng is not None else random.Random(seed)
         self._budget = self._draw_budget()
         # The reservoir is provisioned for the largest possible budget so
         # that budget re-draws never outgrow the array.

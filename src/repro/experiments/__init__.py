@@ -27,6 +27,11 @@ from repro.experiments.scaling import (
     loglog_slope,
     state_change_scaling,
 )
+from repro.experiments.sharding import (
+    format_shard_scaling,
+    is_scorable,
+    shard_scaling,
+)
 from repro.experiments.table1 import format_table1, run_table1
 
 __all__ = [
@@ -39,6 +44,8 @@ __all__ = [
     "format_eviction_ablation",
     "format_morris_tradeoff",
     "format_nvm_wear",
+    "format_shard_scaling",
+    "is_scorable",
     "format_table1",
     "fp_accuracy",
     "fp_scaling",
@@ -49,5 +56,6 @@ __all__ = [
     "nvm_wear_comparison",
     "pstable_accuracy",
     "run_table1",
+    "shard_scaling",
     "state_change_scaling",
 ]

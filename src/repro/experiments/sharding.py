@@ -1,0 +1,180 @@
+"""Sharded-ingestion scaling experiment (the runtime's accuracy audit).
+
+Runs a registry sketch at 1/2/4/8 shards over the same stream and
+compares the merge-reduced estimates against the single-instance
+baseline and the exact ground truth.  The theory being checked:
+
+* linear sketches (CountMin, CountSketch, AMS) merge losslessly, so
+  the merged estimates must be *identical* to the single-instance run
+  at every shard count;
+* summary-based families (Misra-Gries, SpaceSaving) stay within their
+  additive error bound (which sums across shards);
+* the merged state-change total equals the sum of the shard totals —
+  sharding redistributes, but does not create, state changes.
+
+Frequency sketches (per-item ``estimate(item)``) are scored on the
+top-``k`` true items; aggregate estimators (AMS ``F2``, KMV ``F0``,
+p-stable ``Fp``) are scored on their single scalar estimate against
+the exact moment — the error columns keep the same meaning either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro import registry
+from repro.runtime.sharded import ShardedRunner
+from repro.streams import FrequencyVector, zipf_stream
+
+
+@dataclass(frozen=True)
+class ShardScalingRow:
+    """One shard count's accuracy/state-change measurements."""
+
+    num_shards: int
+    state_changes: int
+    sum_shard_state_changes: int
+    peak_words: int
+    skew: float
+    #: Mean |estimate - truth| over the top items (frequency sketches)
+    #: or |scalar estimate - exact moment| (aggregate estimators).
+    mean_abs_error: float
+    #: Max |estimate - single-instance estimate| over the same queries.
+    max_dev_from_single: float
+
+
+def is_scorable(sketch_cls: type) -> bool:
+    """Whether :func:`shard_scaling` can score this sketch class.
+
+    Scoring needs either a per-item ``estimate(item)`` or one of the
+    aggregate moment queries (``f2_estimate``/``f0_estimate``/
+    ``fp_estimate``); samplers like ``reservoir`` have neither.
+    """
+    return any(
+        hasattr(sketch_cls, query)
+        for query in ("estimate", "f2_estimate", "f0_estimate", "fp_estimate")
+    )
+
+
+def _scalar_estimate(sketch) -> float:
+    """Aggregate query for sketches without per-item estimates."""
+    if hasattr(sketch, "f2_estimate"):
+        return float(sketch.f2_estimate())
+    if hasattr(sketch, "f0_estimate"):
+        return float(sketch.f0_estimate())
+    if hasattr(sketch, "fp_estimate"):
+        return float(sketch.fp_estimate())
+    raise TypeError(
+        f"{type(sketch).__name__} exposes neither estimate(item) nor an "
+        f"aggregate estimate; cannot score it"
+    )
+
+
+def _scalar_truth(sketch, truth: FrequencyVector) -> float:
+    """Exact moment matching :func:`_scalar_estimate`'s query."""
+    if hasattr(sketch, "f2_estimate"):
+        return truth.fp_moment(2.0)
+    if hasattr(sketch, "f0_estimate"):
+        return truth.fp_moment(0.0)
+    return truth.fp_moment(sketch.p)
+
+
+def shard_scaling(
+    sketch: str = "count-min",
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    n: int = 4096,
+    m: int = 65536,
+    epsilon: float = 0.1,
+    skew: float = 1.2,
+    partition: str = "hash",
+    top_k: int = 20,
+    seed: int = 0,
+) -> list[ShardScalingRow]:
+    """Compare shard counts against the single-instance baseline.
+
+    All runs (including the 1-shard baseline) share the same stream and
+    the same sketch seed, so differences are attributable to the
+    partition/merge pipeline alone.
+    """
+    stream = zipf_stream(n, m, skew=skew, seed=seed)
+    truth = FrequencyVector.from_stream(stream)
+    top_items = [
+        item
+        for item, _ in sorted(truth.items(), key=lambda kv: -kv[1])[:top_k]
+    ]
+
+    single = registry.create(sketch, n=n, m=m, epsilon=epsilon, seed=seed)
+    single.process_many(stream)
+    per_item = hasattr(single, "estimate")
+    if per_item:
+        single_estimates = {
+            item: single.estimate(item) for item in top_items
+        }
+    else:
+        single_scalar = _scalar_estimate(single)
+        truth_scalar = _scalar_truth(single, truth)
+
+    rows = []
+    for num_shards in shard_counts:
+        runner = ShardedRunner.from_registry(
+            sketch,
+            num_shards,
+            n=n,
+            m=m,
+            epsilon=epsilon,
+            seed=seed,
+            partition=partition,
+        )
+        result = runner.run(stream)
+        if per_item:
+            estimates = {
+                item: result.merged.estimate(item) for item in top_items
+            }
+            mean_abs_error = sum(
+                abs(estimates[item] - truth[item]) for item in top_items
+            ) / max(1, len(top_items))
+            max_dev = max(
+                (
+                    abs(estimates[item] - single_estimates[item])
+                    for item in top_items
+                ),
+                default=0.0,
+            )
+        else:
+            merged_scalar = _scalar_estimate(result.merged)
+            mean_abs_error = abs(merged_scalar - truth_scalar)
+            max_dev = abs(merged_scalar - single_scalar)
+        rows.append(
+            ShardScalingRow(
+                num_shards=num_shards,
+                state_changes=result.merged_report.state_changes,
+                sum_shard_state_changes=sum(
+                    report.state_changes for report in result.shard_reports
+                ),
+                peak_words=result.merged_report.peak_words,
+                skew=result.skew,
+                mean_abs_error=mean_abs_error,
+                max_dev_from_single=max_dev,
+            )
+        )
+    return rows
+
+
+def format_shard_scaling(
+    rows: Sequence[ShardScalingRow], sketch: str, partition: str
+) -> str:
+    """Render the scaling sweep as an aligned text table."""
+    lines = [
+        f"Sharded ingestion scaling — {sketch} ({partition}-partitioned)",
+        f"{'shards':>7}{'state chg':>12}{'sum(shards)':>13}"
+        f"{'peak words':>12}{'skew':>7}{'mae(truth)':>12}{'dev(single)':>13}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.num_shards:>7}{row.state_changes:>12}"
+            f"{row.sum_shard_state_changes:>13}{row.peak_words:>12}"
+            f"{row.skew:>7.2f}{row.mean_abs_error:>12.2f}"
+            f"{row.max_dev_from_single:>13.2f}"
+        )
+    return "\n".join(lines)

@@ -50,6 +50,7 @@ class SampledDistinguisher(StreamAlgorithm):
         budget: int,
         m: int,
         rng: random.Random | None = None,
+        seed: int | None = None,
         tracker: StateTracker | None = None,
     ) -> None:
         if budget < 1:
@@ -59,7 +60,7 @@ class SampledDistinguisher(StreamAlgorithm):
         super().__init__(tracker)
         self.budget = budget
         self.m = m
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = rng if rng is not None else random.Random(seed)
         self._probability = min(1.0, budget / m)
         self._samples: TrackedDict[int, int] = TrackedDict(self.tracker, "dup")
         self._duplicate_seen = False

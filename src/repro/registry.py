@@ -1,0 +1,250 @@
+"""Name → factory registry of every streaming algorithm in the library.
+
+The CLI, the experiment harness, and the sharded runtime all construct
+sketches through this registry so that algorithm names, default sizing
+rules, and mergeability are defined in exactly one place.  Every
+factory takes the same keyword signature::
+
+    create("count-min", n=4096, m=65536, epsilon=0.1, seed=0)
+
+where ``n``/``m`` are the universe-size/stream-length hints, ``epsilon``
+the target accuracy, and ``seed`` the randomness seed.  Factories that
+ignore a hint (e.g. ``exact``) simply drop it.
+
+The registry also maps serialized state back to classes:
+:func:`sketch_class` resolves the ``"algorithm"`` field written by
+:meth:`~repro.state.algorithm.Sketch.to_state`, which is how
+:class:`~repro.runtime.checkpoint.Checkpoint` restores sketches without
+the caller naming the type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines import (
+    AMSSketch,
+    CountMin,
+    CountMinMorris,
+    CountSketch,
+    ExactFrequencyCounter,
+    MisraGries,
+    NaiveSampleAndHold,
+    ReservoirSampler,
+    SpaceSaving,
+)
+from repro.core import (
+    FullSampleAndHold,
+    HeavyHitters,
+    SparseSupportRecovery,
+)
+from repro.core.adaptive import AdaptiveFullSampleAndHold
+from repro.core.distinct import KMVDistinctElements
+from repro.core.entropy import EntropyEstimator
+from repro.core.fp_pstable import PStableFpEstimator
+from repro.state.algorithm import Sketch
+
+#: Factory signature shared by every registry entry.
+SketchFactory = Callable[..., Sketch]
+
+
+@dataclass(frozen=True)
+class SketchSpec:
+    """One registered algorithm: its name, class, and default factory."""
+
+    name: str
+    cls: type
+    factory: SketchFactory
+    mergeable: bool
+    summary: str
+
+
+_SPECS: dict[str, SketchSpec] = {}
+_CLASSES: dict[str, type] = {}
+
+
+def register(
+    name: str, cls: type, factory: SketchFactory, summary: str = ""
+) -> None:
+    """Add an algorithm to the registry (rejects duplicate names)."""
+    if name in _SPECS:
+        raise ValueError(f"algorithm {name!r} is already registered")
+    _SPECS[name] = SketchSpec(
+        name=name,
+        cls=cls,
+        factory=factory,
+        mergeable=bool(getattr(cls, "mergeable", False)),
+        summary=summary,
+    )
+    _CLASSES[cls.__name__] = cls
+
+
+def names() -> list[str]:
+    """Sorted names of every registered algorithm."""
+    return sorted(_SPECS)
+
+
+def mergeable_names() -> list[str]:
+    """Sorted names of the algorithms that support :meth:`Sketch.merge`."""
+    return sorted(s.name for s in _SPECS.values() if s.mergeable)
+
+
+def spec(name: str) -> SketchSpec:
+    """Look up one registered algorithm by name."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; choose from {names()}"
+        ) from None
+
+
+def create(
+    name: str,
+    n: int = 4096,
+    m: int = 65536,
+    epsilon: float = 0.5,
+    seed: int = 0,
+) -> Sketch:
+    """Build a fresh sketch by registry name with uniform sizing hints."""
+    return spec(name).factory(n=n, m=m, epsilon=epsilon, seed=seed)
+
+
+def sketch_class(state_name: str) -> type:
+    """Resolve a serialized ``"algorithm"`` class name back to its class."""
+    try:
+        return _CLASSES[state_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sketch class {state_name!r}; known: "
+            f"{sorted(_CLASSES)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Registrations (the CLI's historical sizing rules, now shared)
+# ----------------------------------------------------------------------
+register(
+    "heavy-hitters",
+    HeavyHitters,
+    lambda n, m, epsilon, seed: HeavyHitters(
+        n=n, m=m, p=2, epsilon=epsilon, seed=seed,
+        inner_kwargs={"repetitions": 1},
+    ),
+    "Lp heavy hitters with few state changes (Theorem 1.1)",
+)
+register(
+    "sample-and-hold",
+    FullSampleAndHold,
+    lambda n, m, epsilon, seed: FullSampleAndHold(
+        n=n, m=m, p=2, epsilon=epsilon, seed=seed, repetitions=1
+    ),
+    "Algorithm 2: level grid of SampleAndHold instances",
+)
+register(
+    "adaptive-sample-and-hold",
+    AdaptiveFullSampleAndHold,
+    lambda n, m, epsilon, seed: AdaptiveFullSampleAndHold(
+        n=n, p=2, epsilon=epsilon, seed=seed
+    ),
+    "Algorithm 2 with the doubling trick for unknown stream length",
+)
+register(
+    "misra-gries",
+    MisraGries,
+    lambda n, m, epsilon, seed: MisraGries(k=max(2, int(2 / epsilon))),
+    "deterministic heavy hitters, Theta(m) state changes",
+)
+register(
+    "space-saving",
+    SpaceSaving,
+    lambda n, m, epsilon, seed: SpaceSaving(k=max(1, int(2 / epsilon))),
+    "top-k overestimating counters, Theta(m) state changes",
+)
+register(
+    "count-min",
+    CountMin,
+    lambda n, m, epsilon, seed: CountMin.for_accuracy(epsilon, seed=seed),
+    "classic CountMin sketch (linear, mergeable)",
+)
+register(
+    "count-min-morris",
+    CountMinMorris,
+    lambda n, m, epsilon, seed: CountMinMorris.for_accuracy(
+        epsilon, seed=seed
+    ),
+    "CountMin with Morris-counter cells (ablation A4)",
+)
+register(
+    "count-sketch",
+    CountSketch,
+    lambda n, m, epsilon, seed: CountSketch.for_accuracy(
+        max(0.2, epsilon), seed=seed
+    ),
+    "classic CountSketch (linear, mergeable)",
+)
+register(
+    "ams",
+    AMSSketch,
+    lambda n, m, epsilon, seed: AMSSketch.for_accuracy(
+        max(0.25, epsilon), seed=seed
+    ),
+    "AMS F2 estimator (linear, mergeable)",
+)
+register(
+    "exact",
+    ExactFrequencyCounter,
+    lambda n, m, epsilon, seed: ExactFrequencyCounter(),
+    "exact dictionary counts: zero error, m state changes",
+)
+register(
+    "kmv",
+    KMVDistinctElements,
+    lambda n, m, epsilon, seed: KMVDistinctElements.for_accuracy(
+        max(0.05, epsilon / 4), seed=seed
+    ),
+    "k-minimum-values distinct elements (mergeable)",
+)
+register(
+    "pstable-fp",
+    PStableFpEstimator,
+    lambda n, m, epsilon, seed: PStableFpEstimator(
+        p=1.0, epsilon=max(0.2, epsilon), seed=seed
+    ),
+    "p-stable Fp sketch on Morris counters (Theorem 3.2)",
+)
+register(
+    "entropy",
+    EntropyEstimator,
+    lambda n, m, epsilon, seed: EntropyEstimator(
+        m=max(2, m), epsilon=min(1.0, max(0.1, epsilon)), seed=seed
+    ),
+    "Shannon entropy via interpolated moments (Theorem 3.8)",
+)
+register(
+    "reservoir",
+    ReservoirSampler,
+    lambda n, m, epsilon, seed: ReservoirSampler(
+        k=max(1, int(2 / epsilon)), seed=seed
+    ),
+    "uniform reservoir sample (Algorithm R)",
+)
+register(
+    "naive-sample-hold",
+    NaiveSampleAndHold,
+    lambda n, m, epsilon, seed: NaiveSampleAndHold(
+        sample_probability=min(1.0, 64.0 / max(1, m)),
+        capacity=max(2, int(2 / epsilon)),
+        seed=seed,
+    ),
+    "[EV02]-style sample-and-hold with global eviction (ablation A2)",
+)
+register(
+    "support-recovery",
+    SparseSupportRecovery,
+    lambda n, m, epsilon, seed: SparseSupportRecovery(
+        k=max(1, int(1 / epsilon))
+    ),
+    "exact support of k-sparse streams",
+)

@@ -1,0 +1,16 @@
+"""Distributed-ingestion runtime built on the mergeable sketch protocol.
+
+* :mod:`repro.runtime.sharded` — :class:`ShardedRunner`: partition a
+  stream over ``K`` sketch shards, batch-ingest, merge-reduce.
+* :mod:`repro.runtime.checkpoint` — :class:`Checkpoint`: JSON
+  round-trips of sketch state (estimates + audit).
+"""
+
+from repro.runtime.checkpoint import Checkpoint
+from repro.runtime.sharded import ShardedRunner, ShardedRunResult
+
+__all__ = [
+    "Checkpoint",
+    "ShardedRunner",
+    "ShardedRunResult",
+]

@@ -1,0 +1,56 @@
+"""Checkpointing: round-trip sketch state through the serialization hooks.
+
+A checkpoint is the JSON encoding of
+:meth:`~repro.state.algorithm.Sketch.to_state`: constructor config,
+register payload, and the full tracker audit.  Restoring rebuilds the
+sketch through :mod:`repro.registry` (the snapshot names its own class),
+reproducing estimates *and* the state-change report exactly, so a
+long-running ingest can stop, persist, and resume without losing its
+audit.
+
+Hash randomness is rebuilt from the stored seeds and matches the
+original; Morris coin-flip RNGs are reseeded (see
+``Sketch.from_state``), so a resumed run is deterministic but follows a
+fresh coin sequence.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro import registry
+from repro.state.algorithm import Sketch
+
+
+class Checkpoint:
+    """Serialize sketches to JSON strings or files and restore them."""
+
+    @staticmethod
+    def dumps(sketch: Sketch) -> str:
+        """Encode ``sketch`` as a JSON checkpoint string."""
+        return json.dumps(sketch.to_state())
+
+    @staticmethod
+    def loads(text: str) -> Sketch:
+        """Rebuild a sketch from :meth:`dumps` output.
+
+        The sketch class is resolved from the snapshot's ``"algorithm"``
+        field via the registry, so callers need not know the type.
+        """
+        state: dict[str, Any] = json.loads(text)
+        cls = registry.sketch_class(state["algorithm"])
+        return cls.from_state(state)
+
+    @staticmethod
+    def save(path: str | pathlib.Path, sketch: Sketch) -> pathlib.Path:
+        """Write a checkpoint file; returns the path written."""
+        path = pathlib.Path(path)
+        path.write_text(Checkpoint.dumps(sketch) + "\n")
+        return path
+
+    @staticmethod
+    def load(path: str | pathlib.Path) -> Sketch:
+        """Restore a sketch from a :meth:`save` file."""
+        return Checkpoint.loads(pathlib.Path(path).read_text())

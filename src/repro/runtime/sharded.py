@@ -1,0 +1,302 @@
+"""Sharded batch-ingest runtime over the mergeable sketch protocol.
+
+:class:`ShardedRunner` partitions one logical stream across ``K``
+independent sketch shards — each with its own
+:class:`~repro.state.tracker.StateTracker` — ingests through the
+batched :meth:`~repro.state.algorithm.Sketch.process_many` fast path,
+and reduces the shards with a binary merge tree.  Because the mergeable
+families combine losslessly (linear sketches) or within their summable
+error bounds (Misra-Gries/SpaceSaving), the reduced sketch answers
+queries like a single instance that saw the whole stream, while the
+merged tracker reports the distributed run's aggregate audit (the
+elementwise sum of the shard reports).
+
+Two partitioners are provided:
+
+* ``"hash"`` — items are routed by a pairwise-independent hash of
+  their identity, so every occurrence of an item lands on one shard.
+  This is the partitioning that preserves per-item error bounds for
+  the summary-based families (a Misra-Gries shard sees *all* of its
+  items' occurrences) and is the production choice.
+* ``"round-robin"`` — updates are dealt cyclically, which balances
+  load perfectly but splits an item's occurrences across shards; fine
+  for linear sketches, where merge is exact addition.
+
+Per-shard write budgets: the paper's state-change accounting extends
+naturally to shards — each shard's tracker measures its own
+``sum_t X_t``, and :attr:`ShardedRunResult.shard_reports` exposes them
+so a deployment can bound per-device wear, not just the total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro import registry
+from repro.hashing.prime_field import KWiseHash
+from repro.state.algorithm import NotMergeableError, Sketch
+from repro.state.report import StateChangeReport
+
+#: Builds the shard with the given index; shards must be mutually
+#: merge-compatible (same type, same hash seeds, separate trackers).
+ShardFactory = Callable[[int], Sketch]
+
+_PARTITIONS = ("hash", "round-robin")
+
+
+@dataclass(frozen=True)
+class ShardedRunResult:
+    """Outcome of one sharded run after the merge reduce.
+
+    Attributes
+    ----------
+    merged:
+        The reduced sketch; query it like a single-instance run.
+    merged_report:
+        Its audit — the elementwise sum of ``shard_reports``.
+    shard_reports:
+        Per-shard audits (per-shard write budgets live here).
+    shard_items:
+        Updates routed to each shard.
+    skew:
+        Load imbalance: max over shards of ``items / mean items``
+        (1.0 = perfectly balanced).
+    """
+
+    num_shards: int
+    partition: str
+    merged: Sketch
+    merged_report: StateChangeReport
+    shard_reports: tuple[StateChangeReport, ...]
+    shard_items: tuple[int, ...]
+    skew: float
+
+    def summary(self) -> str:
+        """One-line human-readable run summary."""
+        return (
+            f"shards={self.num_shards} ({self.partition}) "
+            f"skew={self.skew:.2f} "
+            f"state_changes={self.merged_report.state_changes} "
+            f"peak_words={self.merged_report.peak_words}"
+        )
+
+
+class ShardedRunner:
+    """Partition a stream over ``K`` sketch shards and merge-reduce.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(shard_index) -> Sketch``.  All shards must be built
+        with the *same* hash seeds (merge compatibility) but must not
+        share a tracker.  Use :meth:`from_registry` for the common
+        case.
+    num_shards:
+        Number of shards ``K >= 1``.
+    partition:
+        ``"hash"`` (default) or ``"round-robin"``; see module docs.
+    seed:
+        Seeds the partitioning hash (independent of the sketch seeds).
+    batch_size:
+        Items buffered per shard before a ``process_many`` flush.
+    """
+
+    def __init__(
+        self,
+        factory: ShardFactory,
+        num_shards: int,
+        partition: str = "hash",
+        seed: int = 0,
+        batch_size: int = 1024,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard: {num_shards}")
+        if partition not in _PARTITIONS:
+            raise ValueError(
+                f"unknown partition {partition!r}; choose from {_PARTITIONS}"
+            )
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1: {batch_size}")
+        self.num_shards = num_shards
+        self.partition = partition
+        self.batch_size = batch_size
+        self._shards: list[Sketch] = [factory(i) for i in range(num_shards)]
+        trackers = {id(shard.tracker) for shard in self._shards}
+        if len(trackers) != num_shards:
+            raise ValueError(
+                "shards must not share StateTrackers; give each shard "
+                "its own tracker so per-shard audits are well defined"
+            )
+        if num_shards > 1 and not self._shards[0].mergeable:
+            raise NotMergeableError(
+                f"{type(self._shards[0]).__name__} does not support "
+                f"merging; it cannot be sharded"
+            )
+        # Route by item identity so all occurrences co-locate.
+        self._route = KWiseHash(2, seed=seed + 0x5A5A)
+        self._cursor = 0  # round-robin position
+        self._buffers: list[list[int]] = [[] for _ in range(num_shards)]
+        self._shard_items = [0] * num_shards
+        self._merged: Sketch | None = None
+        self._premerge_reports: tuple[StateChangeReport, ...] = ()
+
+    @classmethod
+    def from_registry(
+        cls,
+        name: str,
+        num_shards: int,
+        n: int = 4096,
+        m: int = 65536,
+        epsilon: float = 0.5,
+        seed: int = 0,
+        partition: str = "hash",
+        batch_size: int = 1024,
+    ) -> "ShardedRunner":
+        """Runner whose shards come from :mod:`repro.registry`.
+
+        Every shard is built with the *same* ``seed`` so the shards
+        share hash functions and merge losslessly.
+        """
+        return cls(
+            lambda index: registry.create(
+                name, n=n, m=m, epsilon=epsilon, seed=seed
+            ),
+            num_shards=num_shards,
+            partition=partition,
+            seed=seed,
+            batch_size=batch_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def shard_of(self, item: int) -> int:
+        """Shard index the next occurrence of ``item`` is routed to.
+
+        Pure query: under round-robin it peeks at the current cursor
+        without advancing it, so inspecting routing never perturbs
+        where :meth:`ingest` actually places items.
+        """
+        if self.partition == "hash":
+            return self._route.bucket(item, self.num_shards)
+        return self._cursor
+
+    def _next_shard(self, item: int) -> int:
+        """Routing used by :meth:`ingest`; advances the round-robin."""
+        shard = self.shard_of(item)
+        if self.partition == "round-robin":
+            self._cursor = (shard + 1) % self.num_shards
+        return shard
+
+    def ingest(self, stream: Iterable[int]) -> int:
+        """Route ``stream`` to the shards; returns items consumed.
+
+        Items are buffered per shard and flushed through
+        ``process_many`` in ``batch_size`` chunks, so the per-item
+        Python overhead is amortized even when the caller feeds one
+        long iterable.
+        """
+        if self._merged is not None:
+            raise RuntimeError(
+                "runner is already merged; create a new ShardedRunner"
+            )
+        buffers = self._buffers
+        threshold = self.batch_size
+        count = 0
+        for item in stream:
+            shard = self._next_shard(item)
+            buffer = buffers[shard]
+            buffer.append(item)
+            count += 1
+            if len(buffer) >= threshold:
+                self._flush(shard)
+        for shard in range(self.num_shards):
+            self._flush(shard)
+        return count
+
+    def _flush(self, shard: int) -> None:
+        buffer = self._buffers[shard]
+        if buffer:
+            self._shard_items[shard] += self._shards[shard].process_many(
+                buffer
+            )
+            buffer.clear()
+
+    # ------------------------------------------------------------------
+    # Reduce
+    # ------------------------------------------------------------------
+    def merge(self) -> Sketch:
+        """Reduce the shards with a binary merge tree; returns the root.
+
+        After the reduce the shards are consumed (their state has been
+        absorbed) and further :meth:`ingest` calls are rejected.  The
+        tree shape halves the number of summaries per round, matching
+        how a distributed reduce would combine partial sketches.
+        """
+        if self._merged is None:
+            # Snapshot the per-shard audits first: the reduce folds
+            # every other tracker into the surviving shard's, after
+            # which live reports would double-count.
+            self._premerge_reports = tuple(
+                shard.report() for shard in self._shards
+            )
+            level = list(self._shards)
+            while len(level) > 1:
+                merged_level = []
+                for i in range(0, len(level) - 1, 2):
+                    merged_level.append(level[i].merge(level[i + 1]))
+                if len(level) % 2:
+                    merged_level.append(level[-1])
+                level = merged_level
+            self._merged = level[0]
+        return self._merged
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> tuple[Sketch, ...]:
+        """The live shards (pre-merge)."""
+        return tuple(self._shards)
+
+    @property
+    def shard_items(self) -> tuple[int, ...]:
+        """Updates ingested per shard so far."""
+        return tuple(self._shard_items)
+
+    def shard_reports(self) -> tuple[StateChangeReport, ...]:
+        """Per-shard state-change audits (per-shard write budgets).
+
+        After :meth:`merge` this returns the audits snapshotted just
+        before the reduce — the live trackers have been folded into
+        the merge root by then and would double-count.
+        """
+        if self._merged is not None:
+            return self._premerge_reports
+        return tuple(shard.report() for shard in self._shards)
+
+    def skew(self) -> float:
+        """Max-over-mean shard load (1.0 = perfectly balanced)."""
+        total = sum(self._shard_items)
+        if total == 0:
+            return 1.0
+        mean = total / self.num_shards
+        return max(self._shard_items) / mean
+
+    def run(self, stream: Iterable[int]) -> ShardedRunResult:
+        """Ingest ``stream``, reduce, and package the full result."""
+        self.ingest(stream)
+        shard_reports = self.shard_reports()
+        shard_items = self.shard_items
+        skew = self.skew()
+        merged = self.merge()
+        return ShardedRunResult(
+            num_shards=self.num_shards,
+            partition=self.partition,
+            merged=merged,
+            merged_report=merged.report(),
+            shard_reports=shard_reports,
+            shard_items=shard_items,
+            skew=skew,
+        )

@@ -7,12 +7,20 @@ in words are measured uniformly across the paper's algorithms and the
 Table 1 baselines.
 """
 
-from repro.state.algorithm import StreamAlgorithm
+from repro.state.algorithm import (
+    NotMergeableError,
+    NotSerializableError,
+    Sketch,
+    StreamAlgorithm,
+)
 from repro.state.registers import TrackedArray, TrackedDict, TrackedValue
 from repro.state.report import StateChangeReport
 from repro.state.tracker import StateTracker
 
 __all__ = [
+    "NotMergeableError",
+    "NotSerializableError",
+    "Sketch",
     "StateChangeReport",
     "StateTracker",
     "StreamAlgorithm",

@@ -1,27 +1,76 @@
 """Common base class for every instrumented streaming algorithm.
 
-:class:`StreamAlgorithm` owns a :class:`~repro.state.tracker.StateTracker`
-and enforces the paper's clock discipline: subclasses implement
+:class:`Sketch` owns a :class:`~repro.state.tracker.StateTracker` and
+enforces the paper's clock discipline: subclasses implement
 ``_update(item)``; the public :meth:`process` wraps it with a tracker
 ``tick()`` so that all mutations triggered by one stream update are
 attributed to one potential state change ``X_t``.
+
+On top of the single-item stream interface the class defines the
+*mergeable sketch protocol* that the sharded runtime
+(:mod:`repro.runtime`) is built on:
+
+* :meth:`process_many` — batched ingestion that still ticks the clock
+  once per item (the cost model is unchanged) but amortizes the Python
+  call overhead of :meth:`process`.
+* :meth:`merge` — absorb another sketch of the same type built with
+  the same randomness, so ``K`` hash-partitioned shards can be reduced
+  to one summary whose estimates match a single-instance run.
+* :meth:`to_state` / :meth:`from_state` — serialization hooks that
+  round-trip a sketch (including its audit) through a plain dict of
+  JSON-safe values, used for checkpointing.
+
+Mergeable families override the three protected hooks
+(:meth:`_merge_same_type`, :meth:`_config_state`,
+:meth:`_payload_state`/:meth:`_load_payload`) and set
+``mergeable = True``; everything else inherits defaults that raise the
+typed errors below.
+
+Merge semantics under the cost model: a merge is an *offline reduce*,
+not a stream update, so the mutations it performs are applied through
+the registers' untracked ``load`` path and are **not** charged as
+writes or state changes.  Instead :meth:`merge` folds the absorbed
+shard's full audit into this sketch's tracker via
+:meth:`~repro.state.tracker.StateTracker.merge_child`, so the merged
+:class:`~repro.state.report.StateChangeReport` equals the elementwise
+sum of the shard reports.
+
+``StreamAlgorithm`` remains as an alias for the pre-protocol name.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.state.report import StateChangeReport
 from repro.state.tracker import StateTracker
 
 
-class StreamAlgorithm(abc.ABC):
+class NotMergeableError(TypeError):
+    """Raised when :meth:`Sketch.merge` is unsupported for a sketch.
+
+    Sampling-based algorithms (the ``SampleAndHold`` family) hold
+    per-item counters whose occurrence sets may overlap between shards,
+    so their partial summaries cannot be combined without bias — they
+    raise this error instead of silently producing wrong estimates.
+    """
+
+
+class NotSerializableError(TypeError):
+    """Raised when a sketch does not implement the state hooks."""
+
+
+class Sketch(abc.ABC):
     """Abstract insertion-only streaming algorithm over universe ``[n]``.
 
     Subclasses must implement :meth:`_update`.  Items are integers in
     ``range(n)`` (the paper's ``[n]``, zero-indexed here).
     """
+
+    #: Whether this sketch supports :meth:`merge` (class-level flag so
+    #: the registry and the sharded runtime can check without a probe).
+    mergeable: bool = False
 
     def __init__(self, tracker: StateTracker | None = None) -> None:
         self.tracker = tracker if tracker is not None else StateTracker()
@@ -36,14 +85,164 @@ class StreamAlgorithm(abc.ABC):
         self.tracker.tick()
         self._items_processed += 1
 
+    def process_many(self, items: Iterable[int]) -> int:
+        """Feed a batch of updates; returns the number consumed.
+
+        The clock discipline is identical to calling :meth:`process` in
+        a loop — one ``tick()`` per item — but the hot loop binds the
+        update and tick callables once, which removes most of the
+        per-item attribute-lookup and method-call overhead (see
+        ``benchmarks/bench_throughput.py``).
+        """
+        update = self._update
+        tick = self.tracker.tick
+        count = 0
+        for item in items:
+            update(item)
+            tick()
+            count += 1
+        self._items_processed += count
+        return count
+
     def process_stream(self, stream: Iterable[int]) -> None:
         """Feed every update of ``stream`` in order."""
-        for item in stream:
-            self.process(item)
+        self.process_many(stream)
 
     @abc.abstractmethod
     def _update(self, item: int) -> None:
         """Handle one stream update (mutations go through tracked cells)."""
+
+    # ------------------------------------------------------------------
+    # Mergeable sketch protocol
+    # ------------------------------------------------------------------
+    def merge(self, other: "Sketch") -> "Sketch":
+        """Absorb ``other`` (same type, same randomness) into this sketch.
+
+        After the call this sketch summarizes the concatenation of both
+        input streams and its tracker carries the combined audit; the
+        absorbed sketch must be discarded.  Returns ``self`` so merges
+        chain in a reduce.
+
+        Raises
+        ------
+        NotMergeableError
+            When the family does not support merging, or ``other`` is a
+            different type.
+        ValueError
+            When the two sketches are configuration-incompatible (e.g.
+            different widths or hash seeds), share a tracker, or are
+            the same object.
+        """
+        if other is self:
+            raise ValueError("cannot merge a sketch with itself")
+        if type(other) is not type(self):
+            raise NotMergeableError(
+                f"cannot merge {type(other).__name__} into "
+                f"{type(self).__name__}"
+            )
+        if other.tracker is self.tracker:
+            raise ValueError(
+                "cannot merge sketches sharing a StateTracker; shards "
+                "need independent trackers for a well-defined audit"
+            )
+        self._merge_same_type(other)
+        self.tracker.merge_child(other.tracker)
+        self._items_processed += other._items_processed
+        return self
+
+    def _merge_same_type(self, other: "Sketch") -> None:
+        """Family-specific merge; ``other`` is the same type as ``self``.
+
+        Overrides must validate configuration compatibility and apply
+        mutations through the registers' untracked ``load`` path (the
+        audit is combined separately by :meth:`merge`).
+        """
+        raise NotMergeableError(
+            f"{type(self).__name__} does not support merging"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization protocol
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict[str, Any]:
+        """Snapshot the sketch into a dict of JSON-safe values.
+
+        The snapshot contains the constructor configuration, the raw
+        register payload, and the full tracker audit, so
+        :meth:`from_state` reproduces both the estimates and the
+        state-change report exactly.
+        """
+        return {
+            "algorithm": type(self).__name__,
+            "config": self._config_state(),
+            "payload": self._payload_state(),
+            "items_processed": self._items_processed,
+            "audit": self.tracker.to_state(),
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict[str, Any], tracker: StateTracker | None = None
+    ) -> "Sketch":
+        """Rebuild a sketch from a :meth:`to_state` snapshot.
+
+        With the default ``tracker=None`` the restored sketch's audit
+        is overwritten with the snapshot's, making the round trip
+        exact.  When an external ``tracker`` is supplied (a sketch
+        embedded in a larger algorithm) the audit restore is skipped —
+        the caller owns the accounting.
+
+        Randomness caveat: hash functions are rebuilt from the stored
+        seeds and match the original exactly; coin-flip RNGs (Morris
+        counters) are *reseeded*, so post-restore coin flips follow a
+        fresh, still-deterministic sequence rather than resuming the
+        original one.
+        """
+        algorithm = state.get("algorithm")
+        if algorithm != cls.__name__:
+            raise ValueError(
+                f"state is for {algorithm!r}, not {cls.__name__!r}"
+            )
+        base_words = tracker.current_words if tracker is not None else 0
+        instance = cls(tracker=tracker, **state["config"])
+        instance._load_payload(state["payload"])
+        instance._items_processed = int(state.get("items_processed", 0))
+        audit = state.get("audit")
+        if audit is not None:
+            if tracker is None:
+                instance.tracker.load_state(audit)
+            else:
+                # The payload load bypasses allocate(), but the
+                # external tracker must still account the restored
+                # live words or later frees (dict evictions) underflow.
+                # The snapshot's current_words covers constructor
+                # registers + payload; the constructor's own share was
+                # just charged, so reconcile the difference.
+                constructed = tracker.current_words - base_words
+                delta = int(audit["current_words"]) - constructed
+                if delta > 0:
+                    tracker.allocate(delta)
+                elif delta < 0:
+                    tracker.free(-delta)
+        return instance
+
+    def _config_state(self) -> dict[str, Any]:
+        """Constructor kwargs that rebuild an empty compatible sketch."""
+        raise NotSerializableError(
+            f"{type(self).__name__} does not support serialization"
+        )
+
+    def _payload_state(self) -> dict[str, Any]:
+        """JSON-safe snapshot of the sketch's register contents."""
+        raise NotSerializableError(
+            f"{type(self).__name__} does not support serialization"
+        )
+
+    def _load_payload(self, payload: dict[str, Any]) -> None:
+        """Load a :meth:`_payload_state` snapshot (untracked)."""
+        raise NotSerializableError(
+            f"{type(self).__name__} does not support serialization"
+        )
 
     # ------------------------------------------------------------------
     # Audit
@@ -61,3 +260,7 @@ class StreamAlgorithm(abc.ABC):
     def report(self) -> StateChangeReport:
         """Snapshot the run's full state-change audit."""
         return self.tracker.report()
+
+
+#: Pre-protocol name, kept so existing imports and subclasses work.
+StreamAlgorithm = Sketch

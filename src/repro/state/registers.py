@@ -50,6 +50,15 @@ class TrackedValue(Generic[T]):
         self._value = new_value
         return mutated
 
+    def load(self, value: T) -> None:
+        """Overwrite the cell without touching the audit.
+
+        Reserved for offline operations outside the streaming cost
+        model — sketch merges and checkpoint restores — which must not
+        be charged as stream-time writes.
+        """
+        self._value = value
+
     def release(self) -> None:
         """Free the word (e.g. when a counter is evicted)."""
         self._tracker.free(1)
@@ -94,6 +103,19 @@ class TrackedArray(Generic[T]):
             return self._cells.index(value)
         except ValueError:
             return None
+
+    def load(self, values: list[T]) -> None:
+        """Replace the whole contents without touching the audit.
+
+        Reserved for merges and checkpoint restores; the length is
+        fixed at construction, so replacements must match it.
+        """
+        if len(values) != len(self._cells):
+            raise ValueError(
+                f"load of {len(values)} values into array of "
+                f"length {len(self._cells)}"
+            )
+        self._cells = list(values)
 
     def release(self) -> None:
         """Free the whole array."""
@@ -165,6 +187,18 @@ class TrackedDict(Generic[K, V]):
 
     def items(self):
         return self._data.items()
+
+    def load(self, mapping: dict[K, V]) -> None:
+        """Replace the whole contents without touching the audit.
+
+        Reserved for merges and checkpoint restores.  Space accounting
+        is deliberately untouched: after a merge the tracker already
+        carries both shards' allocations (see
+        :meth:`~repro.state.tracker.StateTracker.merge_child`), and a
+        restore reconciles live words centrally in
+        :meth:`~repro.state.algorithm.Sketch.from_state`.
+        """
+        self._data = dict(mapping)
 
     def clear(self) -> None:
         """Drop every entry, freeing its space."""

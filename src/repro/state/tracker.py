@@ -131,6 +131,61 @@ class StateTracker:
         self._current_words -= words
 
     # ------------------------------------------------------------------
+    # Distributed runs: audit merging and serialization
+    # ------------------------------------------------------------------
+    def merge_child(self, other: "StateTracker") -> None:
+        """Fold a merged shard's audit into this tracker.
+
+        Every counter is combined additively — the merged tracker
+        describes the *distributed run as a whole*: its stream length,
+        state changes, writes, wear histogram, and space are the sums
+        over both shards (both shards' memory was live during the run,
+        so peak and current words add too).  Consequently the merged
+        :meth:`report` equals the elementwise sum of the shard reports.
+        """
+        if other is self:
+            raise ValueError("cannot merge a tracker into itself")
+        self._timestep += other._timestep
+        self._state_changes += other._state_changes
+        self._total_writes += other._total_writes
+        self._write_attempts += other._write_attempts
+        self._current_words += other._current_words
+        self._peak_words += other._peak_words
+        self._dirty = self._dirty or other._dirty
+        if self._record_cells:
+            self._cell_writes.update(other._cell_writes)
+
+    def to_state(self) -> dict:
+        """Snapshot every counter into a JSON-safe dict."""
+        return {
+            "timestep": self._timestep,
+            "state_changes": self._state_changes,
+            "total_writes": self._total_writes,
+            "write_attempts": self._write_attempts,
+            "current_words": self._current_words,
+            "peak_words": self._peak_words,
+            "cell_writes": dict(self._cell_writes),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Overwrite every counter from a :meth:`to_state` snapshot.
+
+        Used when a sketch is restored from a checkpoint: the snapshot
+        already accounts for the words the constructor re-allocated, so
+        the restore replaces (not adds to) the current counters.
+        """
+        self._timestep = int(state["timestep"])
+        self._state_changes = int(state["state_changes"])
+        self._total_writes = int(state["total_writes"])
+        self._write_attempts = int(state["write_attempts"])
+        self._current_words = int(state["current_words"])
+        self._peak_words = int(state["peak_words"])
+        self._dirty = False
+        self._cell_writes = Counter(
+            {str(cell): int(count) for cell, count in state["cell_writes"].items()}
+        )
+
+    # ------------------------------------------------------------------
     # Observation
     # ------------------------------------------------------------------
     def add_listener(self, listener: WriteListener) -> None:

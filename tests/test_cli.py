@@ -62,6 +62,50 @@ class TestAudit:
             main(["audit", "--algorithm", "quantum", "--m", "16"])
 
 
+class TestShard:
+    def test_shard_scaling_prints_table(self, capsys):
+        code = main([
+            "shard", "--sketch", "count-min", "--shards", "1,2",
+            "--n", "256", "--m", "2048", "--epsilon", "0.2", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Sharded ingestion scaling" in out
+        assert "count-min" in out
+
+    def test_round_robin_partition(self, capsys):
+        code = main([
+            "shard", "--sketch", "misra-gries", "--shards", "1,4",
+            "--partition", "round-robin",
+            "--n", "128", "--m", "1024",
+        ])
+        assert code == 0
+        assert "round-robin" in capsys.readouterr().out
+
+    def test_aggregate_estimator_sketch(self, capsys):
+        # kmv has no per-item estimate(); scored on its F0 scalar.
+        code = main([
+            "shard", "--sketch", "kmv", "--shards", "1,2",
+            "--n", "256", "--m", "1024", "--epsilon", "0.3",
+        ])
+        assert code == 0
+        assert "kmv" in capsys.readouterr().out
+
+    def test_non_mergeable_sketch_exits(self):
+        with pytest.raises(SystemExit):
+            main(["shard", "--sketch", "sample-and-hold", "--shards", "2"])
+
+    def test_bad_shard_list_exits(self):
+        with pytest.raises(SystemExit):
+            main(["shard", "--shards", "two"])
+        with pytest.raises(SystemExit):
+            main(["shard", "--shards", "0"])
+
+    def test_unknown_sketch_exits(self):
+        with pytest.raises(SystemExit):
+            main(["shard", "--sketch", "quantum"])
+
+
 class TestTable1:
     def test_table1_prints(self, capsys):
         code = main(["table1", "--n", "1024", "--m", "4096"])

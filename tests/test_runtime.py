@@ -1,0 +1,144 @@
+"""Tests for the sharded batch-ingest runtime and checkpointing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import registry
+from repro.runtime import Checkpoint, ShardedRunner
+from repro.state import NotMergeableError
+from repro.streams import zipf_stream
+
+N, M = 2048, 32768
+
+
+class TestShardedRunner:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 8])
+    def test_hash_partitioned_count_min_matches_single(self, num_shards):
+        stream = zipf_stream(N, M, skew=1.2, seed=1)
+        single = registry.create("count-min", n=N, m=M, epsilon=0.05, seed=2)
+        single.process_many(stream)
+        runner = ShardedRunner.from_registry(
+            "count-min", num_shards, n=N, m=M, epsilon=0.05, seed=2
+        )
+        result = runner.run(stream)
+        for item in range(128):
+            assert result.merged.estimate(item) == single.estimate(item)
+        assert result.merged_report.state_changes == sum(
+            report.state_changes for report in result.shard_reports
+        )
+        assert result.merged_report.stream_length == len(stream)
+        assert sum(result.shard_items) == len(stream)
+
+    def test_hash_partition_colocates_items(self):
+        runner = ShardedRunner.from_registry("count-min", 4, seed=3)
+        for item in range(100):
+            assert runner.shard_of(item) == runner.shard_of(item)
+
+    def test_round_robin_balances_perfectly(self):
+        stream = zipf_stream(N, 4096, skew=1.5, seed=4)
+        runner = ShardedRunner.from_registry(
+            "count-min", 4, n=N, m=4096, seed=4, partition="round-robin"
+        )
+        result = runner.run(stream)
+        assert result.skew == 1.0
+        assert max(result.shard_items) - min(result.shard_items) <= 1
+
+    def test_skew_reported_for_hash_partition(self):
+        # A single-item stream must land on one shard: maximal skew.
+        runner = ShardedRunner.from_registry("count-min", 4, seed=5)
+        runner.ingest([7] * 1000)
+        assert runner.skew() == pytest.approx(4.0)
+
+    def test_small_batches_flush_incrementally(self):
+        stream = zipf_stream(256, 1000, skew=1.1, seed=6)
+        runner = ShardedRunner.from_registry(
+            "count-min", 2, n=256, m=1000, seed=6, batch_size=16
+        )
+        runner.ingest(iter(stream))  # works on a pure iterator
+        assert sum(runner.shard_items) == len(stream)
+
+    def test_ingest_after_merge_rejected(self):
+        runner = ShardedRunner.from_registry("count-min", 2, seed=7)
+        runner.ingest([1, 2, 3])
+        runner.merge()
+        with pytest.raises(RuntimeError):
+            runner.ingest([4])
+
+    def test_merge_idempotent(self):
+        runner = ShardedRunner.from_registry("count-min", 4, seed=8)
+        runner.ingest(range(100))
+        assert runner.merge() is runner.merge()
+
+    def test_non_mergeable_sketch_rejected(self):
+        with pytest.raises(NotMergeableError):
+            ShardedRunner.from_registry(
+                "sample-and-hold", 2, n=256, m=1024, seed=0
+            )
+
+    def test_single_shard_allows_non_mergeable(self):
+        runner = ShardedRunner.from_registry(
+            "sample-and-hold", 1, n=256, m=1024, seed=0
+        )
+        runner.ingest(zipf_stream(256, 1024, seed=0))
+        assert runner.merge().items_processed == 1024
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedRunner.from_registry("count-min", 0)
+        with pytest.raises(ValueError):
+            ShardedRunner.from_registry("count-min", 2, partition="range")
+        tracker_shared = registry.create("count-min", seed=0)
+        with pytest.raises(ValueError):
+            ShardedRunner(lambda i: tracker_shared, num_shards=2)
+
+
+class TestCheckpoint:
+    def test_file_round_trip(self, tmp_path):
+        stream = zipf_stream(512, 4096, skew=1.2, seed=9)
+        sketch = registry.create("count-min", n=512, m=4096, seed=10)
+        sketch.process_many(stream)
+        path = Checkpoint.save(tmp_path / "sketch.json", sketch)
+        restored = Checkpoint.load(path)
+        assert type(restored) is type(sketch)
+        assert restored.report() == sketch.report()
+        for item in range(64):
+            assert restored.estimate(item) == sketch.estimate(item)
+
+    def test_round_trip_of_merged_shard_run(self, tmp_path):
+        stream = zipf_stream(512, 4096, skew=1.2, seed=11)
+        result = ShardedRunner.from_registry(
+            "misra-gries", 4, n=512, m=4096, epsilon=0.1, seed=12
+        ).run(stream)
+        path = Checkpoint.save(tmp_path / "merged.json", result.merged)
+        restored = Checkpoint.load(path)
+        assert restored.report() == result.merged_report
+        assert restored.estimates() == result.merged.estimates()
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(KeyError):
+            Checkpoint.loads('{"algorithm": "NoSuchSketch"}')
+
+
+class TestPostMergeObservation:
+    def test_shard_reports_stable_after_merge(self):
+        # Regression: the reduce folds shard trackers into the merge
+        # root; post-merge reports must be the pre-merge snapshots,
+        # not double-counted live trackers.
+        runner = ShardedRunner.from_registry("count-min", 4, seed=13)
+        runner.ingest(range(1000))
+        pre = runner.shard_reports()
+        merged = runner.merge()
+        assert runner.shard_reports() == pre
+        assert sum(r.state_changes for r in pre) == (
+            merged.report().state_changes
+        )
+
+    def test_shard_of_is_pure_under_round_robin(self):
+        # Regression: peeking at routing must not advance the cursor.
+        runner = ShardedRunner.from_registry(
+            "count-min", 2, partition="round-robin", seed=14
+        )
+        assert [runner.shard_of(9) for _ in range(3)] == [0, 0, 0]
+        runner.ingest([5])
+        assert runner.shard_items == (1, 0)
