@@ -1,0 +1,150 @@
+"""Query-protocol dispatch overhead: ``query()`` vs direct calls.
+
+The unified query protocol routes every answer through
+``Sketch.query()`` — a supports-check, a handler-table lookup, and an
+indirect call — on top of the family's ``_answer_*`` hook, which does
+the actual work and wraps it in a typed answer.  This benchmark
+separates the three layers on the cheapest query in the library
+(a CountMin point query, a few microseconds of hashing) and on a
+representative heavy query (Misra-Gries all-estimates):
+
+* ``hook``     — ``sketch._answer_point(q)``: computation + typed
+  answer, no dispatch;
+* ``protocol`` — ``sketch.query(q)``: the full public path;
+* ``legacy``   — ``sketch.estimate(item)``: the backwards-compatible
+  delegate (query construction + protocol + unwrap).
+
+The asserted bound: the *dispatch* layer (protocol vs hook) adds less
+than 5% even on the cheapest query.  The full typed envelope relative
+to the raw computation is reported alongside for honesty — it is the
+price of returning typed answers at all, not of the dispatch.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import timeit
+
+from repro import registry
+from repro.query import AllEstimates, PointQuery
+from repro.streams import zipf_stream
+
+
+def _paired_us(
+    funcs: dict[str, "callable"],
+    items,
+    repeats: int = 9,
+    number: int = 40,
+) -> dict[str, float]:
+    """Best-of-``repeats`` mean microseconds per call, per function.
+
+    The functions' timing rounds are interleaved (A, B, C, A, B, C, …)
+    so slow CPU-frequency drift hits every arm equally instead of
+    biasing whichever arm ran last.
+    """
+    timers = {
+        name: timeit.Timer(lambda f=func: [f(item) for item in items])
+        for name, func in funcs.items()
+    }
+    best = {name: float("inf") for name in funcs}
+    for _ in range(repeats):
+        for name, timer in timers.items():
+            best[name] = min(best[name], timer.timeit(number))
+    return {
+        name: value / number / len(items) * 1e6
+        for name, value in best.items()
+    }
+
+
+def run_dispatch_bench(
+    n: int = 1024,
+    m: int = 20_000,
+    epsilon: float = 0.1,
+    seed: int = 0,
+) -> dict:
+    """Measure the three call paths on a cheap and a heavy query."""
+    stream = zipf_stream(n, m, skew=1.2, seed=seed)
+
+    # Cheapest query in the library: CountMin point query.
+    count_min = registry.create(
+        "count-min", n=n, m=m, epsilon=epsilon, seed=seed
+    )
+    count_min.process_many(stream)
+    items = list(range(512))
+    point = _paired_us(
+        {
+            "hook": lambda item: count_min._answer_point(PointQuery(item)),
+            "protocol": lambda item: count_min.query(PointQuery(item)),
+            "legacy": count_min.estimate,
+        },
+        items,
+    )
+
+    # Representative heavy query: Misra-Gries all-estimates over a
+    # large summary (eps=0.01 -> ~200 counters).
+    misra_gries = registry.create(
+        "misra-gries", n=n, m=m, epsilon=0.01, seed=seed
+    )
+    misra_gries.process_many(stream)
+    all_est = _paired_us(
+        {
+            "hook": lambda _: misra_gries._answer_all_estimates(
+                AllEstimates()
+            ),
+            "protocol": lambda _: misra_gries.query(AllEstimates()),
+        },
+        [1] * 8,
+        number=200,
+    )
+
+    return {
+        "benchmark": "query_dispatch",
+        "stream": {"n": n, "m": m, "epsilon": epsilon, "seed": seed},
+        "results": {
+            "count-min/point": {
+                "hook_us": point["hook"],
+                "protocol_us": point["protocol"],
+                "legacy_us": point["legacy"],
+                "dispatch_overhead": point["protocol"] / point["hook"] - 1.0,
+            },
+            "misra-gries/all-estimates": {
+                "hook_us": all_est["hook"],
+                "protocol_us": all_est["protocol"],
+                "dispatch_overhead": (
+                    all_est["protocol"] / all_est["hook"] - 1.0
+                ),
+            },
+        },
+    }
+
+
+def format_dispatch_bench(payload: dict) -> str:
+    """Render the dispatch measurements as an aligned text table."""
+    lines = [
+        "Query dispatch overhead — query() vs direct hook call",
+        f"{'query':>28}{'hook us':>10}{'query() us':>12}{'overhead':>10}",
+    ]
+    for name, row in payload["results"].items():
+        lines.append(
+            f"{name:>28}{row['hook_us']:>10.3f}"
+            f"{row['protocol_us']:>12.3f}"
+            f"{row['dispatch_overhead']:>9.1%}"
+        )
+    return "\n".join(lines)
+
+
+def test_query_dispatch(save_result):
+    payload = run_dispatch_bench()
+    save_result("BENCH_query_dispatch_table", format_dispatch_bench(payload))
+    results_path = (
+        pathlib.Path(__file__).parent / "results" / "BENCH_query_dispatch.json"
+    )
+    results_path.write_text(json.dumps(payload, indent=2) + "\n")
+    # The dispatch layer must stay under 5% even on the cheapest query.
+    for name, row in payload["results"].items():
+        assert row["dispatch_overhead"] < 0.05, (name, row)
+
+
+if __name__ == "__main__":
+    print(format_dispatch_bench(run_dispatch_bench()))

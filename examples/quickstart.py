@@ -1,14 +1,14 @@
-"""Quickstart: heavy hitters and F2 with few state changes.
+"""Quickstart: heavy hitters and F2 through the Engine facade.
 
 Runs the paper's heavy-hitter algorithm and a classical baseline on the
-same Zipf stream, prints both answers and — the point of the paper —
-both state-change audits.
+same Zipf stream via the unified query protocol, prints both answers
+and — the point of the paper — both state-change audits.
 
 Usage:  python examples/quickstart.py
 """
 
-from repro import FrequencyVector, HeavyHitters, zipf_stream
-from repro.baselines import MisraGries
+from repro import Engine, FrequencyVector, QueryKind, zipf_stream
+from repro.query import AllEstimates, HeavyHitters, Moment
 
 N = 1 << 12          # universe size
 M = 1 << 17          # stream length (long relative to n^{1/2} polylog,
@@ -24,27 +24,28 @@ def main() -> None:
     print(f"true L2 heavy hitters (eps={EPSILON}): {sorted(true_heavy)}\n")
 
     # --- the paper's algorithm -------------------------------------
-    ours = HeavyHitters(
-        n=N, m=M, p=2, epsilon=EPSILON, seed=0,
-        inner_kwargs={"repetitions": 1},
-    )
-    ours.process_stream(stream)
-    found = ours.heavy_hitters()
+    ours = Engine("heavy-hitters", n=N, m=M, epsilon=EPSILON, seed=0)
+    report = ours.run(stream, queries=[HeavyHitters(), Moment()])
+    found = report.answer(QueryKind.HEAVY_HITTERS).values
     print("FullSampleAndHold (this paper):")
     print(f"  reported: { {k: round(v) for k, v in sorted(found.items())} }")
-    print(f"  F2 estimate: {ours.fp_estimate():.3g} "
+    print(f"  F2 estimate: {report.answer(QueryKind.MOMENT).value:.3g} "
           f"(truth {truth.fp_moment(2):.3g})")
-    print(f"  audit: {ours.report().summary()}\n")
+    print(f"  audit: {report.audit.summary()}\n")
 
     # --- a classical baseline --------------------------------------
-    baseline = MisraGries(k=int(4 / EPSILON))
-    baseline.process_stream(stream)
+    # epsilon=0.4 sizes the summary to k = 2/0.4 = 5 counters.
+    baseline = Engine("misra-gries", n=N, m=M, epsilon=0.4)
+    base_report = baseline.run(stream, queries=[AllEstimates()])
+    estimates = base_report.answer(QueryKind.ALL_ESTIMATES).values
     print("Misra-Gries baseline:")
-    top = dict(sorted(baseline.estimates().items(), key=lambda kv: -kv[1])[:5])
+    top = dict(sorted(estimates.items(), key=lambda kv: -kv[1])[:5])
     print(f"  top counters: { {k: round(v) for k, v in top.items()} }")
-    print(f"  audit: {baseline.report().summary()}\n")
+    print(f"  audit: {base_report.audit.summary()}\n")
 
-    ratio = baseline.state_changes / max(1, ours.state_changes)
+    ratio = base_report.audit.state_changes / max(
+        1, report.audit.state_changes
+    )
     print(f"state-change ratio (baseline / ours): {ratio:.1f}x")
 
 

@@ -8,20 +8,26 @@ that measures the number of internal state changes, adversarial
 instances from the lower-bound proofs, and an NVM wear simulator for
 the motivating hardware model.
 
-Quick start::
+Quick start (the :class:`~repro.api.Engine` facade + typed queries)::
 
-    from repro import HeavyHitters, zipf_stream
+    from repro import Engine, zipf_stream
+    from repro.query import HeavyHitters, Moment
 
     n, m = 1 << 14, 1 << 16
-    algo = HeavyHitters(n=n, m=m, p=2, epsilon=0.5, seed=0)
-    algo.process_stream(zipf_stream(n, m, seed=0))
-    print(algo.report().summary())        # state-change audit
-    print(algo.heavy_hitters())           # the heavy-hitter list
+    engine = Engine("heavy-hitters", n=n, m=m, epsilon=0.5, seed=0)
+    report = engine.run(
+        zipf_stream(n, m, seed=0), queries=[HeavyHitters(), Moment()]
+    )
+    print(report.audit.summary())         # state-change audit
+    print(report.answers)                 # typed (query, answer) pairs
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+Algorithm classes remain directly usable (``HeavyHitters(...)``,
+``algo.process_stream(...)``, ``algo.query(...)``).  See DESIGN.md for
+the full system inventory and EXPERIMENTS.md for the paper-vs-measured
+record.
 """
 
+from repro.api import Engine, RunReport
 from repro.core import (
     ExactCounter,
     FpEstimator,
@@ -35,6 +41,11 @@ from repro.core import (
 from repro.core.entropy import EntropyEstimator
 from repro.core.fp_pstable import PStableFpEstimator
 from repro.core.support_recovery import SparseSupportRecovery
+# The query/answer vocabulary deliberately stays namespaced under
+# `repro.query` (one of its names, `HeavyHitters`, would collide with
+# the algorithm class exported here); only the collision-free
+# capability enum and the typed error are re-exported.
+from repro.query import QueryKind, UnsupportedQueryError
 from repro.runtime import Checkpoint, ShardedRunner, ShardedRunResult
 from repro.state import (
     NotMergeableError,
@@ -58,7 +69,10 @@ from repro.streams import (
 __version__ = "1.0.0"
 
 __all__ = [
+    # NOTE: `HeavyHitters` is the algorithm class; the query types
+    # (incl. the query of the same name) live in `repro.query`.
     "Checkpoint",
+    "Engine",
     "EntropyEstimator",
     "ExactCounter",
     "FpEstimator",
@@ -70,6 +84,8 @@ __all__ = [
     "NotMergeableError",
     "NotSerializableError",
     "PStableFpEstimator",
+    "QueryKind",
+    "RunReport",
     "SampleAndHold",
     "SampleAndHoldParams",
     "ShardedRunResult",
@@ -79,6 +95,7 @@ __all__ = [
     "StateChangeReport",
     "StateTracker",
     "StreamAlgorithm",
+    "UnsupportedQueryError",
     "lower_bound_pair",
     "permutation_stream",
     "planted_heavy_hitter_stream",

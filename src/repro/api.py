@@ -1,0 +1,263 @@
+"""Top-level ``Engine`` facade: one object from stream to answers.
+
+Before this module existed every caller rebuilt the same pipeline by
+hand: look a sketch up in the registry, decide between a bare instance
+and a :class:`~repro.runtime.sharded.ShardedRunner`, ingest, then
+probe the sketch with ``hasattr`` ladders to extract answers.  The
+``Engine`` composes those steps once, on top of the unified query
+protocol (:mod:`repro.query`)::
+
+    from repro.api import Engine
+    from repro.query import HeavyHitters, Moment
+
+    engine = Engine("heavy-hitters", n=4096, m=65536, epsilon=0.8, seed=7)
+    report = engine.run(stream, queries=[HeavyHitters(), Moment()])
+    report.answer(QueryKind.MOMENT).value   # the F2 estimate
+    report.audit.state_changes              # the paper's sum_t X_t
+    report.wall_time_s                      # ingest + reduce wall time
+
+``shards=K`` switches ingestion to the sharded runtime transparently;
+answers still come from one merged sketch.  One ``seed`` drives the
+registry factory (sketch randomness), the shard partitioner, and the
+stream-independent RNGs, so two engines built with the same arguments
+produce identical reports end to end.
+
+Capability discovery needs no instance: :attr:`Engine.supports`
+mirrors the registry's :class:`~repro.registry.SketchSpec.supports`
+declaration, and :meth:`Engine.default_queries` builds one
+parameter-free query per supported kind.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro import registry
+from repro.query import (
+    AllEstimates,
+    Answer,
+    Distinct,
+    Entropy,
+    HeavyHitters,
+    Moment,
+    Query,
+    QueryKind,
+    UnsupportedQueryError,
+)
+from repro.runtime.sharded import ShardedRunner
+from repro.state.algorithm import Sketch
+from repro.state.report import StateChangeReport
+
+#: Parameter-free query constructors, in presentation order (point
+#: queries need an item, so they cannot be defaulted).
+_DEFAULT_QUERIES: tuple[tuple[QueryKind, type], ...] = (
+    (QueryKind.HEAVY_HITTERS, HeavyHitters),
+    (QueryKind.ALL_ESTIMATES, AllEstimates),
+    (QueryKind.MOMENT, Moment),
+    (QueryKind.DISTINCT, Distinct),
+    (QueryKind.ENTROPY, Entropy),
+)
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Everything one :meth:`Engine.run` produced.
+
+    Attributes
+    ----------
+    sketch:
+        Registry name of the algorithm that ran.
+    num_shards / partition / seed:
+        The ingestion configuration, echoed for provenance.
+    items_processed:
+        Stream updates consumed.
+    wall_time_s:
+        Wall-clock seconds spent ingesting and merge-reducing
+        (queries are timed separately by callers that care).
+    answers:
+        ``(query, answer)`` pairs, in the order requested.
+    audit:
+        The merged run's state-change report (the paper's cost model).
+    shard_reports:
+        Per-shard audits (length 1 when unsharded).
+    skew:
+        Max-over-mean shard load (1.0 = perfectly balanced).
+    """
+
+    sketch: str
+    num_shards: int
+    partition: str
+    seed: int
+    items_processed: int
+    wall_time_s: float
+    answers: tuple[tuple[Query, Answer], ...]
+    audit: StateChangeReport
+    shard_reports: tuple[StateChangeReport, ...]
+    skew: float
+
+    def answer(self, kind: QueryKind) -> Answer:
+        """The first answer of the given kind.
+
+        Raises ``KeyError`` when no requested query had that kind.
+        """
+        for query, answer in self.answers:
+            if query.kind is kind:
+                return answer
+        raise KeyError(f"no {kind!s} answer in this report")
+
+    def summary(self) -> str:
+        """One-line human-readable run summary."""
+        return (
+            f"{self.sketch}: items={self.items_processed} "
+            f"shards={self.num_shards} ({self.partition}) "
+            f"state_changes={self.audit.state_changes} "
+            f"peak_words={self.audit.peak_words} "
+            f"wall={self.wall_time_s:.3f}s"
+        )
+
+
+class Engine:
+    """Facade composing registry lookup, (sharded) ingestion, queries.
+
+    Parameters
+    ----------
+    sketch:
+        Registry name (see :func:`repro.registry.names`).
+    n, m, epsilon:
+        Sizing hints forwarded to the registry factory.
+    seed:
+        The single randomness seed: it reaches the sketch factory of
+        every shard (so shards share hash functions and merge
+        losslessly) and the shard partitioner.  Runs with equal
+        arguments are reproducible end to end.
+    shards:
+        Number of ingestion shards ``K >= 1``; ``K > 1`` requires a
+        mergeable sketch.
+    partition:
+        ``"hash"`` (default) or ``"round-robin"``; see
+        :class:`~repro.runtime.sharded.ShardedRunner`.
+    batch_size:
+        Items buffered per shard before a ``process_many`` flush.
+    """
+
+    def __init__(
+        self,
+        sketch: str,
+        *,
+        n: int = 4096,
+        m: int = 65536,
+        epsilon: float = 0.5,
+        seed: int = 0,
+        shards: int = 1,
+        partition: str = "hash",
+        batch_size: int = 1024,
+    ) -> None:
+        self.spec = registry.spec(sketch)
+        if shards < 1:
+            raise ValueError(f"need at least one shard: {shards}")
+        if shards > 1 and not self.spec.mergeable:
+            raise ValueError(
+                f"{sketch!r} is not mergeable and cannot be sharded; "
+                f"mergeable sketches: {registry.mergeable_names()}"
+            )
+        self.sketch_name = sketch
+        self.n = n
+        self.m = m
+        self.epsilon = epsilon
+        self.seed = seed
+        self.shards = shards
+        self.partition = partition
+        self.batch_size = batch_size
+        self._merged: Sketch | None = None
+
+    # ------------------------------------------------------------------
+    # Capabilities
+    # ------------------------------------------------------------------
+    @property
+    def supports(self) -> frozenset[QueryKind]:
+        """Query kinds the configured sketch declares."""
+        return self.spec.supports
+
+    def default_queries(self) -> list[Query]:
+        """One parameter-free query per supported kind.
+
+        Point queries are omitted (they need an item); pass explicit
+        :class:`~repro.query.PointQuery` objects to :meth:`run` for
+        those.
+        """
+        return [
+            query_cls()
+            for kind, query_cls in _DEFAULT_QUERIES
+            if kind in self.spec.supports
+        ]
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stream: Iterable[int],
+        queries: Sequence[Query] | None = None,
+    ) -> RunReport:
+        """Ingest ``stream``, merge-reduce, answer ``queries``.
+
+        ``queries=None`` runs :meth:`default_queries`; pass an explicit
+        (possibly empty) sequence to control exactly what is asked.
+        The ingestion always goes through the sharded runtime — one
+        shard degenerates to plain batched ingestion — so audits are
+        comparable across shard counts by construction.
+        """
+        runner = ShardedRunner.from_registry(
+            self.sketch_name,
+            self.shards,
+            n=self.n,
+            m=self.m,
+            epsilon=self.epsilon,
+            seed=self.seed,
+            partition=self.partition,
+            batch_size=self.batch_size,
+        )
+        start = time.perf_counter()
+        result = runner.run(stream)
+        wall_time_s = time.perf_counter() - start
+        self._merged = result.merged
+
+        if queries is None:
+            queries = self.default_queries()
+        answers = tuple((q, result.merged.query(q)) for q in queries)
+        return RunReport(
+            sketch=self.sketch_name,
+            num_shards=self.shards,
+            partition=self.partition,
+            seed=self.seed,
+            items_processed=result.merged.items_processed,
+            wall_time_s=wall_time_s,
+            answers=answers,
+            audit=result.merged_report,
+            shard_reports=result.shard_reports,
+            skew=result.skew,
+        )
+
+    # ------------------------------------------------------------------
+    # Post-run queries
+    # ------------------------------------------------------------------
+    @property
+    def merged(self) -> Sketch:
+        """The merged sketch of the last :meth:`run`."""
+        if self._merged is None:
+            raise RuntimeError("Engine.run() has not been called yet")
+        return self._merged
+
+    def query(self, q: Query) -> Answer:
+        """Ask the merged sketch of the last run one more question."""
+        return self.merged.query(q)
+
+    def can_answer(self, q: Query | QueryKind) -> bool:
+        """Whether the configured sketch declares this query's kind."""
+        kind = q if isinstance(q, QueryKind) else q.kind
+        return kind in self.spec.supports
+
+
+__all__ = ["Engine", "RunReport", "UnsupportedQueryError"]

@@ -1,14 +1,43 @@
 """Shared helpers for the dict-backed summaries.
 
-``ExactFrequencyCounter``, ``MisraGries``, and ``SpaceSaving`` all keep
-an (item → count) :class:`~repro.state.registers.TrackedDict`; the
-add-merge over two summaries and the ``[[item, count], ...]`` payload
-round-trip are identical across them and live here so the family-
-specific merge rules (k-th-largest subtraction, minimum floors) stay
-single-site.
+``ExactFrequencyCounter``, ``MisraGries``, ``SpaceSaving``, and
+``NaiveSampleAndHold`` all keep an (item → count)
+:class:`~repro.state.registers.TrackedDict` in ``self._counters``; the
+point/all-estimates query hooks, the add-merge over two summaries, and
+the ``[[item, count], ...]`` payload round-trip are identical across
+them and live here so the family-specific rules (heavy-hitter
+thresholds, k-th-largest subtraction, minimum floors) stay the only
+per-class code.
 """
 
 from __future__ import annotations
+
+from repro.query import (
+    AllEstimates,
+    MapAnswer,
+    PointQuery,
+    QueryKind,
+    ScalarAnswer,
+)
+
+
+class DictSummaryQueries:
+    """Query hooks shared by the (item → count) summary families.
+
+    Mixed in before :class:`~repro.state.algorithm.Sketch`; expects
+    the counters in ``self._counters``.
+    """
+
+    def _answer_point(self, q: PointQuery) -> ScalarAnswer:
+        return ScalarAnswer(
+            QueryKind.POINT, float(self._counters.get(q.item, 0))
+        )
+
+    def _answer_all_estimates(self, q: AllEstimates) -> MapAnswer:
+        return MapAnswer(
+            QueryKind.ALL_ESTIMATES,
+            {item: float(count) for item, count in self._counters.items()},
+        )
 
 
 def added_counts(mine, theirs) -> dict[int, int]:

@@ -13,6 +13,7 @@ import math
 import statistics
 
 from repro.hashing.prime_field import KWiseHash
+from repro.query import Moment, MomentAnswer, QueryKind
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedArray
 from repro.state.tracker import StateTracker
@@ -27,6 +28,7 @@ class AMSSketch(StreamAlgorithm):
 
     name = "AMS"
     mergeable = True
+    supports = frozenset({QueryKind.MOMENT})
 
     def __init__(
         self,
@@ -67,8 +69,13 @@ class AMSSketch(StreamAlgorithm):
         for c, sign_hash in enumerate(self._signs):
             self._sums[c] = self._sums[c] + sign_hash.sign(item)
 
-    def f2_estimate(self) -> float:
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _answer_moment(self, q: Moment) -> MomentAnswer:
         """Median over groups of the mean of ``Z_c^2`` within the group."""
+        if q.p is not None and q.p != 2.0:
+            raise ValueError(f"AMS answers only p=2 moments: {q.p}")
         group_means = []
         for g in range(self.num_groups):
             start = g * self.group_size
@@ -76,7 +83,13 @@ class AMSSketch(StreamAlgorithm):
                 self._sums[c] ** 2 for c in range(start, start + self.group_size)
             ]
             group_means.append(sum(values) / len(values))
-        return float(statistics.median(group_means))
+        return MomentAnswer(
+            QueryKind.MOMENT, float(statistics.median(group_means)), p=2.0
+        )
+
+    def f2_estimate(self) -> float:
+        """Median over groups of the mean of ``Z_c^2`` within the group."""
+        return self.query(Moment(2.0)).value
 
     # ------------------------------------------------------------------
     # Mergeable sketch protocol

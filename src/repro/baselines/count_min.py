@@ -10,8 +10,11 @@ error ``<= e*m/width`` w.p. ``1 - e^{-depth}``.  Every update increments
 from __future__ import annotations
 
 import math
+import warnings
+from typing import Iterable
 
 from repro.hashing.prime_field import KWiseHash
+from repro.query import PointQuery, QueryKind, ScalarAnswer
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedArray
 from repro.state.tracker import StateTracker
@@ -27,6 +30,7 @@ class CountMin(StreamAlgorithm):
 
     name = "CountMin"
     mergeable = True
+    supports = frozenset({QueryKind.POINT})
 
     def __init__(
         self,
@@ -69,18 +73,40 @@ class CountMin(StreamAlgorithm):
             bucket = h.bucket(item, self.width)
             row[bucket] = row[bucket] + 1
 
-    def estimate(self, item: int) -> float:
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _answer_point(self, q: PointQuery) -> ScalarAnswer:
         """Point query: min over rows (an overestimate)."""
-        return float(
-            min(
-                row[h.bucket(item, self.width)]
-                for row, h in zip(self._rows, self._hashes)
-            )
+        item = q.item
+        return ScalarAnswer(
+            QueryKind.POINT,
+            float(
+                min(
+                    row[h.bucket(item, self.width)]
+                    for row, h in zip(self._rows, self._hashes)
+                )
+            ),
         )
 
-    def estimates_for(self, items: set[int]) -> dict[int, float]:
-        """Point queries for a candidate set (CountMin has no item list)."""
+    def estimate(self, item: int) -> float:
+        """Point query: min over rows (an overestimate)."""
+        return self.query(PointQuery(item)).value
+
+    def estimates(self, items: Iterable[int]) -> dict[int, float]:
+        """Point queries for a candidate set (CountMin has no item list,
+        so unlike the summary families the candidates are required)."""
         return {item: self.estimate(item) for item in items}
+
+    def estimates_for(self, items: set[int]) -> dict[int, float]:
+        """Deprecated alias of :meth:`estimates`."""
+        warnings.warn(
+            "CountMin.estimates_for() is deprecated; use "
+            "CountMin.estimates(items)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.estimates(items)
 
     # ------------------------------------------------------------------
     # Mergeable sketch protocol

@@ -23,6 +23,7 @@ import random
 
 from repro.core.counters import MorrisCounter
 from repro.hashing.prime_field import KWiseHash
+from repro.query import PointQuery, QueryKind, ScalarAnswer
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.tracker import StateTracker
 
@@ -37,6 +38,7 @@ class CountMinMorris(StreamAlgorithm):
 
     name = "CountMin-Morris"
     mergeable = True
+    supports = frozenset({QueryKind.POINT})
 
     def __init__(
         self,
@@ -85,12 +87,23 @@ class CountMinMorris(StreamAlgorithm):
         for row, h in zip(self._rows, self._hashes):
             row[h.bucket(item, self.width)].add()
 
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _answer_point(self, q: PointQuery) -> ScalarAnswer:
+        """Point query: min over rows of the cell estimates."""
+        item = q.item
+        return ScalarAnswer(
+            QueryKind.POINT,
+            min(
+                row[h.bucket(item, self.width)].estimate
+                for row, h in zip(self._rows, self._hashes)
+            ),
+        )
+
     def estimate(self, item: int) -> float:
         """Point query: min over rows of the cell estimates."""
-        return min(
-            row[h.bucket(item, self.width)].estimate
-            for row, h in zip(self._rows, self._hashes)
-        )
+        return self.query(PointQuery(item)).value
 
     # ------------------------------------------------------------------
     # Mergeable sketch protocol

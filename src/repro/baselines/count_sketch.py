@@ -13,6 +13,13 @@ import math
 import statistics
 
 from repro.hashing.prime_field import KWiseHash
+from repro.query import (
+    Moment,
+    MomentAnswer,
+    PointQuery,
+    QueryKind,
+    ScalarAnswer,
+)
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedArray
 from repro.state.tracker import StateTracker
@@ -27,6 +34,7 @@ class CountSketch(StreamAlgorithm):
 
     name = "CountSketch"
     mergeable = True
+    supports = frozenset({QueryKind.POINT, QueryKind.MOMENT})
 
     def __init__(
         self,
@@ -79,20 +87,36 @@ class CountSketch(StreamAlgorithm):
             bucket = bucket_hash.bucket(item, self.width)
             row[bucket] = row[bucket] + sign_hash.sign(item)
 
-    def estimate(self, item: int) -> float:
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _answer_point(self, q: PointQuery) -> ScalarAnswer:
         """Point query: median over rows of the signed cell values."""
+        item = q.item
         votes = [
             sign_hash.sign(item) * row[bucket_hash.bucket(item, self.width)]
             for row, bucket_hash, sign_hash in zip(
                 self._rows, self._bucket_hashes, self._sign_hashes
             )
         ]
-        return float(statistics.median(votes))
+        return ScalarAnswer(QueryKind.POINT, float(statistics.median(votes)))
+
+    def _answer_moment(self, q: Moment) -> MomentAnswer:
+        """``F2``: median over rows of the row's squared mass."""
+        if q.p is not None and q.p != 2.0:
+            raise ValueError(f"CountSketch answers only p=2 moments: {q.p}")
+        row_sums = [sum(cell * cell for cell in row) for row in self._rows]
+        return MomentAnswer(
+            QueryKind.MOMENT, float(statistics.median(row_sums)), p=2.0
+        )
+
+    def estimate(self, item: int) -> float:
+        """Point query: median over rows of the signed cell values."""
+        return self.query(PointQuery(item)).value
 
     def f2_estimate(self) -> float:
         """``F2`` estimate: median over rows of the row's squared mass."""
-        row_sums = [sum(cell * cell for cell in row) for row in self._rows]
-        return float(statistics.median(row_sums))
+        return self.query(Moment(2.0)).value
 
     # ------------------------------------------------------------------
     # Mergeable sketch protocol

@@ -7,17 +7,30 @@ anchoring the ``O(m)`` end of Table 1.
 
 from __future__ import annotations
 
+import math
+
 from repro.baselines._dict_summary import (
+    DictSummaryQueries,
     added_counts,
     dict_payload,
     load_dict_payload,
+)
+from repro.query import (
+    AllEstimates,
+    Distinct,
+    Entropy,
+    Moment,
+    MomentAnswer,
+    PointQuery,
+    QueryKind,
+    ScalarAnswer,
 )
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedDict
 from repro.state.tracker import StateTracker
 
 
-class ExactFrequencyCounter(StreamAlgorithm):
+class ExactFrequencyCounter(DictSummaryQueries, StreamAlgorithm):
     """Exact frequencies via a tracked hash table (space ``O(F0)``).
 
     Trivially mergeable: frequency vectors add.
@@ -25,33 +38,71 @@ class ExactFrequencyCounter(StreamAlgorithm):
 
     name = "Exact"
     mergeable = True
+    # Holding the full frequency vector, it answers every query kind
+    # exactly — the reference implementation of the query protocol.
+    supports = frozenset(
+        {
+            QueryKind.POINT,
+            QueryKind.ALL_ESTIMATES,
+            QueryKind.MOMENT,
+            QueryKind.DISTINCT,
+            QueryKind.ENTROPY,
+        }
+    )
 
     def __init__(self, tracker: StateTracker | None = None) -> None:
         super().__init__(tracker)
-        self._counts: TrackedDict[int, int] = TrackedDict(self.tracker, "exact")
+        self._counters: TrackedDict[int, int] = TrackedDict(self.tracker, "exact")
 
     def _update(self, item: int) -> None:
-        self._counts[item] = self._counts.get(item, 0) + 1
+        self._counters[item] = self._counters.get(item, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Queries (point/all-estimates hooks come from DictSummaryQueries)
+    # ------------------------------------------------------------------
+    def _answer_moment(self, q: Moment) -> MomentAnswer:
+        """Exact ``Fp`` for any order (``p=None`` defaults to 2)."""
+        p = 2.0 if q.p is None else q.p
+        if p == 0.0:
+            value = float(len(self._counters))
+        else:
+            value = float(sum(count**p for count in self._counters.values()))
+        return MomentAnswer(QueryKind.MOMENT, value, p=p)
+
+    def _answer_distinct(self, q: Distinct) -> ScalarAnswer:
+        return ScalarAnswer(QueryKind.DISTINCT, float(len(self._counters)))
+
+    def _answer_entropy(self, q: Entropy) -> ScalarAnswer:
+        """Exact Shannon entropy (bits) of the empirical distribution."""
+        total = self._items_processed
+        if total == 0:
+            return ScalarAnswer(QueryKind.ENTROPY, 0.0)
+        entropy = -sum(
+            (count / total) * math.log2(count / total)
+            for count in self._counters.values()
+            if count > 0
+        )
+        return ScalarAnswer(QueryKind.ENTROPY, entropy)
 
     def estimate(self, item: int) -> float:
         """Exact frequency of ``item``."""
-        return float(self._counts.get(item, 0))
+        return self.query(PointQuery(item)).value
 
     def estimates(self) -> dict[int, float]:
         """All stored frequencies (exact)."""
-        return {item: float(count) for item, count in self._counts.items()}
+        return dict(self.query(AllEstimates()).values)
 
     # ------------------------------------------------------------------
     # Mergeable sketch protocol
     # ------------------------------------------------------------------
     def _merge_same_type(self, other: "ExactFrequencyCounter") -> None:
-        self._counts.load(added_counts(self._counts, other._counts))
+        self._counters.load(added_counts(self._counters, other._counters))
 
     def _config_state(self) -> dict:
         return {}
 
     def _payload_state(self) -> dict:
-        return {"counts": dict_payload(self._counts)}
+        return {"counts": dict_payload(self._counters)}
 
     def _load_payload(self, payload: dict) -> None:
-        load_dict_payload(self._counts, payload["counts"])
+        load_dict_payload(self._counters, payload["counts"])

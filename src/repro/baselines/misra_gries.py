@@ -11,16 +11,24 @@ behaviour the paper contrasts against.
 from __future__ import annotations
 
 from repro.baselines._dict_summary import (
+    DictSummaryQueries,
     added_counts,
     dict_payload,
     load_dict_payload,
+)
+from repro.query import (
+    AllEstimates,
+    HeavyHitters,
+    MapAnswer,
+    PointQuery,
+    QueryKind,
 )
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedDict
 from repro.state.tracker import StateTracker
 
 
-class MisraGries(StreamAlgorithm):
+class MisraGries(DictSummaryQueries, StreamAlgorithm):
     """Misra–Gries summary with ``k - 1`` counters.
 
     Mergeable per [ACHPWY12] ("Mergeable Summaries"): add the two
@@ -32,6 +40,9 @@ class MisraGries(StreamAlgorithm):
 
     name = "Misra-Gries"
     mergeable = True
+    supports = frozenset(
+        {QueryKind.POINT, QueryKind.ALL_ESTIMATES, QueryKind.HEAVY_HITTERS}
+    )
 
     def __init__(self, k: int, tracker: StateTracker | None = None) -> None:
         if k < 2:
@@ -56,13 +67,43 @@ class MisraGries(StreamAlgorithm):
             for tracked in expired:
                 del self._counters[tracked]
 
+    # ------------------------------------------------------------------
+    # Queries (point/all-estimates hooks come from DictSummaryQueries)
+    # ------------------------------------------------------------------
+    def _answer_heavy_hitters(self, q: HeavyHitters) -> MapAnswer:
+        """Tracked items that may be ``phi``-heavy (default ``phi=1/k``).
+
+        Counters underestimate by at most ``m/k``, so a true
+        ``phi``-heavy hitter (``f >= phi*m``) is guaranteed a counter
+        of at least ``(phi - 1/k)*m`` — that is the report threshold
+        (no false negatives).  With the default ``phi = 1/k`` the
+        threshold is 0: every survivor is a candidate, which is all a
+        ``k``-counter summary can certify.
+        """
+        phi = (1.0 / self.k) if q.phi is None else q.phi
+        if not 0 < phi <= 1:
+            raise ValueError(f"phi must be in (0, 1]: {phi}")
+        threshold = max(0.0, phi - 1.0 / self.k) * self.items_processed
+        return MapAnswer(
+            QueryKind.HEAVY_HITTERS,
+            {
+                item: float(count)
+                for item, count in self._counters.items()
+                if count >= threshold
+            },
+        )
+
     def estimate(self, item: int) -> float:
         """Underestimate of ``f_item`` (within ``m/k`` of the truth)."""
-        return float(self._counters.get(item, 0))
+        return self.query(PointQuery(item)).value
 
     def estimates(self) -> dict[int, float]:
         """All currently tracked (item, count) pairs."""
-        return {item: float(count) for item, count in self._counters.items()}
+        return dict(self.query(AllEstimates()).values)
+
+    def heavy_hitters(self, phi: float | None = None) -> dict[int, float]:
+        """Tracked items with count at least ``phi * m``."""
+        return dict(self.query(HeavyHitters(phi)).values)
 
     def additive_error_bound(self) -> float:
         """Worst-case underestimation ``m/k`` after ``m`` updates."""

@@ -14,12 +14,14 @@ from __future__ import annotations
 
 import random
 
+from repro.baselines._dict_summary import DictSummaryQueries
+from repro.query import AllEstimates, PointQuery, QueryKind
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedDict
 from repro.state.tracker import StateTracker
 
 
-class NaiveSampleAndHold(StreamAlgorithm):
+class NaiveSampleAndHold(DictSummaryQueries, StreamAlgorithm):
     """Sample-and-hold with global smallest-count eviction ([EV02]-style).
 
     Parameters
@@ -32,6 +34,7 @@ class NaiveSampleAndHold(StreamAlgorithm):
     """
 
     name = "NaiveSampleAndHold"
+    supports = frozenset({QueryKind.POINT, QueryKind.ALL_ESTIMATES})
 
     def __init__(
         self,
@@ -69,10 +72,13 @@ class NaiveSampleAndHold(StreamAlgorithm):
         for item, _ in by_count[: len(by_count) // 2]:
             del self._counters[item]
 
+    # ------------------------------------------------------------------
+    # Queries (hooks come from DictSummaryQueries)
+    # ------------------------------------------------------------------
     def estimate(self, item: int) -> float:
         """Held count for ``item`` (an underestimate), 0 if not held."""
-        return float(self._counters.get(item, 0))
+        return self.query(PointQuery(item)).value
 
     def estimates(self) -> dict[int, float]:
         """All currently held counters."""
-        return {item: float(count) for item, count in self._counters.items()}
+        return dict(self.query(AllEstimates()).values)

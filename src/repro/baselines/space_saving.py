@@ -9,13 +9,24 @@ most ``m/k``.  Like Misra–Gries it writes on every update —
 
 from __future__ import annotations
 
-from repro.baselines._dict_summary import dict_payload, load_dict_payload
+from repro.baselines._dict_summary import (
+    DictSummaryQueries,
+    dict_payload,
+    load_dict_payload,
+)
+from repro.query import (
+    AllEstimates,
+    HeavyHitters,
+    MapAnswer,
+    PointQuery,
+    QueryKind,
+)
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedDict
 from repro.state.tracker import StateTracker
 
 
-class SpaceSaving(StreamAlgorithm):
+class SpaceSaving(DictSummaryQueries, StreamAlgorithm):
     """SpaceSaving summary with ``k`` counters.
 
     Mergeable with the parallel-SpaceSaving rule [CPE16]: over the
@@ -28,6 +39,9 @@ class SpaceSaving(StreamAlgorithm):
 
     name = "SpaceSaving"
     mergeable = True
+    supports = frozenset(
+        {QueryKind.POINT, QueryKind.ALL_ESTIMATES, QueryKind.HEAVY_HITTERS}
+    )
 
     def __init__(self, k: int, tracker: StateTracker | None = None) -> None:
         if k < 1:
@@ -47,13 +61,39 @@ class SpaceSaving(StreamAlgorithm):
             del self._counters[victim]
             self._counters[item] = inherited + 1
 
+    # ------------------------------------------------------------------
+    # Queries (point/all-estimates hooks come from DictSummaryQueries)
+    # ------------------------------------------------------------------
+    def _answer_heavy_hitters(self, q: HeavyHitters) -> MapAnswer:
+        """Tracked items with ``fhat >= phi * m`` (default ``phi=1/k``).
+
+        Estimates are overestimates (``fhat >= f``), so the raw
+        ``phi*m`` threshold already reports every true ``phi``-heavy
+        hitter — no false negatives."""
+        phi = (1.0 / self.k) if q.phi is None else q.phi
+        if not 0 < phi <= 1:
+            raise ValueError(f"phi must be in (0, 1]: {phi}")
+        threshold = phi * self.items_processed
+        return MapAnswer(
+            QueryKind.HEAVY_HITTERS,
+            {
+                item: float(count)
+                for item, count in self._counters.items()
+                if count >= threshold
+            },
+        )
+
     def estimate(self, item: int) -> float:
         """Overestimate of ``f_item`` (within ``m/k`` of the truth)."""
-        return float(self._counters.get(item, 0))
+        return self.query(PointQuery(item)).value
 
     def estimates(self) -> dict[int, float]:
         """All currently tracked (item, count) pairs."""
-        return {item: float(count) for item, count in self._counters.items()}
+        return dict(self.query(AllEstimates()).values)
+
+    def heavy_hitters(self, phi: float | None = None) -> dict[int, float]:
+        """Tracked items with count at least ``phi * m``."""
+        return dict(self.query(HeavyHitters(phi)).values)
 
     def additive_error_bound(self) -> float:
         """Worst-case overestimation ``m/k`` after ``m`` updates."""

@@ -11,8 +11,12 @@ Four subcommands::
 
 ``audit`` can also read a stream of integers from a file (one item per
 line) via ``--input``, which is how external traces are replayed.
-Algorithms are constructed through :mod:`repro.registry`, so every
-registered name works with both ``audit`` and (if mergeable) ``shard``.
+
+Subcommands run through the :class:`~repro.api.Engine` facade and the
+unified query protocol: what gets printed for an algorithm follows its
+declared capabilities (:attr:`~repro.registry.SketchSpec.supports`),
+not ``hasattr`` probes, so every registered name works with ``audit``
+and (if mergeable) ``shard``.
 """
 
 from __future__ import annotations
@@ -22,6 +26,15 @@ import sys
 from typing import Sequence
 
 from repro import registry
+from repro.api import Engine
+from repro.query import (
+    AllEstimates,
+    Distinct,
+    Entropy,
+    HeavyHitters,
+    Moment,
+    QueryKind,
+)
 from repro.streams import (
     FrequencyVector,
     uniform_stream,
@@ -29,10 +42,10 @@ from repro.streams import (
 )
 
 
-def _build_algorithm(name: str, n: int, m: int, epsilon: float, seed: int):
-    """Instantiate an algorithm by registry name."""
+def _build_engine(name: str, **kwargs) -> Engine:
+    """Construct an Engine, translating bad names into exit messages."""
     try:
-        return registry.create(name, n=n, m=m, epsilon=epsilon, seed=seed)
+        return Engine(name, **kwargs)
     except KeyError:
         raise SystemExit(
             f"unknown algorithm {name!r}; choose from {registry.names()}"
@@ -55,24 +68,39 @@ def _load_stream(args: argparse.Namespace) -> list[int]:
 def _cmd_audit(args: argparse.Namespace) -> int:
     stream = _load_stream(args)
     n = args.n if not args.input else max(stream) + 1
-    algo = _build_algorithm(args.algorithm, n, len(stream), args.epsilon, args.seed)
-    algo.process_stream(stream)
-    report = algo.report()
+    engine = _build_engine(
+        args.algorithm,
+        n=n,
+        m=len(stream),
+        epsilon=args.epsilon,
+        seed=args.seed,
+    )
+    report = engine.run(stream, queries=())
     print(f"algorithm: {args.algorithm}")
-    print(f"audit:     {report.summary()}")
-    print(f"writes:    {report.total_writes} "
-          f"(max cell wear {report.max_cell_wear})")
+    print(f"audit:     {report.audit.summary()}")
+    print(f"writes:    {report.audit.total_writes} "
+          f"(max cell wear {report.audit.max_cell_wear})")
 
-    if hasattr(algo, "heavy_hitters"):
-        found = algo.heavy_hitters()
+    # What to print follows the declared capabilities, most specific
+    # kind first — no hasattr probes.
+    supports = engine.supports
+    if QueryKind.HEAVY_HITTERS in supports:
+        found = engine.query(HeavyHitters()).values
         print(f"heavy hitters: "
               f"{ {k: round(v) for k, v in sorted(found.items())} }")
-    elif hasattr(algo, "f0_estimate"):
-        print(f"distinct estimate: {algo.f0_estimate():.1f} "
-              f"(true {len(set(stream))})")
-    elif hasattr(algo, "estimates"):
-        top = sorted(algo.estimates().items(), key=lambda kv: -kv[1])[:5]
+    elif QueryKind.ALL_ESTIMATES in supports:
+        estimates = engine.query(AllEstimates()).values
+        top = sorted(estimates.items(), key=lambda kv: -kv[1])[:5]
         print(f"top estimates: { {k: round(v) for k, v in top} }")
+    elif QueryKind.DISTINCT in supports:
+        print(f"distinct estimate: {engine.query(Distinct()).value:.1f} "
+              f"(true {len(set(stream))})")
+    elif QueryKind.MOMENT in supports:
+        answer = engine.query(Moment())
+        print(f"F{answer.p:g} estimate: {answer.value:.4g}")
+    elif QueryKind.ENTROPY in supports:
+        print(f"entropy estimate: "
+              f"{engine.query(Entropy()).value:.3f} bits")
 
     if args.truth:
         f = FrequencyVector.from_stream(stream)
@@ -112,8 +140,9 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         )
     if not is_scorable(spec.cls):
         raise SystemExit(
-            f"{args.sketch!r} has no frequency or moment estimate to "
-            f"score; pick a sketch with estimate()/f*_estimate()"
+            f"{args.sketch!r} declares no scorable query kind "
+            f"(point/moment/distinct/entropy); its capabilities: "
+            f"{sorted(str(k) for k in spec.supports) or 'none'}"
         )
     rows = shard_scaling(
         sketch=args.sketch,

@@ -19,6 +19,13 @@ logarithmic factor the paper's ``Õ`` already absorbs.
 from __future__ import annotations
 
 from repro.core.full_sample_and_hold import FullSampleAndHold
+from repro.query import (
+    AllEstimates,
+    MapAnswer,
+    PointQuery,
+    QueryKind,
+    ScalarAnswer,
+)
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.tracker import StateTracker
 
@@ -38,6 +45,7 @@ class AdaptiveFullSampleAndHold(StreamAlgorithm):
     """
 
     name = "AdaptiveFullSampleAndHold"
+    supports = frozenset({QueryKind.POINT, QueryKind.ALL_ESTIMATES})
 
     def __init__(
         self,
@@ -95,7 +103,15 @@ class AdaptiveFullSampleAndHold(StreamAlgorithm):
         """Number of doubling epochs opened so far."""
         return len(self._epochs)
 
-    def estimates(self, level_rule: str | None = None) -> dict[int, float]:
+    def _answer_point(self, q: PointQuery) -> ScalarAnswer:
+        return ScalarAnswer(
+            QueryKind.POINT, self._estimates_impl(None).get(q.item, 0.0)
+        )
+
+    def _answer_all_estimates(self, q: AllEstimates) -> MapAnswer:
+        return MapAnswer(QueryKind.ALL_ESTIMATES, self._estimates_impl(None))
+
+    def _estimates_impl(self, level_rule: str | None) -> dict[int, float]:
         """Summed per-epoch estimates (one-sided, like each epoch's)."""
         combined: dict[int, float] = {}
         for epoch in self._epochs:
@@ -103,6 +119,12 @@ class AdaptiveFullSampleAndHold(StreamAlgorithm):
                 combined[item] = combined.get(item, 0.0) + value
         return combined
 
+    def estimates(self, level_rule: str | None = None) -> dict[int, float]:
+        """Summed per-epoch estimates (one-sided, like each epoch's)."""
+        if level_rule is None:
+            return dict(self.query(AllEstimates()).values)
+        return self._estimates_impl(level_rule)
+
     def estimate(self, item: int) -> float:
         """Summed estimate for one item (0 when never held)."""
-        return self.estimates().get(item, 0.0)
+        return self.query(PointQuery(item)).value

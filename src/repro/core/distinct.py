@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 
 from repro.hashing.prime_field import KWiseHash
+from repro.query import Distinct, QueryKind, ScalarAnswer
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedArray
 from repro.state.tracker import StateTracker
@@ -44,6 +45,7 @@ class KMVDistinctElements(StreamAlgorithm):
 
     name = "KMV"
     mergeable = True
+    supports = frozenset({QueryKind.DISTINCT})
 
     def __init__(
         self,
@@ -107,7 +109,7 @@ class KMVDistinctElements(StreamAlgorithm):
         """How many slots are currently occupied."""
         return sum(1 for value in self._minima if value < 1.0)
 
-    def f0_estimate(self) -> float:
+    def _answer_distinct(self, q: Distinct) -> ScalarAnswer:
         """Estimated number of distinct items.
 
         Exact (the occupied-slot count) while fewer than ``k`` distinct
@@ -115,11 +117,15 @@ class KMVDistinctElements(StreamAlgorithm):
         """
         occupied = self.num_minima
         if occupied < self.k:
-            return float(occupied)
+            return ScalarAnswer(QueryKind.DISTINCT, float(occupied))
         v_k = self._minima[self.k - 1]
         if v_k <= 0.0:
-            return float(self.k)
-        return (self.k - 1) / v_k
+            return ScalarAnswer(QueryKind.DISTINCT, float(self.k))
+        return ScalarAnswer(QueryKind.DISTINCT, (self.k - 1) / v_k)
+
+    def f0_estimate(self) -> float:
+        """Estimated number of distinct items (the distinct query)."""
+        return self.query(Distinct()).value
 
     # ------------------------------------------------------------------
     # Mergeable sketch protocol

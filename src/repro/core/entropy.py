@@ -39,6 +39,7 @@ import random
 
 from repro.core.counters import MorrisCounter
 from repro.core.fp_pstable import PStableFpEstimator
+from repro.query import Entropy, QueryKind, ScalarAnswer
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedDict
 from repro.state.tracker import StateTracker
@@ -119,6 +120,7 @@ class EntropyEstimator(StreamAlgorithm):
     """
 
     name = "EntropyEstimator"
+    supports = frozenset({QueryKind.ENTROPY})
 
     def __init__(
         self,
@@ -198,14 +200,20 @@ class EntropyEstimator(StreamAlgorithm):
     # ------------------------------------------------------------------
     def entropy_estimate(self) -> float:
         """Estimated Shannon entropy (bits) of the stream so far."""
+        return self.query(Entropy()).value
+
+    def _answer_entropy(self, q: Entropy) -> ScalarAnswer:
+        """Estimated Shannon entropy (bits) of the stream so far."""
         length = max(2.0, self._length.estimate)
         values = []
         for index in range(len(self.nodes)):
             moment = self._moment(index)
             if moment <= 0:
-                return 0.0
+                return ScalarAnswer(QueryKind.ENTROPY, 0.0)
             values.append(math.log(moment))
         g_prime = lagrange_derivative_at(self.nodes, values, 1.0)
         entropy = math.log2(length) - g_prime / math.log(2.0)
         # Clamp to the valid entropy range [0, log2 m].
-        return min(max(entropy, 0.0), math.log2(length))
+        return ScalarAnswer(
+            QueryKind.ENTROPY, min(max(entropy, 0.0), math.log2(length))
+        )

@@ -34,6 +34,7 @@ from typing import Protocol
 
 from repro.core.full_sample_and_hold import FullSampleAndHold
 from repro.hashing.subsample import NestedUniverseSampler
+from repro.query import Moment, MomentAnswer, QueryKind
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedDict
 from repro.state.tracker import StateTracker
@@ -91,6 +92,7 @@ class FpEstimator(StreamAlgorithm):
     """
 
     name = "FpEstimator"
+    supports = frozenset({QueryKind.MOMENT})
 
     def __init__(
         self,
@@ -232,9 +234,19 @@ class FpEstimator(StreamAlgorithm):
             contributions[band] = float(statistics.median(per_copy))
         return contributions
 
+    def _answer_moment(self, q: Moment) -> MomentAnswer:
+        """``Fp_hat = sum_i C_i`` (Algorithm 3 line 14)."""
+        if q.p is not None and q.p != self.p:
+            raise ValueError(
+                f"this estimator is configured for p={self.p}, not p={q.p}"
+            )
+        return MomentAnswer(
+            QueryKind.MOMENT, sum(self.contributions().values()), p=self.p
+        )
+
     def fp_estimate(self) -> float:
         """``Fp_hat = sum_i C_i`` (Algorithm 3 line 14)."""
-        return sum(self.contributions().values())
+        return self.query(Moment()).value
 
     def lp_norm_estimate(self) -> float:
         """``||f||_p`` estimate: ``fp_estimate() ** (1/p)``."""

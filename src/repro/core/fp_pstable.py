@@ -38,6 +38,7 @@ from repro.hashing.pstable import (
     stable_abs_median,
     stable_log_abs_mean,
 )
+from repro.query import Moment, MomentAnswer, QueryKind
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.tracker import StateTracker
 
@@ -73,6 +74,7 @@ class PStableFpEstimator(StreamAlgorithm):
 
     name = "PStableFp"
     mergeable = True
+    supports = frozenset({QueryKind.MOMENT})
 
     def __init__(
         self,
@@ -187,8 +189,24 @@ class PStableFpEstimator(StreamAlgorithm):
         norm_p = -(lam**self.p) * math.log(mean_cos)
         return norm_p ** (1.0 / self.p)
 
+    def _answer_moment(self, q: Moment) -> MomentAnswer:
+        """``Fp`` at the sketch's configured order (median estimator)."""
+        if q.p is not None and q.p != self.p:
+            raise ValueError(
+                f"this sketch is configured for p={self.p}, not p={q.p}"
+            )
+        return MomentAnswer(
+            QueryKind.MOMENT, self.lp_norm_estimate() ** self.p, p=self.p
+        )
+
     def fp_estimate(self, estimator: str = "median") -> float:
-        """``Fp = ||f||_p^p`` estimate."""
+        """``Fp = ||f||_p^p`` estimate.
+
+        The default (median) estimator is the moment query; explicit
+        estimator choices bypass the protocol's single answer shape.
+        """
+        if estimator == "median":
+            return self.query(Moment()).value
         return self.lp_norm_estimate(estimator) ** self.p
 
     # ------------------------------------------------------------------

@@ -31,6 +31,13 @@ import statistics
 from repro.core.counters import MorrisCounter
 from repro.core.sample_and_hold import SampleAndHold, SampleAndHoldParams
 from repro.hashing.subsample import NestedStreamSampler
+from repro.query import (
+    AllEstimates,
+    MapAnswer,
+    PointQuery,
+    QueryKind,
+    ScalarAnswer,
+)
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.tracker import StateTracker
 
@@ -61,6 +68,7 @@ class FullSampleAndHold(StreamAlgorithm):
     """
 
     name = "FullSampleAndHold"
+    supports = frozenset({QueryKind.POINT, QueryKind.ALL_ESTIMATES})
 
     def __init__(
         self,
@@ -151,11 +159,31 @@ class FullSampleAndHold(StreamAlgorithm):
         ]
         return float(statistics.median(values))
 
+    def _answer_point(self, q: PointQuery) -> ScalarAnswer:
+        """Rescaled frequency estimate for one item (0 if never held)."""
+        return ScalarAnswer(
+            QueryKind.POINT, self._estimates_impl(None).get(q.item, 0.0)
+        )
+
+    def _answer_all_estimates(self, q: AllEstimates) -> MapAnswer:
+        """Estimates for every held item, under the default level rule."""
+        return MapAnswer(QueryKind.ALL_ESTIMATES, self._estimates_impl(None))
+
     def estimate(self, item: int) -> float:
         """Rescaled frequency estimate for one item (0 if never held)."""
-        return self.estimates().get(item, 0.0)
+        return self.query(PointQuery(item)).value
 
     def estimates(self, level_rule: str | None = None) -> dict[int, float]:
+        """Frequency estimates for every item held at any level.
+
+        With the default ``level_rule`` this is the all-estimates query;
+        an explicit rule overrides the query-time level combination.
+        """
+        if level_rule is None:
+            return dict(self.query(AllEstimates()).values)
+        return self._estimates_impl(level_rule)
+
+    def _estimates_impl(self, level_rule: str | None) -> dict[int, float]:
         """Frequency estimates for every item held at any level.
 
         Each level's median estimate is rescaled by the inverse

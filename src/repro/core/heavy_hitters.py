@@ -19,6 +19,16 @@ from __future__ import annotations
 import statistics
 
 from repro.core.fp_estimation import FpEstimator
+from repro.query import (
+    AllEstimates,
+    MapAnswer,
+    Moment,
+    MomentAnswer,
+    PointQuery,
+    QueryKind,
+    ScalarAnswer,
+)
+from repro.query import HeavyHitters as HeavyHittersQuery
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.tracker import StateTracker
 
@@ -31,6 +41,14 @@ class HeavyHitters(StreamAlgorithm):
     """
 
     name = "HeavyHitters"
+    supports = frozenset(
+        {
+            QueryKind.POINT,
+            QueryKind.ALL_ESTIMATES,
+            QueryKind.HEAVY_HITTERS,
+            QueryKind.MOMENT,
+        }
+    )
 
     def __init__(
         self,
@@ -65,7 +83,7 @@ class HeavyHitters(StreamAlgorithm):
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def estimates(self) -> dict[int, float]:
+    def _answer_all_estimates(self, q: AllEstimates) -> MapAnswer:
         """Median-over-copies frequency estimates from the unsampled
         (level 1) FullSampleAndHold instances.
 
@@ -86,38 +104,68 @@ class HeavyHitters(StreamAlgorithm):
         ]
         for estimates in per_copy:
             candidates.update(estimates)
-        return {
-            item: float(
-                statistics.median(est.get(item, 0.0) for est in per_copy)
+        return MapAnswer(
+            QueryKind.ALL_ESTIMATES,
+            {
+                item: float(
+                    statistics.median(est.get(item, 0.0) for est in per_copy)
+                )
+                for item in candidates
+            },
+        )
+
+    def _answer_point(self, q: PointQuery) -> ScalarAnswer:
+        return ScalarAnswer(
+            QueryKind.POINT, self.estimates().get(q.item, 0.0)
+        )
+
+    def _answer_heavy_hitters(self, q: HeavyHittersQuery) -> MapAnswer:
+        """Items with ``fhat_j >= (phi/2) * norm_estimate``.
+
+        Contains every true ``phi``-heavy hitter (with the theorem's
+        probability) and no item below ``phi/4`` of the true norm when
+        the norm estimate is within a factor 2.
+        """
+        phi = self.epsilon if q.phi is None else q.phi
+        if not 0 < phi <= 1:
+            raise ValueError(f"phi must be in (0, 1]: {phi}")
+        threshold = 0.5 * phi * self.norm_estimate()
+        return MapAnswer(
+            QueryKind.HEAVY_HITTERS,
+            {
+                item: fhat
+                for item, fhat in self.estimates().items()
+                if fhat >= threshold
+            },
+        )
+
+    def _answer_moment(self, q: Moment) -> MomentAnswer:
+        """The underlying ``Fp`` estimate (Theorem 1.3)."""
+        if q.p is not None and q.p != self.p:
+            raise ValueError(
+                f"this sketch is configured for p={self.p}, not p={q.p}"
             )
-            for item in candidates
-        }
+        return MomentAnswer(
+            QueryKind.MOMENT, self._fp.fp_estimate(), p=self.p
+        )
+
+    def estimates(self) -> dict[int, float]:
+        """Median-over-copies frequency estimates (see the all-estimates
+        query hook for the level choice)."""
+        return dict(self.query(AllEstimates()).values)
 
     def estimate(self, item: int) -> float:
         """Frequency estimate for one item (0 when never held)."""
-        return self.estimates().get(item, 0.0)
+        return self.query(PointQuery(item)).value
 
     def norm_estimate(self) -> float:
         """``||f||_p`` estimate from the level-set machinery."""
         return self._fp.lp_norm_estimate()
 
     def heavy_hitters(self, epsilon: float | None = None) -> dict[int, float]:
-        """Items with ``fhat_j >= (epsilon/2) * norm_estimate``.
-
-        Contains every true ``epsilon``-heavy hitter (with the
-        theorem's probability) and no item below ``epsilon/4`` of the
-        true norm when the norm estimate is within a factor 2.
-        """
-        epsilon = self.epsilon if epsilon is None else epsilon
-        if not 0 < epsilon <= 1:
-            raise ValueError(f"epsilon must be in (0, 1]: {epsilon}")
-        threshold = 0.5 * epsilon * self.norm_estimate()
-        return {
-            item: fhat
-            for item, fhat in self.estimates().items()
-            if fhat >= threshold
-        }
+        """Items with ``fhat_j >= (epsilon/2) * norm_estimate``."""
+        return dict(self.query(HeavyHittersQuery(epsilon)).values)
 
     def fp_estimate(self) -> float:
         """The underlying ``Fp`` estimate (Theorem 1.3)."""
-        return self._fp.fp_estimate()
+        return self.query(Moment()).value

@@ -34,6 +34,13 @@ import random
 from dataclasses import dataclass
 
 from repro.core.counters import ApproximateCounter, ExactCounter, MorrisCounter
+from repro.query import (
+    AllEstimates,
+    MapAnswer,
+    PointQuery,
+    QueryKind,
+    ScalarAnswer,
+)
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedArray
 from repro.state.tracker import StateTracker
@@ -158,6 +165,7 @@ class SampleAndHold(StreamAlgorithm):
     """
 
     name = "SampleAndHold"
+    supports = frozenset({QueryKind.POINT, QueryKind.ALL_ESTIMATES})
 
     def __init__(
         self,
@@ -270,17 +278,30 @@ class SampleAndHold(StreamAlgorithm):
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _answer_point(self, q: PointQuery) -> ScalarAnswer:
+        held = self._held.get(q.item)
+        return ScalarAnswer(
+            QueryKind.POINT,
+            held.counter.estimate if held is not None else 0.0,
+        )
+
+    def _answer_all_estimates(self, q: AllEstimates) -> MapAnswer:
+        return MapAnswer(
+            QueryKind.ALL_ESTIMATES,
+            {
+                item: held.counter.estimate
+                for item, held in self._held.items()
+            },
+        )
+
     def estimate(self, item: int) -> float:
         """Estimated frequency of ``item`` (one-sided: never above
         ``(1+eps_counter) * f_item``); 0 when the item is not held."""
-        held = self._held.get(item)
-        return held.counter.estimate if held is not None else 0.0
+        return self.query(PointQuery(item)).value
 
     def estimates(self) -> dict[int, float]:
         """Estimates of every currently held item (line 22)."""
-        return {
-            item: held.counter.estimate for item, held in self._held.items()
-        }
+        return dict(self.query(AllEstimates()).values)
 
     @property
     def num_held(self) -> int:

@@ -20,6 +20,7 @@ total number of state changes is at most ``capacity_factor * k + 1`` on
 
 from __future__ import annotations
 
+from repro.query import Distinct, QueryKind, ScalarAnswer
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedDict, TrackedValue
 from repro.state.tracker import StateTracker
@@ -46,6 +47,7 @@ class SparseSupportRecovery(StreamAlgorithm):
     """
 
     name = "SparseSupportRecovery"
+    supports = frozenset({QueryKind.DISTINCT})
 
     def __init__(
         self,
@@ -83,6 +85,14 @@ class SparseSupportRecovery(StreamAlgorithm):
     def overflowed(self) -> bool:
         """True when more than ``capacity`` distinct items appeared."""
         return self._overflowed.value
+
+    def _answer_distinct(self, q: Distinct) -> ScalarAnswer:
+        """Number of recorded distinct items.
+
+        Exact while the sparsity promise holds; a lower bound once
+        :attr:`overflowed` is set.
+        """
+        return ScalarAnswer(QueryKind.DISTINCT, float(len(self._items)))
 
     def support(self) -> set[int]:
         """The recovered support.

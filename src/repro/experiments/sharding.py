@@ -12,10 +12,14 @@ baseline and the exact ground truth.  The theory being checked:
 * the merged state-change total equals the sum of the shard totals —
   sharding redistributes, but does not create, state changes.
 
-Frequency sketches (per-item ``estimate(item)``) are scored on the
-top-``k`` true items; aggregate estimators (AMS ``F2``, KMV ``F0``,
-p-stable ``Fp``) are scored on their single scalar estimate against
-the exact moment — the error columns keep the same meaning either way.
+All runs go through the :class:`~repro.api.Engine` facade and scoring
+goes through the unified query protocol: a sketch declaring ``POINT``
+is scored on the top-``k`` true items via
+:class:`~repro.query.PointQuery`; otherwise its best scalar kind
+(moment, distinct, entropy — in that preference order) is queried and
+compared against the matching exact statistic.  No per-family
+special-casing: the declared capabilities drive the scoring, and the
+error columns keep the same meaning either way.
 """
 
 from __future__ import annotations
@@ -24,8 +28,25 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro import registry
-from repro.runtime.sharded import ShardedRunner
+from repro.api import Engine
+from repro.query import (
+    Answer,
+    Distinct,
+    Entropy,
+    Moment,
+    PointQuery,
+    Query,
+    QueryKind,
+)
 from repro.streams import FrequencyVector, zipf_stream
+
+#: Query kinds a sketch can be scored on, most informative first.
+_SCORING_KINDS: tuple[QueryKind, ...] = (
+    QueryKind.POINT,
+    QueryKind.MOMENT,
+    QueryKind.DISTINCT,
+    QueryKind.ENTROPY,
+)
 
 
 @dataclass(frozen=True)
@@ -37,8 +58,8 @@ class ShardScalingRow:
     sum_shard_state_changes: int
     peak_words: int
     skew: float
-    #: Mean |estimate - truth| over the top items (frequency sketches)
-    #: or |scalar estimate - exact moment| (aggregate estimators).
+    #: Mean |estimate - truth| over the top items (point-capable
+    #: sketches) or |scalar estimate - exact statistic| (scalar kinds).
     mean_abs_error: float
     #: Max |estimate - single-instance estimate| over the same queries.
     max_dev_from_single: float
@@ -47,37 +68,46 @@ class ShardScalingRow:
 def is_scorable(sketch_cls: type) -> bool:
     """Whether :func:`shard_scaling` can score this sketch class.
 
-    Scoring needs either a per-item ``estimate(item)`` or one of the
-    aggregate moment queries (``f2_estimate``/``f0_estimate``/
-    ``fp_estimate``); samplers like ``reservoir`` have neither.
+    Scoring needs a declared ``POINT`` capability or one of the scalar
+    kinds (moment/distinct/entropy); samplers like ``reservoir``
+    declare none of them.
     """
-    return any(
-        hasattr(sketch_cls, query)
-        for query in ("estimate", "f2_estimate", "f0_estimate", "fp_estimate")
-    )
+    supports = frozenset(getattr(sketch_cls, "supports", ()))
+    return any(kind in supports for kind in _SCORING_KINDS)
 
 
-def _scalar_estimate(sketch) -> float:
-    """Aggregate query for sketches without per-item estimates."""
-    if hasattr(sketch, "f2_estimate"):
-        return float(sketch.f2_estimate())
-    if hasattr(sketch, "f0_estimate"):
-        return float(sketch.f0_estimate())
-    if hasattr(sketch, "fp_estimate"):
-        return float(sketch.fp_estimate())
+def _scoring_kind(supports: frozenset[QueryKind]) -> QueryKind:
+    """The preferred scorable kind among the declared capabilities."""
+    for kind in _SCORING_KINDS:
+        if kind in supports:
+            return kind
     raise TypeError(
-        f"{type(sketch).__name__} exposes neither estimate(item) nor an "
-        f"aggregate estimate; cannot score it"
+        f"no scorable query kind among {sorted(str(k) for k in supports)}"
     )
 
 
-def _scalar_truth(sketch, truth: FrequencyVector) -> float:
-    """Exact moment matching :func:`_scalar_estimate`'s query."""
-    if hasattr(sketch, "f2_estimate"):
-        return truth.fp_moment(2.0)
-    if hasattr(sketch, "f0_estimate"):
+def _scalar_query(kind: QueryKind) -> Query:
+    """The parameter-free scalar query for a scoring kind."""
+    return {
+        QueryKind.MOMENT: Moment(),
+        QueryKind.DISTINCT: Distinct(),
+        QueryKind.ENTROPY: Entropy(),
+    }[kind]
+
+
+def _scalar_truth(
+    kind: QueryKind, answer: Answer, truth: FrequencyVector
+) -> float:
+    """Exact statistic matching a scalar answer.
+
+    Moment answers carry the order ``p`` they resolved, so the truth
+    is computed at exactly that order.
+    """
+    if kind is QueryKind.MOMENT:
+        return truth.fp_moment(answer.p)
+    if kind is QueryKind.DISTINCT:
         return truth.fp_moment(0.0)
-    return truth.fp_moment(sketch.p)
+    return truth.shannon_entropy()
 
 
 def shard_scaling(
@@ -104,32 +134,43 @@ def shard_scaling(
         for item, _ in sorted(truth.items(), key=lambda kv: -kv[1])[:top_k]
     ]
 
-    single = registry.create(sketch, n=n, m=m, epsilon=epsilon, seed=seed)
-    single.process_many(stream)
-    per_item = hasattr(single, "estimate")
-    if per_item:
-        single_estimates = {
-            item: single.estimate(item) for item in top_items
-        }
-    else:
-        single_scalar = _scalar_estimate(single)
-        truth_scalar = _scalar_truth(single, truth)
-
-    rows = []
-    for num_shards in shard_counts:
-        runner = ShardedRunner.from_registry(
+    def engine_for(num_shards: int) -> Engine:
+        return Engine(
             sketch,
-            num_shards,
             n=n,
             m=m,
             epsilon=epsilon,
             seed=seed,
+            shards=num_shards,
             partition=partition,
         )
-        result = runner.run(stream)
-        if per_item:
+
+    kind = _scoring_kind(registry.spec(sketch).supports)
+    single = engine_for(1)
+    single_report = single.run(stream, queries=())
+    if kind is QueryKind.POINT:
+        single_estimates = {
+            item: single.query(PointQuery(item)).value for item in top_items
+        }
+    else:
+        single_answer = single.query(_scalar_query(kind))
+        single_scalar = single_answer.value
+        truth_scalar = _scalar_truth(kind, single_answer, truth)
+
+    rows = []
+    for num_shards in shard_counts:
+        if num_shards == 1:
+            # The 1-shard row is byte-identical to the baseline run
+            # (same sketch, seed, stream, and ingestion path) — reuse
+            # it instead of re-ingesting the whole stream.
+            engine, report = single, single_report
+        else:
+            engine = engine_for(num_shards)
+            report = engine.run(stream, queries=())
+        if kind is QueryKind.POINT:
             estimates = {
-                item: result.merged.estimate(item) for item in top_items
+                item: engine.query(PointQuery(item)).value
+                for item in top_items
             }
             mean_abs_error = sum(
                 abs(estimates[item] - truth[item]) for item in top_items
@@ -142,18 +183,18 @@ def shard_scaling(
                 default=0.0,
             )
         else:
-            merged_scalar = _scalar_estimate(result.merged)
-            mean_abs_error = abs(merged_scalar - truth_scalar)
-            max_dev = abs(merged_scalar - single_scalar)
+            merged_answer = engine.query(_scalar_query(kind))
+            mean_abs_error = abs(merged_answer.value - truth_scalar)
+            max_dev = abs(merged_answer.value - single_scalar)
         rows.append(
             ShardScalingRow(
                 num_shards=num_shards,
-                state_changes=result.merged_report.state_changes,
+                state_changes=report.audit.state_changes,
                 sum_shard_state_changes=sum(
-                    report.state_changes for report in result.shard_reports
+                    shard.state_changes for shard in report.shard_reports
                 ),
-                peak_words=result.merged_report.peak_words,
-                skew=result.skew,
+                peak_words=report.audit.peak_words,
+                skew=report.skew,
                 mean_abs_error=mean_abs_error,
                 max_dev_from_single=max_dev,
             )

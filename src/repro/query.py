@@ -1,0 +1,216 @@
+"""Unified query protocol: typed queries, typed answers, one dispatch.
+
+Every sketch family historically exposed its answers through a
+different ad-hoc method — ``estimate(item)``, no-arg ``estimates()``,
+``fp_estimate()``, ``f2_estimate()``, ``entropy_estimate()``,
+``heavy_hitters(eps)``, ``estimates_for(items)`` — which forced every
+caller (the CLI, the sharding experiment, the examples) to grow an
+if/else ladder of ``hasattr`` probes.  This module defines the single
+vocabulary those callers speak instead:
+
+* :class:`QueryKind` — the closed enumeration of question types the
+  library answers.
+* The query dataclasses (:class:`PointQuery`, :class:`AllEstimates`,
+  :class:`HeavyHitters`, :class:`Moment`, :class:`Entropy`,
+  :class:`Distinct`) — one frozen value object per kind, carrying the
+  kind's parameters.
+* The answer dataclasses (:class:`ScalarAnswer`, :class:`MomentAnswer`,
+  :class:`MapAnswer`) — typed envelopes around the result, tagged with
+  the kind they answer.
+* :class:`UnsupportedQueryError` — the typed error a sketch raises for
+  a kind it does not declare in its ``supports`` set.
+
+Dispatch lives on the ABC
+(:meth:`~repro.state.algorithm.Sketch.query`): a sketch declares
+``supports: frozenset[QueryKind]`` and implements one ``_answer_*``
+hook per declared kind.  Capability declarations are surfaced through
+:class:`repro.registry.SketchSpec`, so callers can enumerate which
+sketches answer which queries without constructing or probing one.
+
+This module is dependency-free within the package (the state layer
+imports it, not the other way around).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import ClassVar, Iterable, Mapping
+
+
+class QueryKind(str, enum.Enum):
+    """The closed set of question types a sketch can declare."""
+
+    #: Frequency of one item (``PointQuery``).
+    POINT = "point"
+    #: Frequencies of every item the sketch holds (``AllEstimates``).
+    ALL_ESTIMATES = "all-estimates"
+    #: Items above a heaviness threshold (``HeavyHitters``).
+    HEAVY_HITTERS = "heavy-hitters"
+    #: A frequency moment ``Fp`` (``Moment``).
+    MOMENT = "moment"
+    #: Shannon entropy of the stream (``Entropy``).
+    ENTROPY = "entropy"
+    #: Number of distinct items ``F0`` (``Distinct``).
+    DISTINCT = "distinct"
+
+    def __str__(self) -> str:  # "point", not "QueryKind.POINT"
+        return self.value
+
+
+class UnsupportedQueryError(TypeError):
+    """A sketch was asked a query kind it does not support.
+
+    Attributes
+    ----------
+    sketch:
+        Name of the sketch class that rejected the query.
+    kind:
+        The requested :class:`QueryKind`.
+    supports:
+        The kinds the sketch does declare.
+    """
+
+    def __init__(
+        self,
+        sketch: str,
+        kind: QueryKind,
+        supports: Iterable[QueryKind] = (),
+    ) -> None:
+        self.sketch = sketch
+        self.kind = kind
+        self.supports = frozenset(supports)
+        supported = (
+            ", ".join(sorted(str(k) for k in self.supports)) or "nothing"
+        )
+        super().__init__(
+            f"{sketch} does not answer {kind!s} queries "
+            f"(supports: {supported})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+class Query:
+    """Base class of all query value objects (see subclasses)."""
+
+    #: The kind this query class asks; set once per subclass.
+    kind: ClassVar[QueryKind]
+
+
+@dataclass(frozen=True, slots=True)
+class PointQuery(Query):
+    """Frequency estimate of one ``item``; answered by a
+    :class:`ScalarAnswer`."""
+
+    item: int
+    kind: ClassVar[QueryKind] = QueryKind.POINT
+
+
+@dataclass(frozen=True, slots=True)
+class AllEstimates(Query):
+    """Every (item, estimate) pair the sketch holds; answered by a
+    :class:`MapAnswer`.
+
+    Only summary-style sketches that actually enumerate items support
+    this (hashing sketches like CountMin have no item list — use
+    :class:`PointQuery` with a candidate set instead).
+    """
+
+    kind: ClassVar[QueryKind] = QueryKind.ALL_ESTIMATES
+
+
+@dataclass(frozen=True, slots=True)
+class HeavyHitters(Query):
+    """Items above a heaviness threshold ``phi``; answered by a
+    :class:`MapAnswer` of (item, estimate) pairs.
+
+    ``phi=None`` asks for the sketch's natural default threshold.
+    Each family interprets ``phi`` against its own guarantee: the
+    paper's ``Lp`` heavy hitters report items with
+    ``fhat >= (phi/2) * ||f||_p``, the summary baselines
+    (Misra-Gries, SpaceSaving) report items with
+    ``fhat >= phi * m``.
+    """
+
+    phi: float | None = None
+    kind: ClassVar[QueryKind] = QueryKind.HEAVY_HITTERS
+
+
+@dataclass(frozen=True, slots=True)
+class Moment(Query):
+    """The frequency moment ``Fp``; answered by a :class:`MomentAnswer`.
+
+    ``p=None`` asks for the sketch's native moment order (an AMS or
+    CountSketch sketch answers ``p=2``, a p-stable sketch its
+    configured ``p``).  Passing an explicit ``p`` a fixed-order sketch
+    cannot answer raises ``ValueError``.
+    """
+
+    p: float | None = None
+    kind: ClassVar[QueryKind] = QueryKind.MOMENT
+
+
+@dataclass(frozen=True, slots=True)
+class Entropy(Query):
+    """Shannon entropy (bits) of the stream; answered by a
+    :class:`ScalarAnswer`."""
+
+    kind: ClassVar[QueryKind] = QueryKind.ENTROPY
+
+
+@dataclass(frozen=True, slots=True)
+class Distinct(Query):
+    """Number of distinct items ``F0``; answered by a
+    :class:`ScalarAnswer`."""
+
+    kind: ClassVar[QueryKind] = QueryKind.DISTINCT
+
+
+# ----------------------------------------------------------------------
+# Answers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class Answer:
+    """Base answer envelope, tagged with the kind it answers."""
+
+    kind: QueryKind
+
+
+@dataclass(frozen=True, slots=True)
+class ScalarAnswer(Answer):
+    """A single numeric answer (point query, entropy, distinct)."""
+
+    value: float
+
+
+@dataclass(frozen=True, slots=True)
+class MomentAnswer(ScalarAnswer):
+    """A moment estimate plus the order ``p`` actually answered.
+
+    ``p`` matters when the query left the order implicit
+    (``Moment(p=None)``): callers scoring against ground truth read
+    the resolved order from here.
+    """
+
+    p: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class MapAnswer(Answer):
+    """An (item → estimate) mapping (all-estimates, heavy hitters)."""
+
+    values: Mapping[int, float] = field(default_factory=dict)
+
+
+#: Hook method implementing each kind; subclasses of ``Sketch`` that
+#: declare a kind in ``supports`` override the matching hook.
+QUERY_HOOKS: dict[QueryKind, str] = {
+    QueryKind.POINT: "_answer_point",
+    QueryKind.ALL_ESTIMATES: "_answer_all_estimates",
+    QueryKind.HEAVY_HITTERS: "_answer_heavy_hitters",
+    QueryKind.MOMENT: "_answer_moment",
+    QueryKind.ENTROPY: "_answer_entropy",
+    QueryKind.DISTINCT: "_answer_distinct",
+}

@@ -43,6 +43,7 @@ from repro.core.adaptive import AdaptiveFullSampleAndHold
 from repro.core.distinct import KMVDistinctElements
 from repro.core.entropy import EntropyEstimator
 from repro.core.fp_pstable import PStableFpEstimator
+from repro.query import QueryKind
 from repro.state.algorithm import Sketch
 
 #: Factory signature shared by every registry entry.
@@ -51,12 +52,18 @@ SketchFactory = Callable[..., Sketch]
 
 @dataclass(frozen=True)
 class SketchSpec:
-    """One registered algorithm: its name, class, and default factory."""
+    """One registered algorithm: its name, class, and default factory.
+
+    ``supports`` surfaces the class's query-capability declaration
+    (see :mod:`repro.query`) so callers can enumerate which sketches
+    answer which query kinds without constructing or probing one.
+    """
 
     name: str
     cls: type
     factory: SketchFactory
     mergeable: bool
+    supports: frozenset[QueryKind]
     summary: str
 
 
@@ -75,6 +82,7 @@ def register(
         cls=cls,
         factory=factory,
         mergeable=bool(getattr(cls, "mergeable", False)),
+        supports=frozenset(getattr(cls, "supports", frozenset())),
         summary=summary,
     )
     _CLASSES[cls.__name__] = cls
@@ -88,6 +96,19 @@ def names() -> list[str]:
 def mergeable_names() -> list[str]:
     """Sorted names of the algorithms that support :meth:`Sketch.merge`."""
     return sorted(s.name for s in _SPECS.values() if s.mergeable)
+
+
+def supporting(*kinds: QueryKind) -> list[str]:
+    """Sorted names of the algorithms answering every given query kind."""
+    wanted = frozenset(kinds)
+    return sorted(
+        s.name for s in _SPECS.values() if wanted <= s.supports
+    )
+
+
+def support_matrix() -> dict[str, frozenset[QueryKind]]:
+    """name → declared query kinds for every registered algorithm."""
+    return {name: _SPECS[name].supports for name in names()}
 
 
 def spec(name: str) -> SketchSpec:

@@ -6,6 +6,15 @@ enforces the paper's clock discipline: subclasses implement
 ``tick()`` so that all mutations triggered by one stream update are
 attributed to one potential state change ``X_t``.
 
+The class also anchors the *unified query protocol*
+(:mod:`repro.query`): a sketch declares the query kinds it answers in
+the class-level ``supports`` frozenset and implements one ``_answer_*``
+hook per declared kind; :meth:`query` dispatches typed queries to the
+hooks and raises the typed ``UnsupportedQueryError`` for everything
+else.  The historical per-family methods (``estimate``, ``estimates``,
+``heavy_hitters``, ``f*_estimate``, …) survive as thin delegates of
+:meth:`query`.
+
 On top of the single-item stream interface the class defines the
 *mergeable sketch protocol* that the sharded runtime
 (:mod:`repro.runtime`) is built on:
@@ -41,8 +50,15 @@ sum of the shard reports.
 from __future__ import annotations
 
 import abc
-from typing import Any, Iterable
+from typing import Any, ClassVar, Iterable
 
+from repro.query import (
+    QUERY_HOOKS,
+    Answer,
+    Query,
+    QueryKind,
+    UnsupportedQueryError,
+)
 from repro.state.report import StateChangeReport
 from repro.state.tracker import StateTracker
 
@@ -71,6 +87,21 @@ class Sketch(abc.ABC):
     #: Whether this sketch supports :meth:`merge` (class-level flag so
     #: the registry and the sharded runtime can check without a probe).
     mergeable: bool = False
+
+    #: Query kinds this sketch answers via :meth:`query` (class-level
+    #: declaration so the registry and the :class:`~repro.api.Engine`
+    #: can enumerate capabilities without a probe).
+    supports: ClassVar[frozenset[QueryKind]] = frozenset()
+
+    #: kind → implementing function, resolved once per subclass from
+    #: :attr:`supports` (see ``__init_subclass__``).
+    _query_handlers: ClassVar[dict[QueryKind, Any]] = {}
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        cls._query_handlers = {
+            kind: getattr(cls, QUERY_HOOKS[kind]) for kind in cls.supports
+        }
 
     def __init__(self, tracker: StateTracker | None = None) -> None:
         self.tracker = tracker if tracker is not None else StateTracker()
@@ -111,6 +142,45 @@ class Sketch(abc.ABC):
     @abc.abstractmethod
     def _update(self, item: int) -> None:
         """Handle one stream update (mutations go through tracked cells)."""
+
+    # ------------------------------------------------------------------
+    # Unified query protocol
+    # ------------------------------------------------------------------
+    def query(self, q: Query) -> Answer:
+        """Answer a typed query (see :mod:`repro.query`).
+
+        Dispatches on ``q.kind`` to the family's ``_answer_*`` hook.
+        The supported kinds are declared in :attr:`supports`; asking
+        for anything else raises the typed
+        :class:`~repro.query.UnsupportedQueryError`, so callers can
+        branch on capabilities (via :attr:`supports` or the registry's
+        :class:`~repro.registry.SketchSpec`) instead of ``hasattr``
+        probes.
+
+        Queries are pure reads: they never mutate tracked state and are
+        free under the paper's cost model.
+        """
+        handler = self._query_handlers.get(q.kind)
+        if handler is None:
+            raise UnsupportedQueryError(
+                type(self).__name__, q.kind, self.supports
+            )
+        return handler(self, q)
+
+    # One hook per QueryKind.  A subclass declaring a kind in
+    # ``supports`` must override the matching hook; reaching a base
+    # hook means the declaration and the implementation disagree.
+    def _answer_point(self, q: Query) -> Answer:
+        raise NotImplementedError(
+            f"{type(self).__name__} declares {q.kind!s} support but "
+            f"does not implement {QUERY_HOOKS[q.kind]}"
+        )
+
+    _answer_all_estimates = _answer_point
+    _answer_heavy_hitters = _answer_point
+    _answer_moment = _answer_point
+    _answer_entropy = _answer_point
+    _answer_distinct = _answer_point
 
     # ------------------------------------------------------------------
     # Mergeable sketch protocol
