@@ -1,19 +1,31 @@
 """Ingestion throughput: single-item ``process`` vs batched
-``process_many`` across representative sketches.
+``process_many`` across representative sketches, and serial vs
+process-pool sharded execution.
 
 The batched path keeps the paper's clock discipline (one tracker tick
 per item) but hoists the per-item attribute lookups out of the hot
 loop; this benchmark measures the resulting items/sec on both paths and
 writes a ``BENCH_throughput.json``-compatible dict to
 ``benchmarks/results/``.
+
+The sharded section runs the same 1M-update Zipf stream through
+``ShardedRunner`` with ``executor="serial"`` and ``executor="process"``
+and verifies the executor contract while timing it: byte-identical
+merged state, identical per-shard audits, and shard state-change
+totals summing to the serial audit.  The wall-clock speedup scales
+with the machine — the >= 2x assertion applies on hosts with at least
+as many cores as shards (a single-core container cannot parallelize
+CPU-bound work, so there the bench asserts only bounded overhead).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 
 from repro import registry
+from repro.runtime.sharded import ShardedRunner
 from repro.streams import zipf_stream
 
 #: Representative sketch families (array-, dict-, and counter-backed).
@@ -78,6 +90,73 @@ def format_throughput(payload: dict) -> str:
     return "\n".join(lines)
 
 
+def run_sharded_throughput(
+    m: int = 1_000_000,
+    n: int = 4096,
+    shards: int = 4,
+    epsilon: float = 0.1,
+    skew: float = 1.1,
+    seed: int = 0,
+    sketch: str = "count-min",
+) -> dict:
+    """Serial vs process-pool sharded ingestion on one Zipf stream.
+
+    Both runners see the identical stream, partitioner seed, and sketch
+    seeds, so the merged results must agree bit for bit; the dict
+    records the throughput of each mode plus the equivalence checks.
+    """
+    stream = zipf_stream(n, m, skew=skew, seed=seed)
+
+    def run(executor: str):
+        runner = ShardedRunner.from_registry(
+            sketch, shards, n=n, m=m, epsilon=epsilon, seed=seed,
+            executor=executor,
+        )
+        start = time.perf_counter()
+        result = runner.run(stream)
+        return result, time.perf_counter() - start
+
+    serial, serial_seconds = run("serial")
+    process, process_seconds = run("process")
+
+    identical_state = json.dumps(
+        serial.merged.to_state(), sort_keys=True
+    ) == json.dumps(process.merged.to_state(), sort_keys=True)
+    identical_reports = serial.shard_reports == process.shard_reports
+    shard_sum_matches = (
+        sum(r.state_changes for r in process.shard_reports)
+        == serial.merged_report.state_changes
+    )
+    return {
+        "benchmark": "sharded-throughput",
+        "stream": {"n": n, "m": m, "skew": skew, "seed": seed},
+        "sketch": sketch,
+        "shards": shards,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_items_per_sec": m / serial_seconds,
+        "process_items_per_sec": m / process_seconds,
+        "process_speedup": serial_seconds / process_seconds,
+        "identical_merged_state": identical_state,
+        "identical_shard_reports": identical_reports,
+        "shard_sum_matches_serial_audit": shard_sum_matches,
+    }
+
+
+def format_sharded_throughput(payload: dict) -> str:
+    """Render the sharded-executor comparison as aligned text."""
+    return "\n".join([
+        f"Sharded ingestion — serial vs process executor "
+        f"({payload['sketch']}, {payload['shards']} shards, "
+        f"{payload['cpu_count']} cores)",
+        f"{'serial it/s':>14}{'process it/s':>14}{'speedup':>9}"
+        f"{'identical':>11}",
+        f"{payload['serial_items_per_sec']:>14.0f}"
+        f"{payload['process_items_per_sec']:>14.0f}"
+        f"{payload['process_speedup']:>9.2f}"
+        f"{str(payload['identical_merged_state']):>11}",
+    ])
+
+
 def test_throughput(save_result):
     payload = run_throughput(m=30_000)
     save_result("BENCH_throughput_table", format_throughput(payload))
@@ -93,5 +172,30 @@ def test_throughput(save_result):
         assert row["batched_speedup"] > 0.9, (name, row)
 
 
+def test_sharded_executor_throughput(save_result):
+    payload = run_sharded_throughput(m=1_000_000, shards=4)
+    save_result(
+        "BENCH_sharded_throughput_table", format_sharded_throughput(payload)
+    )
+    results_path = (
+        __import__("pathlib").Path(__file__).parent
+        / "results"
+        / "BENCH_sharded_throughput.json"
+    )
+    results_path.write_text(json.dumps(payload, indent=2) + "\n")
+    # The executor contract is unconditional: same bits, same audits.
+    assert payload["identical_merged_state"], payload
+    assert payload["identical_shard_reports"], payload
+    assert payload["shard_sum_matches_serial_audit"], payload
+    # The wall-clock target needs hardware to parallelize on; a
+    # single-core container can only bound the overhead.
+    if payload["cpu_count"] >= payload["shards"]:
+        assert payload["process_speedup"] >= 2.0, payload
+    else:
+        assert payload["process_speedup"] > 0.5, payload
+
+
 if __name__ == "__main__":
     print(format_throughput(run_throughput()))
+    print()
+    print(format_sharded_throughput(run_sharded_throughput()))

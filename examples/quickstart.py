@@ -46,7 +46,19 @@ def main() -> None:
     ratio = base_report.audit.state_changes / max(
         1, report.audit.state_changes
     )
-    print(f"state-change ratio (baseline / ours): {ratio:.1f}x")
+    print(f"state-change ratio (baseline / ours): {ratio:.1f}x\n")
+
+    # --- named workloads + parallel shards --------------------------
+    # Any registered scenario x any sketch x any shard count is one
+    # reproducible call; executor="process" fans the shards out over a
+    # multiprocessing pool with bit-identical results.
+    engine = Engine("count-min", n=N, m=M, epsilon=0.1, seed=7,
+                    shards=4, executor="process")
+    flash = engine.run(workload="bursty")
+    print("CountMin on the 'bursty' flash-crowd workload, 4 shards:")
+    print(f"  {flash.summary()}")
+    budgets = [shard.state_changes for shard in flash.shard_reports]
+    print(f"  per-shard write budgets: {budgets} (skew {flash.skew:.2f})")
 
 
 if __name__ == "__main__":

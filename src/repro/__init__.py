@@ -57,14 +57,17 @@ from repro.state import (
 )
 from repro.streams import (
     FrequencyVector,
+    bursty_stream,
     lower_bound_pair,
     permutation_stream,
+    phase_shift_stream,
     planted_heavy_hitter_stream,
     pseudo_heavy_counterexample,
     round_robin_stream,
     uniform_stream,
     zipf_stream,
 )
+from repro.workloads import Workload
 
 __version__ = "1.0.0"
 
@@ -96,8 +99,11 @@ __all__ = [
     "StateTracker",
     "StreamAlgorithm",
     "UnsupportedQueryError",
+    "Workload",
+    "bursty_stream",
     "lower_bound_pair",
     "permutation_stream",
+    "phase_shift_stream",
     "planted_heavy_hitter_stream",
     "pseudo_heavy_counterexample",
     "round_robin_stream",

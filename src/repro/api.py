@@ -17,10 +17,18 @@ protocol (:mod:`repro.query`)::
     report.wall_time_s                      # ingest + reduce wall time
 
 ``shards=K`` switches ingestion to the sharded runtime transparently;
-answers still come from one merged sketch.  One ``seed`` drives the
-registry factory (sketch randomness), the shard partitioner, and the
-stream-independent RNGs, so two engines built with the same arguments
-produce identical reports end to end.
+answers still come from one merged sketch, and ``executor="process"``
+additionally fans the shards out over a ``multiprocessing`` pool with
+bit-identical results.  One ``seed`` drives the registry factory
+(sketch randomness), the shard partitioner, and the stream-independent
+RNGs, so two engines built with the same arguments produce identical
+reports end to end.
+
+Streams can be passed explicitly or named: ``run(workload="bursty")``
+materializes a registered scenario (:mod:`repro.workloads`) sized by
+the engine's ``n``/``m``/``seed``, and ``run(workload=Workload(...))``
+replays a fully-pinned spec — the spec string is echoed in the
+:class:`RunReport` as provenance.
 
 Capability discovery needs no instance: :attr:`Engine.supports`
 mirrors the registry's :class:`~repro.registry.SketchSpec.supports`
@@ -49,6 +57,7 @@ from repro.query import (
 from repro.runtime.sharded import ShardedRunner
 from repro.state.algorithm import Sketch
 from repro.state.report import StateChangeReport
+from repro.workloads import Workload
 
 #: Parameter-free query constructors, in presentation order (point
 #: queries need an item, so they cannot be defaulted).
@@ -84,6 +93,11 @@ class RunReport:
         Per-shard audits (length 1 when unsharded).
     skew:
         Max-over-mean shard load (1.0 = perfectly balanced).
+    executor:
+        ``"serial"`` or ``"process"`` — where shard ingest ran.
+    workload:
+        Spec string of the named workload that generated the stream
+        (``None`` when the caller passed an explicit stream).
     """
 
     sketch: str
@@ -96,6 +110,8 @@ class RunReport:
     audit: StateChangeReport
     shard_reports: tuple[StateChangeReport, ...]
     skew: float
+    executor: str = "serial"
+    workload: str | None = None
 
     def answer(self, kind: QueryKind) -> Answer:
         """The first answer of the given kind.
@@ -109,12 +125,13 @@ class RunReport:
 
     def summary(self) -> str:
         """One-line human-readable run summary."""
+        workload = f" workload={self.workload}" if self.workload else ""
         return (
             f"{self.sketch}: items={self.items_processed} "
-            f"shards={self.num_shards} ({self.partition}) "
+            f"shards={self.num_shards} ({self.partition}/{self.executor}) "
             f"state_changes={self.audit.state_changes} "
             f"peak_words={self.audit.peak_words} "
-            f"wall={self.wall_time_s:.3f}s"
+            f"wall={self.wall_time_s:.3f}s{workload}"
         )
 
 
@@ -140,6 +157,13 @@ class Engine:
         :class:`~repro.runtime.sharded.ShardedRunner`.
     batch_size:
         Items buffered per shard before a ``process_many`` flush.
+    executor:
+        ``"serial"`` (default) or ``"process"`` — whether shard ingest
+        runs in-process or on a ``multiprocessing`` pool.  Results are
+        bit-identical; only the wall-clock changes.
+    max_workers:
+        Process-pool size cap (``None``: one worker per shard, capped
+        by the machine's cores).
     """
 
     def __init__(
@@ -153,10 +177,27 @@ class Engine:
         shards: int = 1,
         partition: str = "hash",
         batch_size: int = 1024,
+        executor: str = "serial",
+        max_workers: int | None = None,
     ) -> None:
         self.spec = registry.spec(sketch)
         if shards < 1:
             raise ValueError(f"need at least one shard: {shards}")
+        if executor not in ("serial", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r}; "
+                f"choose from ('serial', 'process')"
+            )
+        if executor == "process" and (
+            self.spec.cls._config_state is Sketch._config_state
+        ):
+            # Fail at construction, not deep inside run(): the process
+            # executor round-trips shards through to_state/from_state,
+            # which this family does not implement.
+            raise ValueError(
+                f"{sketch!r} does not support state serialization and "
+                f"cannot use the process executor; use executor='serial'"
+            )
         if shards > 1 and not self.spec.mergeable:
             raise ValueError(
                 f"{sketch!r} is not mergeable and cannot be sharded; "
@@ -170,6 +211,8 @@ class Engine:
         self.shards = shards
         self.partition = partition
         self.batch_size = batch_size
+        self.executor = executor
+        self.max_workers = max_workers
         self._merged: Sketch | None = None
 
     # ------------------------------------------------------------------
@@ -198,10 +241,18 @@ class Engine:
     # ------------------------------------------------------------------
     def run(
         self,
-        stream: Iterable[int],
+        stream: Iterable[int] | None = None,
         queries: Sequence[Query] | None = None,
+        *,
+        workload: Workload | str | None = None,
     ) -> RunReport:
-        """Ingest ``stream``, merge-reduce, answer ``queries``.
+        """Ingest a stream, merge-reduce, answer ``queries``.
+
+        The stream comes from exactly one of two places: an explicit
+        ``stream`` iterable, or a named ``workload`` — either a
+        registered scenario name (materialized with the engine's
+        ``n``/``m``/``seed``, so the whole run hangs off one seed) or a
+        fully-pinned :class:`~repro.workloads.Workload` spec.
 
         ``queries=None`` runs :meth:`default_queries`; pass an explicit
         (possibly empty) sequence to control exactly what is asked.
@@ -209,6 +260,18 @@ class Engine:
         shard degenerates to plain batched ingestion — so audits are
         comparable across shard counts by construction.
         """
+        if (stream is None) == (workload is None):
+            raise ValueError(
+                "pass exactly one of stream= or workload= to Engine.run"
+            )
+        workload_name = None
+        if workload is not None:
+            if isinstance(workload, str):
+                workload = Workload(
+                    workload, n=self.n, m=self.m, seed=self.seed
+                )
+            workload_name = workload.describe()
+            stream = workload.materialize()
         runner = ShardedRunner.from_registry(
             self.sketch_name,
             self.shards,
@@ -218,6 +281,8 @@ class Engine:
             seed=self.seed,
             partition=self.partition,
             batch_size=self.batch_size,
+            executor=self.executor,
+            max_workers=self.max_workers,
         )
         start = time.perf_counter()
         result = runner.run(stream)
@@ -238,6 +303,8 @@ class Engine:
             audit=result.merged_report,
             shard_reports=result.shard_reports,
             skew=result.skew,
+            executor=self.executor,
+            workload=workload_name,
         )
 
     # ------------------------------------------------------------------

@@ -56,7 +56,9 @@ class CountMinMorris(StreamAlgorithm):
         self.a = a
         self.seed = 0 if seed is None else seed
         base = self.seed
-        rng = random.Random(base)
+        # Held on the instance so the serialization protocol snapshots
+        # and resumes the exact coin-flip sequence (see Sketch.to_state).
+        rng = self._rng = random.Random(base)
         self._rows = [
             [
                 MorrisCounter(

@@ -1,16 +1,21 @@
 """Command-line interface: audit algorithms and reproduce experiments.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro audit --algorithm heavy-hitters --workload zipf \
         --n 4096 --m 65536            # run one algorithm, print audit
+    python -m repro run --algorithm count-min --workload bursty \
+        --shards 4 --executor process # scenario x sketch x shards
     python -m repro shard --sketch count-min --shards 1,2,4,8 \
         --epsilon 0.1                 # sharded vs single-instance runs
     python -m repro table1            # regenerate Table 1
     python -m repro reproduce --quick # run the main experiment suite
 
 ``audit`` can also read a stream of integers from a file (one item per
-line) via ``--input``, which is how external traces are replayed.
+line) via ``--input``, which is how external traces are replayed; any
+workload flag accepts every scenario registered in
+:mod:`repro.workloads` (``bursty``, ``phase-shift``, ``trace-replay``,
+...).
 
 Subcommands run through the :class:`~repro.api.Engine` facade and the
 unified query protocol: what gets printed for an algorithm follows its
@@ -25,7 +30,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro import registry
+from repro import registry, workloads
 from repro.api import Engine
 from repro.query import (
     AllEstimates,
@@ -35,11 +40,7 @@ from repro.query import (
     Moment,
     QueryKind,
 )
-from repro.streams import (
-    FrequencyVector,
-    uniform_stream,
-    zipf_stream,
-)
+from repro.streams import FrequencyVector
 
 
 def _build_engine(name: str, **kwargs) -> Engine:
@@ -50,6 +51,42 @@ def _build_engine(name: str, **kwargs) -> Engine:
         raise SystemExit(
             f"unknown algorithm {name!r}; choose from {registry.names()}"
         ) from None
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+
+def _workload_params(args: argparse.Namespace) -> dict:
+    """Scenario knobs the CLI exposes, filtered to what the scenario takes."""
+    spec = workloads.scenario_spec(args.workload)
+    available = {
+        "skew": getattr(args, "skew", None),
+        "path": getattr(args, "trace", None),
+    }
+    return {
+        key: value
+        for key, value in available.items()
+        if value is not None and key in spec.param_names
+    }
+
+
+def _generate_workload(args: argparse.Namespace) -> list[int]:
+    """Materialize the named --workload, exiting on bad names/params."""
+    try:
+        return workloads.generate(
+            args.workload,
+            n=args.n,
+            m=args.m,
+            seed=args.seed,
+            **_workload_params(args),
+        )
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; choose from "
+            f"{workloads.scenario_names()}"
+        ) from None
+    except (ValueError, OSError) as error:
+        # e.g. trace-replay without --trace, or an unreadable file.
+        raise SystemExit(str(error)) from None
 
 
 def _load_stream(args: argparse.Namespace) -> list[int]:
@@ -58,11 +95,34 @@ def _load_stream(args: argparse.Namespace) -> list[int]:
         from repro.streams.traceio import read_trace
 
         return read_trace(args.input)
-    if args.workload == "zipf":
-        return zipf_stream(args.n, args.m, skew=args.skew, seed=args.seed)
-    if args.workload == "uniform":
-        return uniform_stream(args.n, args.m, seed=args.seed)
-    raise SystemExit(f"unknown workload {args.workload!r}")
+    return _generate_workload(args)
+
+
+def _print_answers(engine: Engine, stream: list[int] | None = None) -> None:
+    """Print the most specific answer the sketch's capabilities declare.
+
+    What to print follows the declared capabilities, most specific
+    kind first — no hasattr probes.
+    """
+    supports = engine.supports
+    if QueryKind.HEAVY_HITTERS in supports:
+        found = engine.query(HeavyHitters()).values
+        print(f"heavy hitters: "
+              f"{ {k: round(v) for k, v in sorted(found.items())} }")
+    elif QueryKind.ALL_ESTIMATES in supports:
+        estimates = engine.query(AllEstimates()).values
+        top = sorted(estimates.items(), key=lambda kv: -kv[1])[:5]
+        print(f"top estimates: { {k: round(v) for k, v in top} }")
+    elif QueryKind.DISTINCT in supports:
+        truth = f" (true {len(set(stream))})" if stream is not None else ""
+        print(f"distinct estimate: "
+              f"{engine.query(Distinct()).value:.1f}{truth}")
+    elif QueryKind.MOMENT in supports:
+        answer = engine.query(Moment())
+        print(f"F{answer.p:g} estimate: {answer.value:.4g}")
+    elif QueryKind.ENTROPY in supports:
+        print(f"entropy estimate: "
+              f"{engine.query(Entropy()).value:.3f} bits")
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -80,32 +140,54 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     print(f"audit:     {report.audit.summary()}")
     print(f"writes:    {report.audit.total_writes} "
           f"(max cell wear {report.audit.max_cell_wear})")
-
-    # What to print follows the declared capabilities, most specific
-    # kind first — no hasattr probes.
-    supports = engine.supports
-    if QueryKind.HEAVY_HITTERS in supports:
-        found = engine.query(HeavyHitters()).values
-        print(f"heavy hitters: "
-              f"{ {k: round(v) for k, v in sorted(found.items())} }")
-    elif QueryKind.ALL_ESTIMATES in supports:
-        estimates = engine.query(AllEstimates()).values
-        top = sorted(estimates.items(), key=lambda kv: -kv[1])[:5]
-        print(f"top estimates: { {k: round(v) for k, v in top} }")
-    elif QueryKind.DISTINCT in supports:
-        print(f"distinct estimate: {engine.query(Distinct()).value:.1f} "
-              f"(true {len(set(stream))})")
-    elif QueryKind.MOMENT in supports:
-        answer = engine.query(Moment())
-        print(f"F{answer.p:g} estimate: {answer.value:.4g}")
-    elif QueryKind.ENTROPY in supports:
-        print(f"entropy estimate: "
-              f"{engine.query(Entropy()).value:.3f} bits")
-
+    _print_answers(engine, stream)
     if args.truth:
         f = FrequencyVector.from_stream(stream)
         print(f"ground truth: F2={f.fp_moment(2):.4g} "
               f"H={f.shannon_entropy():.3f} distinct={len(f)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """One reproducible scenario × sketch × shard-count run."""
+    try:
+        workloads.scenario_spec(args.workload)
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; choose from "
+            f"{workloads.scenario_names()}"
+        ) from None
+    engine = _build_engine(
+        args.algorithm,
+        n=args.n,
+        m=args.m,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        shards=args.shards,
+        partition=args.partition,
+        executor=args.executor,
+    )
+    workload = workloads.Workload(
+        args.workload,
+        n=args.n,
+        m=args.m,
+        seed=args.seed,
+        params=_workload_params(args),
+    )
+    try:
+        report = engine.run(workload=workload)
+    except (ValueError, OSError) as error:
+        # e.g. trace-replay without a file, or an unreadable trace.
+        raise SystemExit(str(error)) from None
+    print(report.summary())
+    print(f"audit:   {report.audit.summary()}")
+    if args.shards > 1:
+        per_shard = ", ".join(
+            str(shard.state_changes) for shard in report.shard_reports
+        )
+        print(f"shards:  state_changes=[{per_shard}] "
+              f"skew={report.skew:.2f}")
+    _print_answers(engine)
     return 0
 
 
@@ -144,16 +226,30 @@ def _cmd_shard(args: argparse.Namespace) -> int:
             f"(point/moment/distinct/entropy); its capabilities: "
             f"{sorted(str(k) for k in spec.supports) or 'none'}"
         )
-    rows = shard_scaling(
-        sketch=args.sketch,
-        shard_counts=shard_counts,
-        n=args.n,
-        m=args.m,
-        epsilon=args.epsilon,
-        skew=args.skew,
-        partition=args.partition,
-        seed=args.seed,
-    )
+    try:
+        workloads.scenario_spec(args.workload)
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; choose from "
+            f"{workloads.scenario_names()}"
+        ) from None
+    try:
+        rows = shard_scaling(
+            sketch=args.sketch,
+            shard_counts=shard_counts,
+            n=args.n,
+            m=args.m,
+            epsilon=args.epsilon,
+            skew=args.skew,
+            partition=args.partition,
+            seed=args.seed,
+            workload=args.workload,
+            executor=args.executor,
+            workload_params=_workload_params(args),
+        )
+    except (ValueError, OSError) as error:
+        # e.g. trace-replay without --trace, or an unreadable file.
+        raise SystemExit(str(error)) from None
     print(format_shard_scaling(rows, args.sketch, args.partition))
     return 0
 
@@ -207,7 +303,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     audit = sub.add_parser("audit", help="run one algorithm, print its audit")
     audit.add_argument("--algorithm", default="heavy-hitters")
-    audit.add_argument("--workload", default="zipf", choices=["zipf", "uniform"])
+    audit.add_argument("--workload", default="zipf",
+                       help="registered workload scenario name")
+    audit.add_argument("--trace",
+                       help="trace file for --workload trace-replay")
     audit.add_argument("--input", help="file of integers, one per line")
     audit.add_argument("--n", type=int, default=4096)
     audit.add_argument("--m", type=int, default=65536)
@@ -218,6 +317,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also compute exact ground truth")
     audit.set_defaults(func=_cmd_audit)
 
+    run = sub.add_parser(
+        "run",
+        help="one scenario x sketch x shard-count run via the Engine",
+    )
+    run.add_argument("--algorithm", default="count-min")
+    run.add_argument("--workload", default="zipf",
+                     help="registered workload scenario name")
+    run.add_argument("--trace",
+                     help="trace file for --workload trace-replay")
+    run.add_argument("--shards", type=int, default=1)
+    run.add_argument("--executor", default="serial",
+                     choices=["serial", "process"])
+    run.add_argument("--partition", default="hash",
+                     choices=["hash", "round-robin"])
+    run.add_argument("--n", type=int, default=4096)
+    run.add_argument("--m", type=int, default=65536)
+    run.add_argument("--skew", type=float, default=None,
+                     help="skew override for skew-parameterized scenarios")
+    run.add_argument("--epsilon", type=float, default=0.5)
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
     shard = sub.add_parser(
         "shard",
         help="compare sharded ingestion against a single instance",
@@ -227,6 +348,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated shard counts")
     shard.add_argument("--partition", default="hash",
                        choices=["hash", "round-robin"])
+    shard.add_argument("--executor", default="serial",
+                       choices=["serial", "process"])
+    shard.add_argument("--workload", default="zipf",
+                       help="registered workload scenario name")
+    shard.add_argument("--trace",
+                       help="trace file for --workload trace-replay")
     shard.add_argument("--n", type=int, default=4096)
     shard.add_argument("--m", type=int, default=65536)
     shard.add_argument("--skew", type=float, default=1.2)

@@ -24,20 +24,12 @@ audited by the enclosing algorithm's
 from __future__ import annotations
 
 import abc
-import itertools
 import math
 import random
 
 from repro.state.algorithm import NotMergeableError
 from repro.state.registers import TrackedValue
 from repro.state.tracker import StateTracker
-
-_counter_ids = itertools.count()
-
-
-def _fresh_cell_id(prefix: str) -> str:
-    """Globally unique cell id for a dynamically created counter."""
-    return f"{prefix}#{next(_counter_ids)}"
 
 
 class ApproximateCounter(abc.ABC):
@@ -63,7 +55,7 @@ class ExactCounter(ApproximateCounter):
     __slots__ = ("_cell",)
 
     def __init__(self, tracker: StateTracker, cell_id: str | None = None) -> None:
-        cell_id = cell_id or _fresh_cell_id("exact")
+        cell_id = cell_id or tracker.fresh_cell_id("exact")
         self._cell: TrackedValue[float] = TrackedValue(tracker, cell_id, 0.0)
 
     def add(self, weight: float = 1.0) -> None:
@@ -125,7 +117,7 @@ class MorrisCounter(ApproximateCounter):
     ) -> None:
         if a <= 0:
             raise ValueError(f"Morris parameter a must be positive: {a}")
-        cell_id = cell_id or _fresh_cell_id("morris")
+        cell_id = cell_id or tracker.fresh_cell_id("morris")
         self.a = a
         self._rng = rng
         self._level: TrackedValue[int] = TrackedValue(tracker, cell_id, 0)
@@ -247,7 +239,7 @@ class MedianMorrisCounter(ApproximateCounter):
     ) -> None:
         if not 0 < delta < 1:
             raise ValueError(f"delta must be in (0, 1): {delta}")
-        cell_id = cell_id or _fresh_cell_id("medmorris")
+        cell_id = cell_id or tracker.fresh_cell_id("medmorris")
         num_copies = max(1, int(math.ceil(4.0 * math.log(1.0 / delta))))
         if num_copies % 2 == 0:
             num_copies += 1

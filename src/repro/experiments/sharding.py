@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro import registry
+from repro import registry, workloads
 from repro.api import Engine
 from repro.query import (
     Answer,
@@ -38,7 +38,7 @@ from repro.query import (
     Query,
     QueryKind,
 )
-from repro.streams import FrequencyVector, zipf_stream
+from repro.streams import FrequencyVector
 
 #: Query kinds a sketch can be scored on, most informative first.
 _SCORING_KINDS: tuple[QueryKind, ...] = (
@@ -120,14 +120,24 @@ def shard_scaling(
     partition: str = "hash",
     top_k: int = 20,
     seed: int = 0,
+    workload: str = "zipf",
+    executor: str = "serial",
+    workload_params: dict | None = None,
 ) -> list[ShardScalingRow]:
     """Compare shard counts against the single-instance baseline.
 
-    All runs (including the 1-shard baseline) share the same stream and
-    the same sketch seed, so differences are attributable to the
-    partition/merge pipeline alone.
+    All runs (including the 1-shard baseline) share the same stream —
+    any scenario registered in :mod:`repro.workloads` — and the same
+    sketch seed, so differences are attributable to the
+    partition/merge pipeline alone.  ``executor="process"`` runs the
+    multi-shard rows on the process pool; results are bit-identical to
+    serial by construction, making this sweep a live equivalence audit.
     """
-    stream = zipf_stream(n, m, skew=skew, seed=seed)
+    spec = workloads.scenario_spec(workload)
+    params = dict(workload_params or {})
+    if "skew" in spec.param_names:
+        params.setdefault("skew", skew)
+    stream = workloads.generate(workload, n=n, m=m, seed=seed, **params)
     truth = FrequencyVector.from_stream(stream)
     top_items = [
         item
@@ -143,6 +153,7 @@ def shard_scaling(
             seed=seed,
             shards=num_shards,
             partition=partition,
+            executor=executor if num_shards > 1 else "serial",
         )
 
     kind = _scoring_kind(registry.spec(sketch).supports)

@@ -1,16 +1,21 @@
 """Distributed-ingestion runtime built on the mergeable sketch protocol.
 
 * :mod:`repro.runtime.sharded` — :class:`ShardedRunner`: partition a
-  stream over ``K`` sketch shards, batch-ingest, merge-reduce.
+  stream over ``K`` sketch shards, batch-ingest (serially or on a
+  process pool via ``executor="process"``), merge-reduce.
+* :mod:`repro.runtime.parallel` — the process-pool shard executor
+  (worker entry point + pool plumbing).
 * :mod:`repro.runtime.checkpoint` — :class:`Checkpoint`: JSON
-  round-trips of sketch state (estimates + audit).
+  round-trips of sketch state (estimates + RNG position + audit).
 """
 
 from repro.runtime.checkpoint import Checkpoint
+from repro.runtime.parallel import run_shard_tasks
 from repro.runtime.sharded import ShardedRunner, ShardedRunResult
 
 __all__ = [
     "Checkpoint",
     "ShardedRunner",
     "ShardedRunResult",
+    "run_shard_tasks",
 ]

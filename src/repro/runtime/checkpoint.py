@@ -9,9 +9,9 @@ long-running ingest can stop, persist, and resume without losing its
 audit.
 
 Hash randomness is rebuilt from the stored seeds and matches the
-original; Morris coin-flip RNGs are reseeded (see
-``Sketch.from_state``), so a resumed run is deterministic but follows a
-fresh coin sequence.
+original; Morris coin-flip RNGs are restored to their exact snapshotted
+generator state (see ``Sketch.from_state``), so a resumed run flips the
+same coins the uninterrupted run would have.
 """
 
 from __future__ import annotations

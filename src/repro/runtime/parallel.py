@@ -1,0 +1,83 @@
+"""Process-pool execution of shard ingest work.
+
+The sharded runtime's ``executor="process"`` mode ships each shard's
+buffered updates to a ``multiprocessing`` worker.  A task carries the
+shard's *empty* :meth:`~repro.state.algorithm.Sketch.to_state` snapshot
+plus its routed items; the worker rebuilds the sketch from the snapshot
+(same class, same hash seeds, same deterministic cell ids), runs the
+batched ``process_many`` fast path, and returns the ingested
+``to_state`` — payload *and* audit — for the parent to restore and
+merge-reduce exactly as in serial mode.
+
+Because every piece of sketch randomness lives in the serialized config
+(hash seeds, variate seeds) and cell ids are numbered per tracker, the
+worker's ingest is bit-identical to what the parent would have computed
+itself: the process executor changes wall-clock time, never results.
+
+The pool prefers the ``fork`` start method where available (cheap, no
+re-import); elsewhere it falls back to the platform default, which
+re-imports :mod:`repro` in each worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Sequence
+
+from repro import registry
+
+#: One shard's work order: ``(shard_index, empty_state, items)``.
+ShardTask = tuple[int, dict[str, Any], list[int]]
+#: One shard's result: ``(shard_index, ingested_state)``.
+ShardResult = tuple[int, dict[str, Any]]
+
+
+def ingest_shard(task: ShardTask) -> ShardResult:
+    """Worker entry point: rebuild, ingest, snapshot one shard.
+
+    Module-level (picklable) so it works under both ``fork`` and
+    ``spawn`` start methods.
+    """
+    index, state, items = task
+    sketch_cls = registry.sketch_class(state["algorithm"])
+    shard = sketch_cls.from_state(state)
+    shard.process_many(items)
+    return index, shard.to_state()
+
+
+def resolve_workers(num_tasks: int, max_workers: int | None = None) -> int:
+    """Pool size for ``num_tasks`` shard tasks.
+
+    Defaults to one worker per task, capped by the machine's cores
+    (oversubscribing a CPU-bound pool only adds scheduling overhead);
+    an explicit ``max_workers`` overrides the core cap but never
+    exceeds the task count.
+    """
+    if max_workers is not None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1: {max_workers}")
+        return min(max_workers, num_tasks)
+    return max(1, min(num_tasks, os.cpu_count() or 1))
+
+
+def run_shard_tasks(
+    tasks: Sequence[ShardTask], max_workers: int | None = None
+) -> list[ShardResult]:
+    """Execute shard tasks on a process pool; preserves task order.
+
+    A single task (or an explicit ``max_workers=1``) short-circuits to
+    in-process execution — same code path as the workers run, without
+    pool start-up or pickling overhead.
+    """
+    if not tasks:
+        return []
+    workers = resolve_workers(len(tasks), max_workers)
+    if len(tasks) == 1 or workers == 1:
+        return [ingest_shard(task) for task in tasks]
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+    with context.Pool(processes=workers) as pool:
+        return pool.map(ingest_shard, tasks)

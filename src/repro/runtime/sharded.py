@@ -26,6 +26,17 @@ Per-shard write budgets: the paper's state-change accounting extends
 naturally to shards — each shard's tracker measures its own
 ``sum_t X_t``, and :attr:`ShardedRunResult.shard_reports` exposes them
 so a deployment can bound per-device wear, not just the total.
+
+Two executors decide *where* the per-shard ingest runs:
+
+* ``"serial"`` — shards are ingested in-process as the stream is
+  routed (the historical behaviour).
+* ``"process"`` — routed items are buffered per shard, shipped to a
+  ``multiprocessing`` pool (:mod:`repro.runtime.parallel`) via the
+  ``to_state``/``from_state`` serialization, ingested in workers, and
+  restored for the same binary merge-tree reduce.  Results — merged
+  payload, answers, and the full audit — are bit-identical to serial
+  mode; only the wall-clock changes.
 """
 
 from __future__ import annotations
@@ -35,6 +46,7 @@ from typing import Callable, Iterable
 
 from repro import registry
 from repro.hashing.prime_field import KWiseHash
+from repro.runtime.parallel import run_shard_tasks
 from repro.state.algorithm import NotMergeableError, Sketch
 from repro.state.report import StateChangeReport
 
@@ -43,6 +55,15 @@ from repro.state.report import StateChangeReport
 ShardFactory = Callable[[int], Sketch]
 
 _PARTITIONS = ("hash", "round-robin")
+_EXECUTORS = ("serial", "process")
+
+
+def _load_skew(shard_items: tuple[int, ...] | list[int]) -> float:
+    """Max-over-mean shard load; 1.0 for an empty run (no 0/0)."""
+    total = sum(shard_items)
+    if total == 0:
+        return 1.0
+    return max(shard_items) * len(shard_items) / total
 
 
 @dataclass(frozen=True)
@@ -59,9 +80,6 @@ class ShardedRunResult:
         Per-shard audits (per-shard write budgets live here).
     shard_items:
         Updates routed to each shard.
-    skew:
-        Load imbalance: max over shards of ``items / mean items``
-        (1.0 = perfectly balanced).
     """
 
     num_shards: int
@@ -70,7 +88,17 @@ class ShardedRunResult:
     merged_report: StateChangeReport
     shard_reports: tuple[StateChangeReport, ...]
     shard_items: tuple[int, ...]
-    skew: float
+
+    @property
+    def skew(self) -> float:
+        """Load imbalance: max over shards of ``items / mean items``.
+
+        1.0 means perfectly balanced.  An empty run has no imbalance to
+        report, so the empty stream also yields 1.0 (rather than a
+        0/0 division); a single-item stream yields ``num_shards`` —
+        every routed item sat on one shard.
+        """
+        return _load_skew(self.shard_items)
 
     def summary(self) -> str:
         """One-line human-readable run summary."""
@@ -99,7 +127,18 @@ class ShardedRunner:
     seed:
         Seeds the partitioning hash (independent of the sketch seeds).
     batch_size:
-        Items buffered per shard before a ``process_many`` flush.
+        Items buffered per shard before a ``process_many`` flush
+        (serial executor only; the process executor ships each shard's
+        full buffer in one task).
+    executor:
+        ``"serial"`` (default) ingests in-process; ``"process"``
+        defers ingestion until the first observation (reports, merge,
+        or :meth:`run`) and fans the buffered shards out to a process
+        pool.  Requires a serializable sketch; results are
+        bit-identical to serial mode.
+    max_workers:
+        Process-pool size cap (``None``: one worker per shard, capped
+        by the machine's cores).
     """
 
     def __init__(
@@ -109,6 +148,8 @@ class ShardedRunner:
         partition: str = "hash",
         seed: int = 0,
         batch_size: int = 1024,
+        executor: str = "serial",
+        max_workers: int | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"need at least one shard: {num_shards}")
@@ -116,10 +157,16 @@ class ShardedRunner:
             raise ValueError(
                 f"unknown partition {partition!r}; choose from {_PARTITIONS}"
             )
+        if executor not in _EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from {_EXECUTORS}"
+            )
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1: {batch_size}")
         self.num_shards = num_shards
         self.partition = partition
+        self.executor = executor
+        self.max_workers = max_workers
         self.batch_size = batch_size
         self._shards: list[Sketch] = [factory(i) for i in range(num_shards)]
         trackers = {id(shard.tracker) for shard in self._shards}
@@ -140,6 +187,7 @@ class ShardedRunner:
         self._shard_items = [0] * num_shards
         self._merged: Sketch | None = None
         self._premerge_reports: tuple[StateChangeReport, ...] = ()
+        self._dispatched = False  # process executor ran its pool
 
     @classmethod
     def from_registry(
@@ -152,6 +200,8 @@ class ShardedRunner:
         seed: int = 0,
         partition: str = "hash",
         batch_size: int = 1024,
+        executor: str = "serial",
+        max_workers: int | None = None,
     ) -> "ShardedRunner":
         """Runner whose shards come from :mod:`repro.registry`.
 
@@ -166,6 +216,8 @@ class ShardedRunner:
             partition=partition,
             seed=seed,
             batch_size=batch_size,
+            executor=executor,
+            max_workers=max_workers,
         )
 
     # ------------------------------------------------------------------
@@ -192,18 +244,33 @@ class ShardedRunner:
     def ingest(self, stream: Iterable[int]) -> int:
         """Route ``stream`` to the shards; returns items consumed.
 
-        Items are buffered per shard and flushed through
-        ``process_many`` in ``batch_size`` chunks, so the per-item
-        Python overhead is amortized even when the caller feeds one
-        long iterable.
+        Under the serial executor items are buffered per shard and
+        flushed through ``process_many`` in ``batch_size`` chunks, so
+        the per-item Python overhead is amortized even when the caller
+        feeds one long iterable.  Under the process executor routing
+        only buffers; the buffered work runs on the pool at the first
+        observation (reports, merge, or :meth:`run`).
         """
         if self._merged is not None:
             raise RuntimeError(
                 "runner is already merged; create a new ShardedRunner"
             )
         buffers = self._buffers
-        threshold = self.batch_size
         count = 0
+        if self.executor == "process":
+            if self._dispatched:
+                raise RuntimeError(
+                    "process-executor runner has already executed; "
+                    "create a new ShardedRunner"
+                )
+            shard_items = self._shard_items
+            for item in stream:
+                shard = self._next_shard(item)
+                buffers[shard].append(item)
+                shard_items[shard] += 1
+                count += 1
+            return count
+        threshold = self.batch_size
         for item in stream:
             shard = self._next_shard(item)
             buffer = buffers[shard]
@@ -223,6 +290,29 @@ class ShardedRunner:
             )
             buffer.clear()
 
+    def _execute(self) -> None:
+        """Run buffered shard work on the process pool (at most once).
+
+        Each non-empty shard becomes one task: its empty ``to_state``
+        snapshot plus its routed items.  Workers ingest and return the
+        loaded snapshot, which replaces the local shard — payload and
+        audit exactly as if the parent had ingested it serially.
+        Shards that received no items keep their local (empty)
+        instances, matching serial mode bit for bit.
+        """
+        if self.executor != "process" or self._dispatched:
+            return
+        self._dispatched = True
+        tasks = [
+            (index, self._shards[index].to_state(), self._buffers[index])
+            for index in range(self.num_shards)
+            if self._buffers[index]
+        ]
+        for index, state in run_shard_tasks(tasks, self.max_workers):
+            sketch_cls = registry.sketch_class(state["algorithm"])
+            self._shards[index] = sketch_cls.from_state(state)
+        self._buffers = [[] for _ in range(self.num_shards)]
+
     # ------------------------------------------------------------------
     # Reduce
     # ------------------------------------------------------------------
@@ -235,6 +325,7 @@ class ShardedRunner:
         how a distributed reduce would combine partial sketches.
         """
         if self._merged is None:
+            self._execute()
             # Snapshot the per-shard audits first: the reduce folds
             # every other tracker into the surviving shard's, after
             # which live reports would double-count.
@@ -257,7 +348,8 @@ class ShardedRunner:
     # ------------------------------------------------------------------
     @property
     def shards(self) -> tuple[Sketch, ...]:
-        """The live shards (pre-merge)."""
+        """The live shards (pre-merge); triggers any pending pool work."""
+        self._execute()
         return tuple(self._shards)
 
     @property
@@ -274,22 +366,18 @@ class ShardedRunner:
         """
         if self._merged is not None:
             return self._premerge_reports
+        self._execute()
         return tuple(shard.report() for shard in self._shards)
 
     def skew(self) -> float:
         """Max-over-mean shard load (1.0 = perfectly balanced)."""
-        total = sum(self._shard_items)
-        if total == 0:
-            return 1.0
-        mean = total / self.num_shards
-        return max(self._shard_items) / mean
+        return _load_skew(self._shard_items)
 
     def run(self, stream: Iterable[int]) -> ShardedRunResult:
         """Ingest ``stream``, reduce, and package the full result."""
         self.ingest(stream)
         shard_reports = self.shard_reports()
         shard_items = self.shard_items
-        skew = self.skew()
         merged = self.merge()
         return ShardedRunResult(
             num_shards=self.num_shards,
@@ -298,5 +386,4 @@ class ShardedRunner:
             merged_report=merged.report(),
             shard_reports=shard_reports,
             shard_items=shard_items,
-            skew=skew,
         )

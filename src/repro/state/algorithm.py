@@ -50,6 +50,7 @@ sum of the shard reports.
 from __future__ import annotations
 
 import abc
+import random
 from typing import Any, ClassVar, Iterable
 
 from repro.query import (
@@ -240,15 +241,25 @@ class Sketch(abc.ABC):
         The snapshot contains the constructor configuration, the raw
         register payload, and the full tracker audit, so
         :meth:`from_state` reproduces both the estimates and the
-        state-change report exactly.
+        state-change report exactly.  Sketches holding a coin-flip RNG
+        in ``self._rng`` (Morris-counter families) also snapshot its
+        exact generator state, so a restored sketch resumes the
+        *original* coin sequence — required for the process executor's
+        bit-identical guarantee, where a merge after restoration must
+        flip the same coins a serial run would have.
         """
-        return {
+        state = {
             "algorithm": type(self).__name__,
             "config": self._config_state(),
             "payload": self._payload_state(),
             "items_processed": self._items_processed,
             "audit": self.tracker.to_state(),
         }
+        rng = getattr(self, "_rng", None)
+        if isinstance(rng, random.Random):
+            version, internal, gauss_next = rng.getstate()
+            state["rng"] = [version, list(internal), gauss_next]
+        return state
 
     @classmethod
     def from_state(
@@ -262,11 +273,11 @@ class Sketch(abc.ABC):
         embedded in a larger algorithm) the audit restore is skipped —
         the caller owns the accounting.
 
-        Randomness caveat: hash functions are rebuilt from the stored
-        seeds and match the original exactly; coin-flip RNGs (Morris
-        counters) are *reseeded*, so post-restore coin flips follow a
-        fresh, still-deterministic sequence rather than resuming the
-        original one.
+        Randomness: hash functions are rebuilt from the stored seeds
+        and match the original exactly; a coin-flip RNG held in
+        ``self._rng`` (Morris counters) is restored to its snapshotted
+        generator state, so post-restore coin flips *resume* the
+        original sequence bit for bit.
         """
         algorithm = state.get("algorithm")
         if algorithm != cls.__name__:
@@ -277,6 +288,11 @@ class Sketch(abc.ABC):
         instance = cls(tracker=tracker, **state["config"])
         instance._load_payload(state["payload"])
         instance._items_processed = int(state.get("items_processed", 0))
+        rng_state = state.get("rng")
+        rng = getattr(instance, "_rng", None)
+        if rng_state is not None and isinstance(rng, random.Random):
+            version, internal, gauss_next = rng_state
+            rng.setstate((version, tuple(internal), gauss_next))
         audit = state.get("audit")
         if audit is not None:
             if tracker is None:

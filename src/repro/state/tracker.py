@@ -60,6 +60,20 @@ class StateTracker:
         self._peak_words = 0
         self._cell_writes: Counter[str] = Counter()
         self._listeners: list[WriteListener] = []
+        self._next_cell_id = 0
+
+    def fresh_cell_id(self, prefix: str) -> str:
+        """Deterministic id for a dynamically created counter cell.
+
+        Ids are numbered per tracker (not per process), so rebuilding a
+        sketch from a snapshot — possibly in a different worker process
+        — reproduces the exact same cell labels as the original
+        construction.  The sharded runtime's process executor relies on
+        this for byte-identical serial/parallel audits.
+        """
+        cell_id = f"{prefix}#{self._next_cell_id}"
+        self._next_cell_id += 1
+        return cell_id
 
     # ------------------------------------------------------------------
     # Stream clock
@@ -142,6 +156,13 @@ class StateTracker:
         over both shards (both shards' memory was live during the run,
         so peak and current words add too).  Consequently the merged
         :meth:`report` equals the elementwise sum of the shard reports.
+
+        The wear histogram aggregates by *cell label*, and labels are
+        per tracker (``table[r][c]``, ``morris#0``, ...), so two
+        shards' physically distinct cells with the same label sum into
+        one entry — the merged ``max_cell_wear`` is a per-label total,
+        not a per-device maximum.  Per-device wear bounds should be
+        read off the per-shard reports, which remain exact.
         """
         if other is self:
             raise ValueError("cannot merge a tracker into itself")

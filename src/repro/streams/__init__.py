@@ -9,7 +9,9 @@ from repro.streams.adversarial import (
 from repro.streams.frequency import FrequencyVector
 from repro.streams.traceio import read_trace, write_trace
 from repro.streams.generators import (
+    bursty_stream,
     permutation_stream,
+    phase_shift_stream,
     planted_heavy_hitter_stream,
     round_robin_stream,
     uniform_stream,
@@ -20,8 +22,10 @@ __all__ = [
     "FrequencyVector",
     "LowerBoundInstance",
     "PseudoHeavyInstance",
+    "bursty_stream",
     "lower_bound_pair",
     "permutation_stream",
+    "phase_shift_stream",
     "planted_heavy_hitter_stream",
     "pseudo_heavy_counterexample",
     "read_trace",

@@ -69,6 +69,85 @@ def round_robin_stream(n: int, m: int) -> list[int]:
     return [t % n for t in range(m)]
 
 
+def bursty_stream(
+    n: int,
+    m: int,
+    num_bursts: int = 4,
+    burst_fraction: float = 0.25,
+    burst_intensity: float = 0.9,
+    background_skew: float = 1.1,
+    seed: int | None = None,
+) -> list[int]:
+    """A flash-crowd stream: Zipf background with item-dominating bursts.
+
+    The stream is cut into windows; ``num_bursts`` of them (covering
+    ``burst_fraction`` of the updates in total) are *flash crowds*
+    during which a randomly chosen flash item receives each update with
+    probability ``burst_intensity``, the rest falling back to the Zipf
+    background.  This is the workload where heavy-hitter trackers see
+    their heavy set change abruptly — the stress case for eviction
+    policies and per-shard write budgets (a hash-partitioned flash item
+    concentrates its wear on one shard).
+    """
+    if n <= 0 or m < 0:
+        raise ValueError(f"need n > 0 and m >= 0: n={n}, m={m}")
+    if num_bursts < 0:
+        raise ValueError(f"num_bursts must be >= 0: {num_bursts}")
+    if not 0.0 <= burst_fraction <= 1.0:
+        raise ValueError(f"burst_fraction must be in [0, 1]: {burst_fraction}")
+    if not 0.0 <= burst_intensity <= 1.0:
+        raise ValueError(
+            f"burst_intensity must be in [0, 1]: {burst_intensity}"
+        )
+    background = zipf_stream(n, m, skew=background_skew, seed=seed)
+    if num_bursts == 0 or m == 0 or burst_fraction == 0.0:
+        return background
+    rng = random.Random(None if seed is None else seed + 0x0B57)
+    burst_length = max(1, int(m * burst_fraction / num_bursts))
+    stream = background
+    for _ in range(num_bursts):
+        start = rng.randrange(max(1, m - burst_length + 1))
+        flash_item = rng.randrange(n)
+        for t in range(start, min(m, start + burst_length)):
+            if rng.random() < burst_intensity:
+                stream[t] = flash_item
+    return stream
+
+
+def phase_shift_stream(
+    n: int,
+    m: int,
+    phases: int = 3,
+    skew: float = 1.3,
+    seed: int | None = None,
+) -> list[int]:
+    """A Zipf stream whose item ranking is reshuffled each phase.
+
+    The stream is split into ``phases`` equal segments; every segment
+    draws from the same Zipf(``skew``) law but through a fresh random
+    permutation of the universe, so the identity of the heavy items
+    changes at each phase boundary while the frequency *profile* stays
+    constant.  Algorithms that lock onto early heavy items (sample-and-
+    hold variants) pay for every shift; per-phase state-change budgets
+    make the cost visible.
+    """
+    if n <= 0 or m < 0:
+        raise ValueError(f"need n > 0 and m >= 0: n={n}, m={m}")
+    if phases < 1:
+        raise ValueError(f"phases must be >= 1: {phases}")
+    rng = np.random.default_rng(seed)
+    weights = (np.arange(1, n + 1, dtype=np.float64)) ** (-skew)
+    weights /= weights.sum()
+    stream: list[int] = []
+    bounds = [round(m * k / phases) for k in range(phases + 1)]
+    for phase in range(phases):
+        length = bounds[phase + 1] - bounds[phase]
+        ranking = rng.permutation(n)
+        draws = rng.choice(n, size=length, p=weights)
+        stream.extend(int(ranking[d]) for d in draws)
+    return stream
+
+
 def planted_heavy_hitter_stream(
     n: int,
     m: int,

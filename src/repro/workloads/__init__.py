@@ -1,0 +1,36 @@
+"""Workload subsystem: named, seeded, reproducible stream scenarios.
+
+* :mod:`repro.workloads.spec` — the frozen :class:`Workload` value.
+* :mod:`repro.workloads.registry` — name → generator registry.
+* :mod:`repro.workloads.scenarios` — the built-in scenarios (imported
+  here for registration).
+
+Any scenario × any sketch × any shard count is one call::
+
+    from repro.api import Engine
+    from repro.workloads import Workload
+
+    report = Engine("count-min", shards=4).run(
+        workload=Workload("bursty", n=4096, m=65536, seed=7)
+    )
+"""
+
+from repro.workloads.registry import (
+    ScenarioSpec,
+    generate,
+    register_scenario,
+    scenario_names,
+    scenario_spec,
+)
+from repro.workloads.spec import Workload
+
+import repro.workloads.scenarios  # noqa: E402,F401  (registers built-ins)
+
+__all__ = [
+    "ScenarioSpec",
+    "Workload",
+    "generate",
+    "register_scenario",
+    "scenario_names",
+    "scenario_spec",
+]

@@ -1,0 +1,103 @@
+"""Name → generator registry of workload scenarios.
+
+Mirrors :mod:`repro.registry` (the sketch registry) on the stream side:
+every scenario is registered once, under one name, with one uniform
+generator signature ::
+
+    generate("bursty", n=4096, m=65536, seed=0, burst_intensity=0.8)
+
+where ``n`` is the universe size, ``m`` the stream length, ``seed`` the
+randomness seed, and any remaining keyword parameters are
+scenario-specific knobs with registered defaults.  The CLI, the
+:class:`~repro.api.Engine`, and the experiment harness all name
+workloads through this registry, so a scenario × sketch × shard-count
+sweep is one reproducible call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: Uniform generator signature: ``fn(n, m, seed, **params) -> list[int]``.
+ScenarioGenerator = Callable[..., "list[int]"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One registered workload scenario.
+
+    ``defaults`` documents the scenario's tunable parameters and their
+    default values; :func:`generate` merges caller overrides on top.
+    """
+
+    name: str
+    generator: ScenarioGenerator
+    summary: str
+    defaults: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        """Names of the scenario's tunable parameters."""
+        return tuple(name for name, _ in self.defaults)
+
+
+_SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(
+    name: str,
+    generator: ScenarioGenerator,
+    summary: str = "",
+    **defaults: Any,
+) -> None:
+    """Add a scenario to the registry (rejects duplicate names)."""
+    if name in _SCENARIOS:
+        raise ValueError(f"workload {name!r} is already registered")
+    _SCENARIOS[name] = ScenarioSpec(
+        name=name,
+        generator=generator,
+        summary=summary,
+        defaults=tuple(sorted(defaults.items())),
+    )
+
+
+def scenario_names() -> list[str]:
+    """Sorted names of every registered workload scenario."""
+    return sorted(_SCENARIOS)
+
+
+def scenario_spec(name: str) -> ScenarioSpec:
+    """Look up one registered scenario by name."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {scenario_names()}"
+        ) from None
+
+
+def generate(
+    name: str,
+    n: int = 4096,
+    m: int = 65536,
+    seed: int = 0,
+    **params: Any,
+) -> list[int]:
+    """Materialize a named scenario with uniform sizing arguments.
+
+    Unknown parameter names are rejected up front (against the
+    scenario's registered defaults), so a typo fails with the valid
+    knob list instead of a generic ``TypeError`` from deep inside the
+    generator.
+    """
+    spec = scenario_spec(name)
+    kwargs = dict(spec.defaults)
+    for key, value in params.items():
+        if key not in kwargs:
+            raise TypeError(
+                f"workload {name!r} has no parameter {key!r}; "
+                f"tunable parameters: {list(spec.param_names) or 'none'}"
+            )
+        kwargs[key] = value
+    return spec.generator(n=n, m=m, seed=seed, **kwargs)

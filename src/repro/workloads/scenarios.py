@@ -1,0 +1,193 @@
+"""The built-in workload scenarios.
+
+Importing this module registers every scenario with
+:mod:`repro.workloads.registry`.  The classical distributions wrap the
+raw generators in :mod:`repro.streams.generators`; the newer scenarios
+cover the dynamics the static laws miss:
+
+* ``bursty`` — flash crowds: windows where one item dominates,
+  stressing eviction policies and per-shard write budgets.
+* ``phase-shift`` — the Zipf ranking is reshuffled mid-stream, so the
+  heavy set changes identity while the frequency profile stays put.
+* ``trace-replay`` — replay an external integer trace file (one item
+  per line, :mod:`repro.streams.traceio` format), so packet logs and
+  query logs run through the same registry as synthetic laws.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.streams.generators import (
+    bursty_stream,
+    permutation_stream,
+    phase_shift_stream,
+    planted_heavy_hitter_stream,
+    round_robin_stream,
+    uniform_stream,
+    zipf_stream,
+)
+from repro.streams.traceio import read_trace
+from repro.workloads.registry import register_scenario
+
+
+def _zipf(n: int, m: int, seed: int, skew: float) -> list[int]:
+    return zipf_stream(n, m, skew=skew, seed=seed)
+
+
+def _uniform(n: int, m: int, seed: int) -> list[int]:
+    return uniform_stream(n, m, seed=seed)
+
+
+def _permutation(n: int, m: int, seed: int) -> list[int]:
+    """``m`` items drawn as back-to-back random permutations of ``[n]``.
+
+    Every window of ``n`` updates hits each item exactly once (a fresh
+    shuffle per window), preserving the flat frequency profile of the
+    lower-bound instances at any stream length.
+    """
+    stream: list[int] = []
+    window = 0
+    while len(stream) < m:
+        stream.extend(
+            permutation_stream(n, seed=None if seed is None else seed + window)
+        )
+        window += 1
+    return stream[:m]
+
+
+def _round_robin(n: int, m: int, seed: int) -> list[int]:
+    del seed  # deterministic by construction
+    return round_robin_stream(n, m)
+
+
+def _planted_hh(
+    n: int,
+    m: int,
+    seed: int,
+    num_heavy: int,
+    heavy_fraction: float,
+    background: str,
+) -> list[int]:
+    """Uniform/Zipf background with ``num_heavy`` planted heavy items.
+
+    The heavy items are drawn from the universe by the seed and share
+    ``heavy_fraction`` of the stream equally, so their true counts are
+    exact by construction.
+    """
+    if not 0 < num_heavy <= n:
+        raise ValueError(f"need 0 < num_heavy <= n: {num_heavy}")
+    if not 0.0 < heavy_fraction < 1.0:
+        raise ValueError(
+            f"heavy_fraction must be in (0, 1): {heavy_fraction}"
+        )
+    rng = random.Random(None if seed is None else seed + 0x9E37)
+    items = rng.sample(range(n), num_heavy)
+    count = max(1, int(m * heavy_fraction / num_heavy))
+    heavy_items = {item: count for item in items}
+    return planted_heavy_hitter_stream(
+        n, m, heavy_items, background=background, seed=seed
+    )
+
+
+def _bursty(
+    n: int,
+    m: int,
+    seed: int,
+    num_bursts: int,
+    burst_fraction: float,
+    burst_intensity: float,
+    background_skew: float,
+) -> list[int]:
+    return bursty_stream(
+        n,
+        m,
+        num_bursts=num_bursts,
+        burst_fraction=burst_fraction,
+        burst_intensity=burst_intensity,
+        background_skew=background_skew,
+        seed=seed,
+    )
+
+
+def _phase_shift(
+    n: int, m: int, seed: int, phases: int, skew: float
+) -> list[int]:
+    return phase_shift_stream(n, m, phases=phases, skew=skew, seed=seed)
+
+
+def _trace_replay(n: int, m: int, seed: int, path: str) -> list[int]:
+    """Replay an external trace file, truncated to at most ``m`` items
+    (``m=0`` replays the whole trace).
+
+    ``seed`` is ignored (a trace is already fixed); items must fit the
+    universe hint ``n`` so downstream sketches are sized correctly.
+    """
+    del seed
+    if not path:
+        raise ValueError(
+            "trace-replay needs a file: params={'path': '<trace file>'}"
+        )
+    stream = read_trace(path)
+    if m:
+        stream = stream[:m]
+    oversized = next((item for item in stream if item >= n), None)
+    if oversized is not None:
+        raise ValueError(
+            f"trace item {oversized} outside universe [0, {n}); "
+            f"raise the n hint to at least {oversized + 1}"
+        )
+    return stream
+
+
+register_scenario(
+    "zipf",
+    _zipf,
+    "i.i.d. Zipf draws — the paper's motivating skewed workload",
+    skew=1.2,
+)
+register_scenario(
+    "uniform",
+    _uniform,
+    "i.i.d. uniform draws — the no-skew control",
+)
+register_scenario(
+    "permutation",
+    _permutation,
+    "back-to-back random permutations — flat frequencies, Fp = n per pass",
+)
+register_scenario(
+    "round-robin",
+    _round_robin,
+    "deterministic cyclic stream — the no-heavy-hitter control",
+)
+register_scenario(
+    "planted-hh",
+    _planted_hh,
+    "background noise with exact-count planted heavy hitters",
+    num_heavy=4,
+    heavy_fraction=0.2,
+    background="uniform",
+)
+register_scenario(
+    "bursty",
+    _bursty,
+    "flash crowds: windows where one item dominates the stream",
+    num_bursts=4,
+    burst_fraction=0.25,
+    burst_intensity=0.9,
+    background_skew=1.1,
+)
+register_scenario(
+    "phase-shift",
+    _phase_shift,
+    "Zipf whose heavy set changes identity at each phase boundary",
+    phases=3,
+    skew=1.3,
+)
+register_scenario(
+    "trace-replay",
+    _trace_replay,
+    "replay an external one-item-per-line trace file",
+    path="",
+)

@@ -1,0 +1,74 @@
+"""The frozen :class:`Workload` spec: a named, seeded, reproducible stream.
+
+A ``Workload`` pins everything needed to regenerate a stream —
+scenario name, universe size, stream length, seed, and scenario
+parameters — in one hashable value.  Two equal ``Workload`` objects
+materialize the identical stream, which is what makes "any scenario ×
+any sketch × any shard count" a single reproducible call: the spec is
+the experiment's provenance record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.workloads.registry import generate, scenario_spec
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A fully-specified workload: scenario + sizing + seed + params.
+
+    ``params`` accepts a plain mapping for ergonomics and is frozen
+    into a sorted item tuple, so specs are hashable and equal exactly
+    when they generate the same stream.  The scenario name and every
+    parameter name are validated at construction against the workload
+    registry — a bad spec fails where it is written, not where it is
+    eventually materialized.
+    """
+
+    scenario: str
+    n: int = 4096
+    m: int = 65536
+    seed: int = 0
+    params: tuple[tuple[str, Any], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        params = self.params
+        if isinstance(params, Mapping):
+            params = tuple(sorted(params.items()))
+            object.__setattr__(self, "params", params)
+        spec = scenario_spec(self.scenario)  # raises on bad name
+        known = set(spec.param_names)
+        for key, _ in params:
+            if key not in known:
+                raise TypeError(
+                    f"workload {self.scenario!r} has no parameter "
+                    f"{key!r}; tunable parameters: "
+                    f"{list(spec.param_names) or 'none'}"
+                )
+        if self.n <= 0 or self.m < 0:
+            raise ValueError(
+                f"need n > 0 and m >= 0: n={self.n}, m={self.m}"
+            )
+
+    def materialize(self) -> list[int]:
+        """Generate the stream this spec describes."""
+        return generate(
+            self.scenario,
+            n=self.n,
+            m=self.m,
+            seed=self.seed,
+            **dict(self.params),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable spec summary."""
+        knobs = "".join(
+            f" {key}={value}" for key, value in self.params
+        )
+        return (
+            f"{self.scenario}(n={self.n}, m={self.m}, "
+            f"seed={self.seed}){knobs}"
+        )

@@ -94,6 +94,23 @@ class TestEngine:
         with pytest.raises(RuntimeError):
             engine.query(PointQuery(0))
 
+    def test_process_executor_report_matches_serial(self, stream):
+        def report(executor):
+            return Engine(
+                "count-min", n=N, m=M, epsilon=0.2, seed=5, shards=4,
+                executor=executor, max_workers=2,
+            ).run(stream)
+
+        serial = report("serial")
+        process = report("process")
+        assert process.audit == serial.audit
+        assert process.shard_reports == serial.shard_reports
+        assert [a for _, a in process.answers] == [
+            a for _, a in serial.answers
+        ]
+        assert process.executor == "process"
+        assert "process" in process.summary()
+
     def test_can_answer_and_unsupported_query(self, stream):
         engine = Engine("kmv", n=N, m=M, epsilon=0.3, seed=2)
         assert engine.can_answer(Distinct())

@@ -61,6 +61,71 @@ class TestAudit:
         with pytest.raises(SystemExit):
             main(["audit", "--algorithm", "quantum", "--m", "16"])
 
+    def test_audit_workload_errors_exit_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["audit", "--workload", "tsunami", "--m", "16"])
+        with pytest.raises(SystemExit, match="trace-replay needs a file"):
+            main(["audit", "--workload", "trace-replay", "--m", "16"])
+
+
+class TestRun:
+    def test_run_named_workload(self, capsys):
+        code = main([
+            "run", "--algorithm", "count-min", "--workload", "bursty",
+            "--n", "256", "--m", "2000", "--epsilon", "0.3", "--seed", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workload=bursty" in out
+        assert "state_changes=" in out
+
+    def test_run_sharded_process_executor(self, capsys):
+        code = main([
+            "run", "--algorithm", "count-min", "--workload", "phase-shift",
+            "--shards", "4", "--executor", "process",
+            "--n", "256", "--m", "2000", "--epsilon", "0.3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(hash/process)" in out
+        assert "skew=" in out
+
+    def test_run_unknown_workload_names_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--workload", "tsunami", "--m", "64"])
+        message = str(excinfo.value)
+        assert "unknown workload 'tsunami'" in message
+        assert "bursty" in message and "zipf" in message
+
+    def test_run_non_mergeable_sharded_exits(self):
+        with pytest.raises(SystemExit, match="not mergeable"):
+            main([
+                "run", "--algorithm", "sample-and-hold",
+                "--shards", "2", "--m", "64",
+            ])
+
+    def test_run_trace_replay_workload(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("\n".join(["3"] * 40 + ["1", "2"]))
+        code = main([
+            "run", "--algorithm", "exact", "--workload", "trace-replay",
+            "--trace", str(trace), "--n", "8", "--m", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "items=42" in out
+
+    def test_run_trace_replay_without_file_exits(self):
+        with pytest.raises(SystemExit, match="trace-replay needs a file"):
+            main(["run", "--workload", "trace-replay", "--m", "64"])
+
+    def test_run_non_serializable_process_executor_exits(self):
+        with pytest.raises(SystemExit, match="serialization"):
+            main([
+                "run", "--algorithm", "heavy-hitters",
+                "--executor", "process", "--m", "64",
+            ])
+
 
 class TestShard:
     def test_shard_scaling_prints_table(self, capsys):
@@ -90,6 +155,33 @@ class TestShard:
         ])
         assert code == 0
         assert "kmv" in capsys.readouterr().out
+
+    def test_process_executor_matches_serial_table(self, capsys):
+        flags = [
+            "shard", "--sketch", "count-min", "--shards", "1,2",
+            "--n", "256", "--m", "2048", "--epsilon", "0.2", "--seed", "3",
+        ]
+        assert main(flags + ["--executor", "process"]) == 0
+        process_table = capsys.readouterr().out
+        assert main(flags + ["--executor", "serial"]) == 0
+        serial_table = capsys.readouterr().out
+        assert "Sharded ingestion scaling" in process_table
+        # Process execution is bit-identical to serial, so the whole
+        # printed sweep — including the deviation column — must match.
+        assert process_table == serial_table
+
+    def test_named_workload(self, capsys):
+        code = main([
+            "shard", "--sketch", "count-min", "--shards", "1,2",
+            "--workload", "bursty",
+            "--n", "128", "--m", "1024", "--epsilon", "0.3",
+        ])
+        assert code == 0
+        assert "count-min" in capsys.readouterr().out
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["shard", "--workload", "tsunami", "--m", "64"])
 
     def test_non_mergeable_sketch_exits(self):
         with pytest.raises(SystemExit):

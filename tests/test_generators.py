@@ -4,12 +4,82 @@ import pytest
 
 from repro.streams import (
     FrequencyVector,
+    bursty_stream,
     permutation_stream,
+    phase_shift_stream,
     planted_heavy_hitter_stream,
     round_robin_stream,
     uniform_stream,
     zipf_stream,
 )
+
+
+class TestBursty:
+    def test_length_universe_and_reproducibility(self):
+        a = bursty_stream(100, 2000, seed=4)
+        b = bursty_stream(100, 2000, seed=4)
+        assert a == b
+        assert len(a) == 2000
+        assert all(0 <= x < 100 for x in a)
+
+    def test_zero_bursts_is_pure_background(self):
+        assert bursty_stream(100, 500, num_bursts=0, seed=2) == zipf_stream(
+            100, 500, skew=1.1, seed=2
+        )
+
+    def test_bursts_concentrate_mass(self):
+        calm = bursty_stream(4096, 4000, burst_fraction=0.0, seed=3)
+        stormy = bursty_stream(
+            4096, 4000, num_bursts=1, burst_fraction=0.5,
+            burst_intensity=1.0, seed=3,
+        )
+        def max_count(stream):
+            return max(
+                count
+                for _, count in FrequencyVector.from_stream(stream).items()
+            )
+
+        top = max_count(stormy)
+        assert top >= max_count(calm)
+        assert top >= 0.4 * 4000 / 2  # the flash item dominates its window
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            bursty_stream(0, 10)
+        with pytest.raises(ValueError):
+            bursty_stream(10, 10, num_bursts=-1)
+        with pytest.raises(ValueError):
+            bursty_stream(10, 10, burst_fraction=1.5)
+        with pytest.raises(ValueError):
+            bursty_stream(10, 10, burst_intensity=-0.1)
+
+
+class TestPhaseShift:
+    def test_length_universe_and_reproducibility(self):
+        a = phase_shift_stream(64, 999, phases=3, seed=5)
+        b = phase_shift_stream(64, 999, phases=3, seed=5)
+        assert a == b
+        assert len(a) == 999
+        assert all(0 <= x < 64 for x in a)
+
+    def test_single_phase_keeps_one_ranking(self):
+        stream = phase_shift_stream(256, 3000, phases=1, skew=1.5, seed=6)
+        assert len(stream) == 3000
+
+    def test_heavy_item_changes_across_phases(self):
+        stream = phase_shift_stream(256, 9000, phases=3, skew=1.5, seed=7)
+        tops = set()
+        for phase in range(3):
+            block = stream[phase * 3000:(phase + 1) * 3000]
+            f = FrequencyVector.from_stream(block)
+            tops.add(max(f.items(), key=lambda kv: kv[1])[0])
+        assert len(tops) > 1
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            phase_shift_stream(0, 10)
+        with pytest.raises(ValueError):
+            phase_shift_stream(10, 10, phases=0)
 
 
 class TestZipf:

@@ -1,0 +1,241 @@
+"""Hypothesis property tests for the merge algebra.
+
+Every mergeable family in the registry is swept through three laws:
+
+* **serialization round trip** — ``from_state(to_state(x))`` is exact:
+  the restored sketch snapshots back to the identical state, including
+  the audit and the coin-flip RNG position.
+* **merge determinism after a round trip** — restoring the same shard
+  snapshots twice and merging them gives bit-identical merged state
+  both times (this is what lets the process executor reduce restored
+  worker states exactly as serial mode reduces live shards).
+* **associativity and commutativity up to query answers** — for the
+  families whose merge is an order-free function of the operands
+  (linear sketches, exact counters, KMV) the grouping and order of a
+  merge reduce cannot change a single answer.  The bounded-summary
+  families (Misra-Gries, SpaceSaving) break count ties by iteration
+  order when they evict, so their laws hold *up to the summary's
+  additive error* ``m/k`` — the same slack their estimates carry
+  against ground truth.  The Morris-counter families randomize their
+  merge (a probabilistic level climb), so for them the laws hold in
+  distribution, not bitwise; they are checked for the invariants that
+  must survive randomization: combined item counts, additive audits,
+  and estimates within the counters' coarse multiplicative envelope.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import registry
+from repro.query import (
+    AllEstimates,
+    Distinct,
+    Entropy,
+    Moment,
+    PointQuery,
+    QueryKind,
+)
+
+N = 64  # universe for generated streams
+
+#: Bounded summaries whose merge evicts with order-dependent tie-breaks.
+SUMMARY = ("misra-gries", "space-saving")
+#: Families whose merge flips coins (Morris level climbs).
+RANDOMIZED = ("count-min-morris", "pstable-fp")
+#: Families whose merge is an order-free function of the two states.
+EXACT_MERGE = sorted(
+    set(registry.mergeable_names()) - set(SUMMARY) - set(RANDOMIZED)
+)
+
+streams = st.lists(st.integers(0, N - 1), max_size=40)
+
+
+def make(name: str, seed: int = 7):
+    """A small, fast instance; merge laws do not need tight accuracy."""
+    return registry.create(name, n=N, m=256, epsilon=1.0, seed=seed)
+
+
+def snapshot(sketch) -> str:
+    """Canonical byte-comparable encoding of a sketch's full state."""
+    return json.dumps(sketch.to_state(), sort_keys=True)
+
+
+def ingested(name: str, stream: list[int]):
+    sketch = make(name)
+    sketch.process_many(stream)
+    return sketch
+
+
+_SCALAR_QUERIES = (
+    (QueryKind.MOMENT, Moment),
+    (QueryKind.DISTINCT, Distinct),
+    (QueryKind.ENTROPY, Entropy),
+)
+
+
+def assert_answers_match(left: dict, right: dict) -> None:
+    """Answer-dict equality, tolerating float summation-order ulps.
+
+    A merged dict iterates its items in a grouping-dependent insertion
+    order, so float reductions over it (entropy, moments) may differ in
+    the last bits even when the multiset of estimates is identical.
+    """
+    assert left.keys() == right.keys()
+    for key, value in left.items():
+        assert value == pytest.approx(right[key], rel=1e-9, abs=1e-12), key
+
+
+def answers(sketch) -> dict:
+    """Every scalar answer the family declares, plus spot point queries."""
+    out = {}
+    if QueryKind.POINT in sketch.supports:
+        out.update(
+            (f"point[{item}]", sketch.query(PointQuery(item)).value)
+            for item in range(0, N, 9)
+        )
+    for kind, query_cls in _SCALAR_QUERIES:
+        if kind in sketch.supports:
+            out[str(kind)] = sketch.query(query_cls()).value
+    if QueryKind.ALL_ESTIMATES in sketch.supports:
+        estimates = sketch.query(AllEstimates()).values
+        out.update((f"all[{item}]", value) for item, value in estimates.items())
+        out["support"] = sorted(estimates)
+    return out
+
+
+@pytest.mark.parametrize("name", registry.mergeable_names())
+class TestSerializationRoundTrip:
+    @given(stream=streams)
+    @settings(max_examples=12, deadline=None)
+    def test_to_state_from_state_exact(self, name, stream):
+        original = ingested(name, stream)
+        restored = type(original).from_state(original.to_state())
+        assert snapshot(restored) == snapshot(original)
+        assert restored.report() == original.report()
+
+    @given(stream_a=streams, stream_b=streams)
+    @settings(max_examples=12, deadline=None)
+    def test_merge_after_round_trip_is_deterministic(
+        self, name, stream_a, stream_b
+    ):
+        shard_a = ingested(name, stream_a)
+        shard_b = ingested(name, stream_b)
+        state_a, state_b = shard_a.to_state(), shard_b.to_state()
+
+        def restore_and_merge() -> str:
+            left = type(shard_a).from_state(json.loads(json.dumps(state_a)))
+            right = type(shard_b).from_state(json.loads(json.dumps(state_b)))
+            return snapshot(left.merge(right))
+
+        assert restore_and_merge() == restore_and_merge()
+
+
+@pytest.mark.parametrize("name", EXACT_MERGE)
+class TestDeterministicMergeAlgebra:
+    @given(stream_a=streams, stream_b=streams)
+    @settings(max_examples=12, deadline=None)
+    def test_commutative_up_to_answers(self, name, stream_a, stream_b):
+        ab = ingested(name, stream_a).merge(ingested(name, stream_b))
+        ba = ingested(name, stream_b).merge(ingested(name, stream_a))
+        assert_answers_match(answers(ab), answers(ba))
+        assert ab.items_processed == ba.items_processed
+
+    @given(stream_a=streams, stream_b=streams, stream_c=streams)
+    @settings(max_examples=12, deadline=None)
+    def test_associative_up_to_answers(
+        self, name, stream_a, stream_b, stream_c
+    ):
+        left = ingested(name, stream_a).merge(
+            ingested(name, stream_b)
+        ).merge(ingested(name, stream_c))
+        right = ingested(name, stream_a).merge(
+            ingested(name, stream_b).merge(ingested(name, stream_c))
+        )
+        assert_answers_match(answers(left), answers(right))
+        assert left.items_processed == right.items_processed
+
+
+@pytest.mark.parametrize("name", SUMMARY)
+class TestSummaryMergeAlgebra:
+    """Misra-Gries/SpaceSaving: order-free up to the ``m/k`` slack."""
+
+    @staticmethod
+    def _point_estimates(sketch) -> list[float]:
+        return [sketch.query(PointQuery(item)).value for item in range(N)]
+
+    @given(stream_a=streams, stream_b=streams)
+    @settings(max_examples=12, deadline=None)
+    def test_commutative_up_to_summary_error(self, name, stream_a, stream_b):
+        ab = ingested(name, stream_a).merge(ingested(name, stream_b))
+        ba = ingested(name, stream_b).merge(ingested(name, stream_a))
+        # Each side is a valid summary within +-m/k of truth, so two
+        # valid summaries can sit up to 2m/k apart.
+        slack = 2 * (len(stream_a) + len(stream_b)) / ab.k
+        for left, right in zip(
+            self._point_estimates(ab), self._point_estimates(ba)
+        ):
+            assert abs(left - right) <= slack
+        assert ab.items_processed == ba.items_processed
+
+    @given(stream_a=streams, stream_b=streams, stream_c=streams)
+    @settings(max_examples=12, deadline=None)
+    def test_associative_up_to_summary_error(
+        self, name, stream_a, stream_b, stream_c
+    ):
+        left = ingested(name, stream_a).merge(
+            ingested(name, stream_b)
+        ).merge(ingested(name, stream_c))
+        right = ingested(name, stream_a).merge(
+            ingested(name, stream_b).merge(ingested(name, stream_c))
+        )
+        slack = (
+            2 * (len(stream_a) + len(stream_b) + len(stream_c)) / left.k
+        )
+        for lhs, rhs in zip(
+            self._point_estimates(left), self._point_estimates(right)
+        ):
+            assert abs(lhs - rhs) <= slack
+        assert left.items_processed == right.items_processed
+
+
+@pytest.mark.parametrize("name", RANDOMIZED)
+class TestRandomizedMergeInvariants:
+    """What survives the Morris merge coin flips, exactly and loosely."""
+
+    @given(stream_a=streams, stream_b=streams, stream_c=streams)
+    @settings(max_examples=12, deadline=None)
+    def test_grouping_preserves_counts_and_audits(
+        self, name, stream_a, stream_b, stream_c
+    ):
+        total = len(stream_a) + len(stream_b) + len(stream_c)
+        left = ingested(name, stream_a).merge(
+            ingested(name, stream_b)
+        ).merge(ingested(name, stream_c))
+        right = ingested(name, stream_a).merge(
+            ingested(name, stream_b).merge(ingested(name, stream_c))
+        )
+        assert left.items_processed == right.items_processed == total
+        # The audit combine is additive arithmetic — grouping-invariant
+        # even when the payload merge randomizes.
+        assert left.report() == right.report()
+
+    @given(stream_a=streams, stream_b=streams)
+    @settings(max_examples=12, deadline=None)
+    def test_merge_estimates_stay_in_envelope(self, name, stream_a, stream_b):
+        merged = ingested(name, stream_a).merge(ingested(name, stream_b))
+        total = len(stream_a) + len(stream_b)
+        if QueryKind.POINT in merged.supports:
+            for item in range(0, N, 9):
+                estimate = merged.query(PointQuery(item)).value
+                assert 0 <= estimate <= 32 * total + 64
+        if QueryKind.MOMENT in merged.supports:
+            value = merged.query(Moment()).value
+            assert value >= 0.0
+            # F1-style mass cannot exceed a coarse multiple of the
+            # stream length (Morris overshoot is multiplicative).
+            assert value <= 64 * total**2 + 256

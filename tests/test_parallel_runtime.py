@@ -1,0 +1,156 @@
+"""Golden equivalence tests for the process-pool shard executor.
+
+The contract under test: ``executor="process"`` changes wall-clock
+time, never results.  For every mergeable family the merged sketch's
+``to_state()`` must be *byte-identical* to the serial executor's on the
+same seed — payload, configuration, RNG position, and the full
+state-change audit — and the per-shard reports, routed item counts,
+and query answers must match exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import registry
+from repro.api import Engine
+from repro.runtime.parallel import ingest_shard, resolve_workers
+from repro.runtime.sharded import ShardedRunner
+from repro.state.algorithm import NotSerializableError
+from repro.streams import zipf_stream
+
+N, M = 512, 6000
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_stream(N, M, skew=1.2, seed=3)
+
+
+def canonical(sketch) -> str:
+    return json.dumps(sketch.to_state(), sort_keys=True)
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("name", registry.mergeable_names())
+    def test_process_matches_serial_bit_for_bit(self, name, stream):
+        def run(executor):
+            return ShardedRunner.from_registry(
+                name, 4, n=N, m=M, epsilon=1.0, seed=7,
+                executor=executor, max_workers=2,
+            ).run(stream)
+
+        serial = run("serial")
+        process = run("process")
+        assert canonical(process.merged) == canonical(serial.merged)
+        assert process.shard_reports == serial.shard_reports
+        assert process.shard_items == serial.shard_items
+        assert process.merged_report == serial.merged_report
+        assert process.skew == serial.skew
+
+    @pytest.mark.parametrize("name", ["count-min", "misra-gries"])
+    def test_engine_answers_match_across_executors(self, name, stream):
+        def report(executor):
+            return Engine(
+                name, n=N, m=M, epsilon=0.2, seed=9, shards=4,
+                executor=executor, max_workers=2,
+            ).run(stream)
+
+        serial = report("serial")
+        process = report("process")
+        assert [
+            (type(q).__name__, a) for q, a in process.answers
+        ] == [(type(q).__name__, a) for q, a in serial.answers]
+        assert process.audit == serial.audit
+        assert process.shard_reports == serial.shard_reports
+        assert process.executor == "process"
+
+    def test_round_robin_partition_matches_too(self, stream):
+        def run(executor):
+            return ShardedRunner.from_registry(
+                "count-min", 3, n=N, m=M, epsilon=0.3, seed=11,
+                partition="round-robin", executor=executor, max_workers=2,
+            ).run(stream)
+
+        assert canonical(run("process").merged) == canonical(
+            run("serial").merged
+        )
+
+
+class TestProcessExecutorBehaviour:
+    def test_empty_stream(self):
+        result = ShardedRunner.from_registry(
+            "count-min", 4, seed=1, executor="process", max_workers=2
+        ).run([])
+        assert result.skew == 1.0
+        assert result.merged.items_processed == 0
+
+    def test_ingest_after_execution_rejected(self):
+        runner = ShardedRunner.from_registry(
+            "count-min", 2, seed=2, executor="process"
+        )
+        runner.ingest([1, 2, 3])
+        runner.merge()
+        with pytest.raises(RuntimeError):
+            runner.ingest([4])
+
+    def test_non_serializable_sketch_rejected(self):
+        # heavy-hitters is serial-only: it has no state hooks, so the
+        # process executor must fail with the typed error (on a single
+        # shard; multi-shard already fails the mergeability check).
+        runner = ShardedRunner.from_registry(
+            "heavy-hitters", 1, n=64, m=256, executor="process"
+        )
+        runner.ingest([1, 2, 3])
+        with pytest.raises(NotSerializableError):
+            runner.merge()
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedRunner.from_registry("count-min", 2, executor="thread")
+        with pytest.raises(ValueError):
+            Engine("count-min", executor="thread")
+
+    def test_engine_rejects_non_serializable_process_at_construction(self):
+        with pytest.raises(ValueError, match="serialization"):
+            Engine("heavy-hitters", executor="process")
+        # The same family is fine on the serial executor.
+        assert Engine("heavy-hitters", executor="serial")
+
+    def test_worker_entry_point_round_trips(self):
+        # The worker function itself, exercised in-process: it must
+        # return a state equal to what local ingestion produces.
+        shard = registry.create("count-min", n=64, m=256, seed=5)
+        index, state = ingest_shard((3, shard.to_state(), [1, 2, 2, 7]))
+        local = registry.create("count-min", n=64, m=256, seed=5)
+        local.process_many([1, 2, 2, 7])
+        assert index == 3
+        assert state == local.to_state()
+
+    def test_resolve_workers(self):
+        assert resolve_workers(4, max_workers=2) == 2
+        assert resolve_workers(1, max_workers=8) == 1
+        assert resolve_workers(4) >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(4, max_workers=0)
+
+
+class TestSkewRegression:
+    """``ShardedRunResult.skew`` on degenerate streams (regression)."""
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_empty_stream_skew_is_one(self, executor):
+        result = ShardedRunner.from_registry(
+            "count-min", 4, seed=0, executor=executor, max_workers=2
+        ).run([])
+        assert result.skew == 1.0  # not a ZeroDivisionError
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_single_item_stream_skew_is_num_shards(self, executor):
+        result = ShardedRunner.from_registry(
+            "count-min", 4, seed=0, executor=executor, max_workers=2
+        ).run([5])
+        assert result.skew == pytest.approx(4.0)
+        assert sum(result.shard_items) == 1

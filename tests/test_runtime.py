@@ -50,6 +50,15 @@ class TestShardedRunner:
         runner.ingest([7] * 1000)
         assert runner.skew() == pytest.approx(4.0)
 
+    def test_skew_on_degenerate_streams(self):
+        # Regression: empty and single-item streams must report a
+        # well-defined skew, not divide by zero.
+        empty = ShardedRunner.from_registry("count-min", 4, seed=5).run([])
+        assert empty.skew == 1.0
+        single = ShardedRunner.from_registry("count-min", 4, seed=5).run([9])
+        assert single.skew == pytest.approx(4.0)
+        assert single.summary()  # skew renders in the summary line
+
     def test_small_batches_flush_incrementally(self):
         stream = zipf_stream(256, 1000, skew=1.1, seed=6)
         runner = ShardedRunner.from_registry(

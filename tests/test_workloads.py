@@ -1,0 +1,186 @@
+"""Tests for the workload subsystem (registry, spec, scenarios)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import workloads
+from repro.api import Engine
+from repro.streams import write_trace
+from repro.workloads import Workload
+
+BUILTIN = (
+    "bursty",
+    "permutation",
+    "phase-shift",
+    "planted-hh",
+    "round-robin",
+    "trace-replay",
+    "uniform",
+    "zipf",
+)
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered(self):
+        assert workloads.scenario_names() == sorted(BUILTIN)
+
+    def test_unknown_scenario_names_choices(self):
+        with pytest.raises(KeyError, match="choose from"):
+            workloads.scenario_spec("heavy-traffic")
+
+    def test_unknown_parameter_rejected_with_knob_list(self):
+        with pytest.raises(TypeError, match="tunable parameters"):
+            workloads.generate("zipf", n=64, m=128, skw=2.0)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            workloads.register_scenario("zipf", lambda n, m, seed: [])
+
+    def test_defaults_overridable(self):
+        calm = workloads.generate(
+            "bursty", n=64, m=512, seed=3, burst_intensity=0.0
+        )
+        stormy = workloads.generate(
+            "bursty", n=64, m=512, seed=3, burst_intensity=1.0
+        )
+        assert len(calm) == len(stormy) == 512
+        assert calm != stormy
+
+    @pytest.mark.parametrize(
+        "name", [n for n in BUILTIN if n != "trace-replay"]
+    )
+    def test_every_synthetic_scenario_is_reproducible(self, name):
+        first = workloads.generate(name, n=128, m=600, seed=11)
+        second = workloads.generate(name, n=128, m=600, seed=11)
+        assert first == second
+        assert len(first) == 600
+        assert all(0 <= item < 128 for item in first)
+
+
+class TestWorkloadSpec:
+    def test_frozen_hashable_and_equal_by_value(self):
+        a = Workload("zipf", n=64, m=128, seed=1, params={"skew": 1.5})
+        b = Workload("zipf", n=64, m=128, seed=1, params={"skew": 1.5})
+        assert a == b and hash(a) == hash(b)
+        with pytest.raises(AttributeError):
+            a.seed = 2
+
+    def test_materialize_matches_registry_generate(self):
+        spec = Workload("uniform", n=32, m=200, seed=9)
+        assert spec.materialize() == workloads.generate(
+            "uniform", n=32, m=200, seed=9
+        )
+
+    def test_bad_scenario_and_params_fail_at_construction(self):
+        with pytest.raises(KeyError):
+            Workload("nope")
+        with pytest.raises(TypeError):
+            Workload("uniform", params={"skew": 2.0})
+        with pytest.raises(ValueError):
+            Workload("uniform", n=0)
+
+    def test_describe_names_everything(self):
+        text = Workload(
+            "bursty", n=64, m=128, seed=3, params={"num_bursts": 2}
+        ).describe()
+        assert "bursty" in text and "num_bursts=2" in text and "seed=3" in text
+
+    @given(seed=st.integers(0, 2**20), m=st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_equal_specs_materialize_equal_streams(self, seed, m):
+        left = Workload("phase-shift", n=32, m=m, seed=seed)
+        right = Workload("phase-shift", n=32, m=m, seed=seed)
+        assert left.materialize() == right.materialize()
+
+
+class TestScenarioShapes:
+    def test_phase_shift_changes_heavy_set(self):
+        stream = workloads.generate(
+            "phase-shift", n=256, m=9000, seed=4, phases=3
+        )
+        thirds = [stream[:3000], stream[3000:6000], stream[6000:]]
+
+        def top(block):
+            counts = {}
+            for item in block:
+                counts[item] = counts.get(item, 0) + 1
+            return max(counts, key=counts.get)
+
+        assert len({top(block) for block in thirds}) > 1
+
+    def test_bursty_plants_a_flash_item(self):
+        calm = workloads.generate(
+            "bursty", n=4096, m=4000, seed=8, burst_fraction=0.0
+        )
+        stormy = workloads.generate(
+            "bursty", n=4096, m=4000, seed=8,
+            burst_fraction=0.5, burst_intensity=1.0, num_bursts=1,
+        )
+
+        def max_count(block):
+            counts = {}
+            for item in block:
+                counts[item] = counts.get(item, 0) + 1
+            return max(counts.values())
+
+        assert max_count(stormy) > max_count(calm)
+
+    def test_permutation_is_flat_per_window(self):
+        stream = workloads.generate("permutation", n=50, m=125, seed=2)
+        assert sorted(stream[:50]) == list(range(50))
+        assert sorted(stream[50:100]) == list(range(50))
+        assert len(stream) == 125
+
+    def test_trace_replay_round_trip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(path, [3, 1, 4, 1, 5, 9, 2, 6])
+        replayed = workloads.generate(
+            "trace-replay", n=10, m=0, seed=0, path=str(path)
+        )
+        assert replayed == [3, 1, 4, 1, 5, 9, 2, 6]
+        truncated = workloads.generate(
+            "trace-replay", n=10, m=3, seed=0, path=str(path)
+        )
+        assert truncated == [3, 1, 4]
+
+    def test_trace_replay_validates_universe_and_path(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(path, [99])
+        with pytest.raises(ValueError, match="universe"):
+            workloads.generate("trace-replay", n=10, seed=0, path=str(path))
+        with pytest.raises(ValueError, match="path"):
+            workloads.generate("trace-replay", n=10, seed=0)
+
+
+class TestEngineIntegration:
+    def test_run_with_named_workload_is_reproducible(self):
+        def report():
+            return Engine(
+                "count-min", n=128, m=2000, epsilon=0.3, seed=6, shards=2
+            ).run(workload="bursty")
+
+        first, second = report(), report()
+        assert first.workload == second.workload
+        assert "bursty" in first.workload
+        assert first.audit == second.audit
+        assert [a for _, a in first.answers] == [a for _, a in second.answers]
+
+    def test_run_with_pinned_spec(self):
+        spec = Workload("planted-hh", n=128, m=1500, seed=13)
+        report = Engine("exact", n=128, m=1500, seed=13).run(workload=spec)
+        assert report.items_processed == 1500
+        assert report.workload == spec.describe()
+
+    def test_stream_and_workload_are_mutually_exclusive(self):
+        engine = Engine("count-min", n=64, m=100)
+        with pytest.raises(ValueError, match="exactly one"):
+            engine.run([1, 2, 3], workload="zipf")
+        with pytest.raises(ValueError, match="exactly one"):
+            engine.run()
+
+    def test_explicit_stream_reports_no_workload(self):
+        report = Engine("count-min", n=64, m=100).run([1, 2, 3])
+        assert report.workload is None
