@@ -23,6 +23,7 @@ price of returning typed answers at all, not of the dispatch.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import timeit
 
@@ -135,7 +136,8 @@ def format_dispatch_bench(payload: dict) -> str:
 
 
 def test_query_dispatch(save_result):
-    payload = run_dispatch_bench()
+    quick = bool(os.environ.get("REPRO_BENCH_QUICK"))
+    payload = run_dispatch_bench(m=4_000 if quick else 20_000)
     save_result("BENCH_query_dispatch_table", format_dispatch_bench(payload))
     results_path = (
         pathlib.Path(__file__).parent / "results" / "BENCH_query_dispatch.json"

@@ -7,7 +7,7 @@ and — the point of the paper — both state-change audits.
 Usage:  python examples/quickstart.py
 """
 
-from repro import Engine, FrequencyVector, QueryKind, zipf_stream
+from repro import Engine, FrequencyVector, QueryKind, WriteBudget, zipf_stream
 from repro.query import AllEstimates, HeavyHitters, Moment
 
 N = 1 << 12          # universe size
@@ -58,7 +58,31 @@ def main() -> None:
     print("CountMin on the 'bursty' flash-crowd workload, 4 shards:")
     print(f"  {flash.summary()}")
     budgets = [shard.state_changes for shard in flash.shard_reports]
-    print(f"  per-shard write budgets: {budgets} (skew {flash.skew:.2f})")
+    print(f"  per-shard write costs: {budgets} (skew {flash.skew:.2f})\n")
+
+    # --- enforced write budgets --------------------------------------
+    # The lower-bound cost measure as a runtime contract: cap the
+    # run's state changes and pick what happens past the cap
+    # (raise / freeze / degrade).  Here the adversarial budget-stress
+    # workload exhausts a frozen budget, and the sketch keeps
+    # answering from its frozen summary.
+    capped = Engine("count-min", n=N, m=M, epsilon=0.1, seed=7).run(
+        workload="budget-stress",
+        budget=WriteBudget(2048, "freeze"),
+        queries=[],
+    )
+    print("CountMin under an enforced 2048-state-change budget:")
+    print(f"  {capped.budget.summary()}")
+    print(f"  audit: {capped.audit.summary()}\n")
+
+    # --- NVM pricing -------------------------------------------------
+    # Attach a simulated phase-change-memory device to the write trace
+    # and price the run (energy, latency, wear, lifetime).
+    priced = Engine("heavy-hitters", n=N, m=M, epsilon=EPSILON, seed=0).run(
+        stream, queries=[], nvm="pcm",
+    )
+    print("FullSampleAndHold priced on PCM:")
+    print(f"  {priced.nvm.summary()}")
 
 
 if __name__ == "__main__":

@@ -48,12 +48,20 @@ from repro.core.support_recovery import SparseSupportRecovery
 from repro.query import QueryKind, UnsupportedQueryError
 from repro.runtime import Checkpoint, ShardedRunner, ShardedRunResult
 from repro.state import (
+    AggregateBackend,
+    BudgetBackend,
+    BudgetReport,
     NotMergeableError,
     NotSerializableError,
     Sketch,
     StateChangeReport,
     StateTracker,
     StreamAlgorithm,
+    TraceBackend,
+    TrackerBackend,
+    WriteBudget,
+    WriteBudgetExceededError,
+    make_tracker,
 )
 from repro.streams import (
     FrequencyVector,
@@ -74,6 +82,9 @@ __version__ = "1.0.0"
 __all__ = [
     # NOTE: `HeavyHitters` is the algorithm class; the query types
     # (incl. the query of the same name) live in `repro.query`.
+    "AggregateBackend",
+    "BudgetBackend",
+    "BudgetReport",
     "Checkpoint",
     "Engine",
     "EntropyEstimator",
@@ -98,9 +109,14 @@ __all__ = [
     "StateChangeReport",
     "StateTracker",
     "StreamAlgorithm",
+    "TraceBackend",
+    "TrackerBackend",
     "UnsupportedQueryError",
     "Workload",
+    "WriteBudget",
+    "WriteBudgetExceededError",
     "bursty_stream",
+    "make_tracker",
     "lower_bound_pair",
     "permutation_stream",
     "phase_shift_stream",

@@ -30,6 +30,14 @@ the engine's ``n``/``m``/``seed``, and ``run(workload=Workload(...))``
 replays a fully-pinned spec — the spec string is echoed in the
 :class:`RunReport` as provenance.
 
+Accounting is pluggable per run: ``run(tracking="trace")`` keeps the
+full per-cell wear histogram, ``run(budget=WriteBudget(2048,
+"freeze"))`` enforces a cap on the run's state changes (split across
+shards), and ``run(nvm="pcm")`` prices the run on a memory technology
+via a simulated wear-leveled device — all surfaced as typed
+``RunReport`` fields (``budget``, ``shard_budgets``, ``nvm``).  The
+default is the scalar-counter aggregate backend, the fast path.
+
 Capability discovery needs no instance: :attr:`Engine.supports`
 mirrors the registry's :class:`~repro.registry.SketchSpec.supports`
 declaration, and :meth:`Engine.default_queries` builds one
@@ -43,6 +51,13 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro import registry
+from repro.nvm import (
+    NVMCostModel,
+    NVMDevice,
+    NVMRunReport,
+    price_run,
+    resolve_nvm,
+)
 from repro.query import (
     AllEstimates,
     Answer,
@@ -56,7 +71,9 @@ from repro.query import (
 )
 from repro.runtime.sharded import ShardedRunner
 from repro.state.algorithm import Sketch
+from repro.state.budget import BudgetReport, WriteBudget
 from repro.state.report import StateChangeReport
+from repro.state.tracker import TRACKING_MODES, BudgetBackend
 from repro.workloads import Workload
 
 #: Parameter-free query constructors, in presentation order (point
@@ -98,6 +115,18 @@ class RunReport:
     workload:
         Spec string of the named workload that generated the stream
         (``None`` when the caller passed an explicit stream).
+    tracking:
+        Accounting backend the shards ran on (``"aggregate"``,
+        ``"trace"``, or ``"budget"``).
+    budget:
+        The distributed run's combined
+        :class:`~repro.state.budget.BudgetReport` (limits and denials
+        summed over shards); ``None`` for unbudgeted runs.
+    shard_budgets:
+        Per-shard budget outcomes (empty for unbudgeted runs).
+    nvm:
+        The run priced on a memory technology
+        (:class:`~repro.nvm.NVMRunReport`) when ``nvm=`` was given.
     """
 
     sketch: str
@@ -112,6 +141,10 @@ class RunReport:
     skew: float
     executor: str = "serial"
     workload: str | None = None
+    tracking: str = "aggregate"
+    budget: BudgetReport | None = None
+    shard_budgets: tuple[BudgetReport, ...] = ()
+    nvm: NVMRunReport | None = None
 
     def answer(self, kind: QueryKind) -> Answer:
         """The first answer of the given kind.
@@ -126,12 +159,14 @@ class RunReport:
     def summary(self) -> str:
         """One-line human-readable run summary."""
         workload = f" workload={self.workload}" if self.workload else ""
+        budget = f" [{self.budget.summary()}]" if self.budget else ""
+        nvm = f" [{self.nvm.summary()}]" if self.nvm else ""
         return (
             f"{self.sketch}: items={self.items_processed} "
             f"shards={self.num_shards} ({self.partition}/{self.executor}) "
             f"state_changes={self.audit.state_changes} "
             f"peak_words={self.audit.peak_words} "
-            f"wall={self.wall_time_s:.3f}s{workload}"
+            f"wall={self.wall_time_s:.3f}s{workload}{budget}{nvm}"
         )
 
 
@@ -245,6 +280,12 @@ class Engine:
         queries: Sequence[Query] | None = None,
         *,
         workload: Workload | str | None = None,
+        tracking: str = "aggregate",
+        budget: WriteBudget | int | None = None,
+        budget_split: str = "even",
+        nvm: str | NVMCostModel | None = None,
+        nvm_cells: int = 1024,
+        nvm_wear_leveling: str = "round-robin",
     ) -> RunReport:
         """Ingest a stream, merge-reduce, answer ``queries``.
 
@@ -259,11 +300,63 @@ class Engine:
         The ingestion always goes through the sharded runtime — one
         shard degenerates to plain batched ingestion — so audits are
         comparable across shard counts by construction.
+
+        Accounting is pluggable per run: ``tracking`` selects the
+        backend (``"aggregate"`` — the fast-path default — ``"trace"``
+        for per-cell wear histograms, ``"budget"``), ``budget`` caps
+        the run's state changes with a
+        :class:`~repro.state.budget.WriteBudget` (an int means
+        ``WriteBudget(limit)`` with the default ``raise`` policy),
+        split across shards per ``budget_split``
+        (``"even"``/``"replicate"``), and ``nvm`` prices the run on a
+        memory technology (``"pcm"``/``"nand"``/``"dram"`` or an
+        :class:`~repro.nvm.NVMCostModel`) by attaching an
+        :class:`~repro.nvm.NVMDevice` of ``nvm_cells`` physical cells
+        to every shard's write trace — which requires the trace
+        backend (implied) and the serial executor (listeners cannot
+        cross a process pool), and is incompatible with a budget.
         """
         if (stream is None) == (workload is None):
             raise ValueError(
                 "pass exactly one of stream= or workload= to Engine.run"
             )
+        if tracking not in TRACKING_MODES:
+            raise ValueError(
+                f"unknown tracking mode {tracking!r}; "
+                f"choose from {TRACKING_MODES}"
+            )
+        if budget is not None:
+            if tracking == "trace":
+                raise ValueError(
+                    "a write budget runs on the 'budget' backend, which "
+                    "keeps no per-cell trace; drop tracking= or pass "
+                    "tracking='budget'"
+                )
+            if not isinstance(budget, WriteBudget):
+                budget = WriteBudget(budget)
+        device = None
+        nvm_model = None
+        if nvm is not None:
+            nvm_model = resolve_nvm(nvm)
+            if budget is not None or tracking == "budget":
+                raise ValueError(
+                    "nvm= needs the write trace of the trace backend; "
+                    "it cannot be combined with a write budget"
+                )
+            if self.executor != "serial":
+                raise ValueError(
+                    "nvm= attaches write listeners, which cannot cross "
+                    "a process pool; use executor='serial'"
+                )
+            tracking = "trace"
+            device = NVMDevice(
+                nvm_cells,
+                nvm_model,
+                wear_leveling=nvm_wear_leveling,
+                seed=self.seed,
+            )
+        if budget is not None:
+            tracking = "budget"
         workload_name = None
         if workload is not None:
             if isinstance(workload, str):
@@ -283,11 +376,25 @@ class Engine:
             batch_size=self.batch_size,
             executor=self.executor,
             max_workers=self.max_workers,
+            tracking=tracking,
+            budget=budget,
+            budget_split=budget_split,
         )
+        if device is not None:
+            for shard in runner.shards:
+                device.attach(shard.tracker)
         start = time.perf_counter()
         result = runner.run(stream)
         wall_time_s = time.perf_counter() - start
         self._merged = result.merged
+
+        merged_budget = None
+        merged_tracker = result.merged.tracker
+        if isinstance(merged_tracker, BudgetBackend):
+            merged_budget = merged_tracker.budget_report()
+        nvm_report = None
+        if device is not None and nvm_model is not None:
+            nvm_report = price_run(nvm_model, result.merged_report, device)
 
         if queries is None:
             queries = self.default_queries()
@@ -305,6 +412,14 @@ class Engine:
             skew=result.skew,
             executor=self.executor,
             workload=workload_name,
+            tracking=tracking,
+            budget=merged_budget,
+            shard_budgets=tuple(
+                report
+                for report in result.budget_reports
+                if report is not None
+            ),
+            nvm=nvm_report,
         )
 
     # ------------------------------------------------------------------

@@ -27,11 +27,13 @@ and (if mergeable) ``shard``.
 from __future__ import annotations
 
 import argparse
+import importlib.metadata
 import sys
 from typing import Sequence
 
 from repro import registry, workloads
 from repro.api import Engine
+from repro.nvm import NVM_PRESETS
 from repro.query import (
     AllEstimates,
     Distinct,
@@ -40,7 +42,24 @@ from repro.query import (
     Moment,
     QueryKind,
 )
+from repro.state import (
+    BUDGET_POLICIES,
+    TRACKING_MODES,
+    WriteBudget,
+    WriteBudgetExceededError,
+)
 from repro.streams import FrequencyVector
+
+
+def _version() -> str:
+    """Installed distribution version, falling back to the package's
+    own ``__version__`` for PYTHONPATH-based checkouts."""
+    try:
+        return importlib.metadata.version("repro")
+    except importlib.metadata.PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
 
 
 def _build_engine(name: str, **kwargs) -> Engine:
@@ -135,7 +154,9 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         epsilon=args.epsilon,
         seed=args.seed,
     )
-    report = engine.run(stream, queries=())
+    # The audit is the whole point here, so run on the trace backend
+    # (per-cell wear histograms are worth the slower ingest).
+    report = engine.run(stream, queries=(), tracking="trace")
     print(f"algorithm: {args.algorithm}")
     print(f"audit:     {report.audit.summary()}")
     print(f"writes:    {report.audit.total_writes} "
@@ -174,11 +195,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         params=_workload_params(args),
     )
+    budget = None
+    if args.budget is not None:
+        if args.budget < 0:
+            raise SystemExit(f"--budget must be >= 0: {args.budget}")
+        budget = WriteBudget(args.budget, args.budget_policy)
     try:
-        report = engine.run(workload=workload)
+        report = engine.run(
+            workload=workload,
+            tracking=args.tracking,
+            budget=budget,
+            budget_split=args.budget_split,
+            nvm=args.nvm,
+            nvm_cells=args.nvm_cells,
+        )
+    except WriteBudgetExceededError as error:
+        # policy="raise" doing its job: surface the abort, not a trace.
+        raise SystemExit(f"aborted: {error}") from None
     except (ValueError, OSError) as error:
         # e.g. trace-replay without a file, or an unreadable trace.
         raise SystemExit(str(error)) from None
+    # report.summary() already carries the bracketed budget/NVM
+    # outcome, so only the audit and per-shard details get own lines.
     print(report.summary())
     print(f"audit:   {report.audit.summary()}")
     if args.shards > 1:
@@ -187,6 +225,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         print(f"shards:  state_changes=[{per_shard}] "
               f"skew={report.skew:.2f}")
+        if report.shard_budgets:
+            per_budget = ", ".join(
+                f"{b.state_changes}/"
+                f"{'inf' if b.limit == float('inf') else int(b.limit)}"
+                for b in report.shard_budgets
+            )
+            print(f"         budgets=[{per_budget}]")
     _print_answers(engine)
     return 0
 
@@ -299,6 +344,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Streaming algorithms with few state changes "
         "(PODS 2024 reproduction)",
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_version()}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     audit = sub.add_parser("audit", help="run one algorithm, print its audit")
@@ -337,6 +387,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skew override for skew-parameterized scenarios")
     run.add_argument("--epsilon", type=float, default=0.5)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--tracking", default="aggregate",
+                     choices=list(TRACKING_MODES),
+                     help="state-accounting backend for the run")
+    run.add_argument("--budget", type=int, default=None,
+                     help="cap on state changes (enforced by the "
+                          "budget backend)")
+    run.add_argument("--budget-policy", default="raise",
+                     choices=list(BUDGET_POLICIES),
+                     help="what happens past the budget")
+    run.add_argument("--budget-split", default="even",
+                     choices=["even", "replicate"],
+                     help="divide the budget across shards, or give "
+                          "each shard the full limit")
+    run.add_argument("--nvm", default=None,
+                     choices=sorted(NVM_PRESETS),
+                     help="price the run on a memory technology "
+                          "(implies --tracking trace, serial executor)")
+    run.add_argument("--nvm-cells", type=int, default=1024,
+                     help="physical cells of the simulated NVM device")
     run.set_defaults(func=_cmd_run)
 
     shard = sub.add_parser(

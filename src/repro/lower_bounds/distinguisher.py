@@ -70,9 +70,11 @@ class SampledDistinguisher(StreamAlgorithm):
             return
         if item in self._samples:
             # Reads are free; the duplicate flag is one tracked write.
-            if not self._duplicate_seen:
+            # mark_dirty() may deny the write under an enforced budget
+            # backend, in which case the flag must stay unset — the
+            # strawman is only allowed evidence it paid for.
+            if not self._duplicate_seen and self.tracker.mark_dirty():
                 self._duplicate_seen = True
-                self.tracker.mark_dirty()
             return
         self._samples[item] = 1
 

@@ -2,6 +2,22 @@
 measurable (experiment A3)."""
 
 from repro.nvm.cost_model import DRAM, NAND_FLASH, PCM, NVMCostModel
-from repro.nvm.device import NVMDevice
+from repro.nvm.device import (
+    NVM_PRESETS,
+    NVMDevice,
+    NVMRunReport,
+    price_run,
+    resolve_nvm,
+)
 
-__all__ = ["DRAM", "NAND_FLASH", "PCM", "NVMCostModel", "NVMDevice"]
+__all__ = [
+    "DRAM",
+    "NAND_FLASH",
+    "NVM_PRESETS",
+    "NVMCostModel",
+    "NVMDevice",
+    "NVMRunReport",
+    "PCM",
+    "price_run",
+    "resolve_nvm",
+]

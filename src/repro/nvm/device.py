@@ -22,11 +22,35 @@ device survives before its first cell exceeds endurance.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 
-from repro.nvm.cost_model import NVMCostModel
+from repro.nvm.cost_model import DRAM, NAND_FLASH, PCM, NVMCostModel
+from repro.state.report import StateChangeReport
 from repro.state.tracker import StateTracker
 
 _POLICIES = ("none", "round-robin", "random")
+
+#: Named technology presets accepted wherever an ``nvm=`` knob exists
+#: (the :class:`~repro.api.Engine`, the CLI).
+NVM_PRESETS: dict[str, NVMCostModel] = {
+    "pcm": PCM,
+    "nand": NAND_FLASH,
+    "dram": DRAM,
+}
+
+
+def resolve_nvm(model: str | NVMCostModel) -> NVMCostModel:
+    """Accept a preset name (``"pcm"``/``"nand"``/``"dram"``) or a
+    fully-specified :class:`NVMCostModel`."""
+    if isinstance(model, NVMCostModel):
+        return model
+    try:
+        return NVM_PRESETS[model.lower()]
+    except (KeyError, AttributeError):
+        raise ValueError(
+            f"unknown NVM preset {model!r}; choose from "
+            f"{sorted(NVM_PRESETS)} or pass an NVMCostModel"
+        ) from None
 
 
 class NVMDevice:
@@ -73,8 +97,19 @@ class NVMDevice:
     # Write trace consumption
     # ------------------------------------------------------------------
     def attach(self, tracker: StateTracker) -> None:
-        """Subscribe to a tracker's write trace."""
-        tracker.add_listener(self.on_write)
+        """Subscribe to a tracker's write trace.
+
+        Only the trace backend exposes a write trace; attaching to an
+        aggregate or budget backend is rejected with guidance.
+        """
+        add_listener = getattr(tracker, "add_listener", None)
+        if add_listener is None:
+            raise TypeError(
+                f"{type(tracker).__name__} has no write trace to "
+                f"observe; run the sketch on a TraceBackend "
+                f"(tracking='trace') to drive an NVM device"
+            )
+        add_listener(self.on_write)
 
     def on_write(self, timestep: int, cell_id: str, mutated: bool) -> None:
         """Tracker listener: wear one physical cell per write."""
@@ -134,3 +169,56 @@ class NVMDevice:
         if self.max_wear == 0:
             return float("inf")
         return self.cost_model.endurance / self.max_wear
+
+
+@dataclass(frozen=True)
+class NVMRunReport:
+    """One run priced on one memory technology.
+
+    Produced by :func:`price_run` and surfaced in
+    :class:`~repro.api.RunReport` when the Engine runs with
+    ``nvm=...``: the energy/latency totals come from the state-change
+    audit through the :class:`NVMCostModel`, the wear figures from the
+    cell-level :class:`NVMDevice` that observed the write trace.
+    """
+
+    model: str
+    energy_nj: float
+    latency_ns: float
+    device_writes: int
+    max_wear: int
+    wear_imbalance: float
+    lifetime_workloads: float
+
+    def summary(self) -> str:
+        """One-line human-readable pricing summary."""
+        lifetime = (
+            "inf"
+            if self.lifetime_workloads == float("inf")
+            else f"{self.lifetime_workloads:.3g}"
+        )
+        return (
+            f"nvm={self.model} energy={self.energy_nj:.4g}nJ "
+            f"latency={self.latency_ns:.4g}ns "
+            f"max_wear={self.max_wear} "
+            f"imbalance={self.wear_imbalance:.2f} "
+            f"lifetime={lifetime} workloads"
+        )
+
+
+def price_run(
+    model: NVMCostModel,
+    report: StateChangeReport,
+    device: NVMDevice,
+    reads_per_update: float = 2.0,
+) -> NVMRunReport:
+    """Price an audited run on ``model`` using ``device``'s wear."""
+    return NVMRunReport(
+        model=model.name,
+        energy_nj=model.energy_nj(report, reads_per_update),
+        latency_ns=model.latency_ns(report, reads_per_update),
+        device_writes=device.total_writes,
+        max_wear=device.max_wear,
+        wear_imbalance=device.wear_imbalance,
+        lifetime_workloads=device.lifetime_workloads(),
+    )

@@ -45,6 +45,7 @@ from repro.core.entropy import EntropyEstimator
 from repro.core.fp_pstable import PStableFpEstimator
 from repro.query import QueryKind
 from repro.state.algorithm import Sketch
+from repro.state.tracker import TrackerBackend
 
 #: Factory signature shared by every registry entry.
 SketchFactory = Callable[..., Sketch]
@@ -127,9 +128,17 @@ def create(
     m: int = 65536,
     epsilon: float = 0.5,
     seed: int = 0,
+    tracker: TrackerBackend | None = None,
 ) -> Sketch:
-    """Build a fresh sketch by registry name with uniform sizing hints."""
-    return spec(name).factory(n=n, m=m, epsilon=epsilon, seed=seed)
+    """Build a fresh sketch by registry name with uniform sizing hints.
+
+    ``tracker`` selects the accounting backend the sketch runs on (see
+    :func:`repro.state.tracker.make_tracker`); ``None`` keeps each
+    class's default — the full-trace ``StateTracker``.
+    """
+    return spec(name).factory(
+        n=n, m=m, epsilon=epsilon, seed=seed, tracker=tracker
+    )
 
 
 def sketch_class(state_name: str) -> type:
@@ -149,8 +158,8 @@ def sketch_class(state_name: str) -> type:
 register(
     "heavy-hitters",
     HeavyHitters,
-    lambda n, m, epsilon, seed: HeavyHitters(
-        n=n, m=m, p=2, epsilon=epsilon, seed=seed,
+    lambda n, m, epsilon, seed, tracker=None: HeavyHitters(
+        n=n, m=m, p=2, epsilon=epsilon, seed=seed, tracker=tracker,
         inner_kwargs={"repetitions": 1},
     ),
     "Lp heavy hitters with few state changes (Theorem 1.1)",
@@ -158,114 +167,123 @@ register(
 register(
     "sample-and-hold",
     FullSampleAndHold,
-    lambda n, m, epsilon, seed: FullSampleAndHold(
-        n=n, m=m, p=2, epsilon=epsilon, seed=seed, repetitions=1
+    lambda n, m, epsilon, seed, tracker=None: FullSampleAndHold(
+        n=n, m=m, p=2, epsilon=epsilon, seed=seed, repetitions=1,
+        tracker=tracker,
     ),
     "Algorithm 2: level grid of SampleAndHold instances",
 )
 register(
     "adaptive-sample-and-hold",
     AdaptiveFullSampleAndHold,
-    lambda n, m, epsilon, seed: AdaptiveFullSampleAndHold(
-        n=n, p=2, epsilon=epsilon, seed=seed
+    lambda n, m, epsilon, seed, tracker=None: AdaptiveFullSampleAndHold(
+        n=n, p=2, epsilon=epsilon, seed=seed, tracker=tracker
     ),
     "Algorithm 2 with the doubling trick for unknown stream length",
 )
 register(
     "misra-gries",
     MisraGries,
-    lambda n, m, epsilon, seed: MisraGries(k=max(2, int(2 / epsilon))),
+    lambda n, m, epsilon, seed, tracker=None: MisraGries(
+        k=max(2, int(2 / epsilon)), tracker=tracker
+    ),
     "deterministic heavy hitters, Theta(m) state changes",
 )
 register(
     "space-saving",
     SpaceSaving,
-    lambda n, m, epsilon, seed: SpaceSaving(k=max(1, int(2 / epsilon))),
+    lambda n, m, epsilon, seed, tracker=None: SpaceSaving(
+        k=max(1, int(2 / epsilon)), tracker=tracker
+    ),
     "top-k overestimating counters, Theta(m) state changes",
 )
 register(
     "count-min",
     CountMin,
-    lambda n, m, epsilon, seed: CountMin.for_accuracy(epsilon, seed=seed),
+    lambda n, m, epsilon, seed, tracker=None: CountMin.for_accuracy(
+        epsilon, seed=seed, tracker=tracker
+    ),
     "classic CountMin sketch (linear, mergeable)",
 )
 register(
     "count-min-morris",
     CountMinMorris,
-    lambda n, m, epsilon, seed: CountMinMorris.for_accuracy(
-        epsilon, seed=seed
+    lambda n, m, epsilon, seed, tracker=None: CountMinMorris.for_accuracy(
+        epsilon, seed=seed, tracker=tracker
     ),
     "CountMin with Morris-counter cells (ablation A4)",
 )
 register(
     "count-sketch",
     CountSketch,
-    lambda n, m, epsilon, seed: CountSketch.for_accuracy(
-        max(0.2, epsilon), seed=seed
+    lambda n, m, epsilon, seed, tracker=None: CountSketch.for_accuracy(
+        max(0.2, epsilon), seed=seed, tracker=tracker
     ),
     "classic CountSketch (linear, mergeable)",
 )
 register(
     "ams",
     AMSSketch,
-    lambda n, m, epsilon, seed: AMSSketch.for_accuracy(
-        max(0.25, epsilon), seed=seed
+    lambda n, m, epsilon, seed, tracker=None: AMSSketch.for_accuracy(
+        max(0.25, epsilon), seed=seed, tracker=tracker
     ),
     "AMS F2 estimator (linear, mergeable)",
 )
 register(
     "exact",
     ExactFrequencyCounter,
-    lambda n, m, epsilon, seed: ExactFrequencyCounter(),
+    lambda n, m, epsilon, seed, tracker=None: ExactFrequencyCounter(tracker=tracker),
     "exact dictionary counts: zero error, m state changes",
 )
 register(
     "kmv",
     KMVDistinctElements,
-    lambda n, m, epsilon, seed: KMVDistinctElements.for_accuracy(
-        max(0.05, epsilon / 4), seed=seed
+    lambda n, m, epsilon, seed, tracker=None: KMVDistinctElements.for_accuracy(
+        max(0.05, epsilon / 4), seed=seed, tracker=tracker
     ),
     "k-minimum-values distinct elements (mergeable)",
 )
 register(
     "pstable-fp",
     PStableFpEstimator,
-    lambda n, m, epsilon, seed: PStableFpEstimator(
-        p=1.0, epsilon=max(0.2, epsilon), seed=seed
+    lambda n, m, epsilon, seed, tracker=None: PStableFpEstimator(
+        p=1.0, epsilon=max(0.2, epsilon), seed=seed, tracker=tracker
     ),
     "p-stable Fp sketch on Morris counters (Theorem 3.2)",
 )
 register(
     "entropy",
     EntropyEstimator,
-    lambda n, m, epsilon, seed: EntropyEstimator(
-        m=max(2, m), epsilon=min(1.0, max(0.1, epsilon)), seed=seed
+    lambda n, m, epsilon, seed, tracker=None: EntropyEstimator(
+        m=max(2, m), epsilon=min(1.0, max(0.1, epsilon)), seed=seed,
+        tracker=tracker,
     ),
     "Shannon entropy via interpolated moments (Theorem 3.8)",
 )
 register(
     "reservoir",
     ReservoirSampler,
-    lambda n, m, epsilon, seed: ReservoirSampler(
-        k=max(1, int(2 / epsilon)), seed=seed
+    lambda n, m, epsilon, seed, tracker=None: ReservoirSampler(
+        k=max(1, int(2 / epsilon)), seed=seed, tracker=tracker
     ),
     "uniform reservoir sample (Algorithm R)",
 )
 register(
     "naive-sample-hold",
     NaiveSampleAndHold,
-    lambda n, m, epsilon, seed: NaiveSampleAndHold(
+    lambda n, m, epsilon, seed, tracker=None: NaiveSampleAndHold(
         sample_probability=min(1.0, 64.0 / max(1, m)),
         capacity=max(2, int(2 / epsilon)),
         seed=seed,
+        tracker=tracker,
     ),
     "[EV02]-style sample-and-hold with global eviction (ablation A2)",
 )
 register(
     "support-recovery",
     SparseSupportRecovery,
-    lambda n, m, epsilon, seed: SparseSupportRecovery(
-        k=max(1, int(1 / epsilon))
+    lambda n, m, epsilon, seed, tracker=None: SparseSupportRecovery(
+        k=max(1, int(1 / epsilon)), tracker=tracker
     ),
     "exact support of k-sparse streams",
 )

@@ -26,6 +26,16 @@ Per-shard write budgets: the paper's state-change accounting extends
 naturally to shards — each shard's tracker measures its own
 ``sum_t X_t``, and :attr:`ShardedRunResult.shard_reports` exposes them
 so a deployment can bound per-device wear, not just the total.
+Budgets are *enforceable*, not just observable:
+:meth:`ShardedRunner.from_registry` accepts a
+:class:`~repro.state.budget.WriteBudget` plus a split policy —
+``"even"`` divides a global limit across the shards (the shard limits
+sum to the global one exactly), ``"replicate"`` gives every shard the
+full limit (a per-device cap) — and each shard then runs on its own
+:class:`~repro.state.tracker.BudgetBackend`.  The ``tracking``
+argument picks the accounting backend for unbudgeted runs
+(``"aggregate"`` — the fast-path default — or ``"trace"`` for
+per-cell wear histograms).
 
 Two executors decide *where* the per-shard ingest runs:
 
@@ -48,7 +58,9 @@ from repro import registry
 from repro.hashing.prime_field import KWiseHash
 from repro.runtime.parallel import run_shard_tasks
 from repro.state.algorithm import NotMergeableError, Sketch
+from repro.state.budget import BudgetReport, WriteBudget
 from repro.state.report import StateChangeReport
+from repro.state.tracker import BudgetBackend, make_tracker
 
 #: Builds the shard with the given index; shards must be mutually
 #: merge-compatible (same type, same hash seeds, separate trackers).
@@ -80,6 +92,9 @@ class ShardedRunResult:
         Per-shard audits (per-shard write budgets live here).
     shard_items:
         Updates routed to each shard.
+    budget_reports:
+        Per-shard :class:`~repro.state.budget.BudgetReport` values when
+        the shards ran on budget backends; ``None`` entries otherwise.
     """
 
     num_shards: int
@@ -88,6 +103,7 @@ class ShardedRunResult:
     merged_report: StateChangeReport
     shard_reports: tuple[StateChangeReport, ...]
     shard_items: tuple[int, ...]
+    budget_reports: tuple[BudgetReport | None, ...] = ()
 
     @property
     def skew(self) -> float:
@@ -187,6 +203,7 @@ class ShardedRunner:
         self._shard_items = [0] * num_shards
         self._merged: Sketch | None = None
         self._premerge_reports: tuple[StateChangeReport, ...] = ()
+        self._premerge_budgets: tuple[BudgetReport | None, ...] = ()
         self._dispatched = False  # process executor ran its pool
 
     @classmethod
@@ -202,15 +219,36 @@ class ShardedRunner:
         batch_size: int = 1024,
         executor: str = "serial",
         max_workers: int | None = None,
+        tracking: str = "aggregate",
+        budget: WriteBudget | int | None = None,
+        budget_split: str = "even",
     ) -> "ShardedRunner":
         """Runner whose shards come from :mod:`repro.registry`.
 
         Every shard is built with the *same* ``seed`` so the shards
-        share hash functions and merge losslessly.
+        share hash functions and merge losslessly.  ``tracking``
+        selects the accounting backend of every shard (the runtime
+        defaults to the aggregate fast path); passing a ``budget``
+        switches the shards to budget backends, with the global limit
+        divided per ``budget_split`` (``"even"`` — shard limits sum to
+        the global limit — or ``"replicate"`` — every shard gets the
+        full limit).
         """
+        budgets: tuple[WriteBudget | None, ...]
+        if budget is not None:
+            if not isinstance(budget, WriteBudget):
+                budget = WriteBudget(budget)
+            budgets = budget.split(num_shards, how=budget_split)
+        else:
+            budgets = (None,) * num_shards
         return cls(
             lambda index: registry.create(
-                name, n=n, m=m, epsilon=epsilon, seed=seed
+                name,
+                n=n,
+                m=m,
+                epsilon=epsilon,
+                seed=seed,
+                tracker=make_tracker(tracking, budget=budgets[index]),
             ),
             num_shards=num_shards,
             partition=partition,
@@ -332,6 +370,9 @@ class ShardedRunner:
             self._premerge_reports = tuple(
                 shard.report() for shard in self._shards
             )
+            self._premerge_budgets = tuple(
+                self._shard_budget(shard) for shard in self._shards
+            )
             level = list(self._shards)
             while len(level) > 1:
                 merged_level = []
@@ -369,6 +410,24 @@ class ShardedRunner:
         self._execute()
         return tuple(shard.report() for shard in self._shards)
 
+    @staticmethod
+    def _shard_budget(shard: Sketch) -> BudgetReport | None:
+        tracker = shard.tracker
+        if isinstance(tracker, BudgetBackend):
+            return tracker.budget_report()
+        return None
+
+    def budget_reports(self) -> tuple[BudgetReport | None, ...]:
+        """Per-shard budget outcomes (``None`` for unbudgeted shards).
+
+        Like :meth:`shard_reports`, answers come from the pre-merge
+        snapshot once the shards have been reduced.
+        """
+        if self._merged is not None:
+            return self._premerge_budgets
+        self._execute()
+        return tuple(self._shard_budget(shard) for shard in self._shards)
+
     def skew(self) -> float:
         """Max-over-mean shard load (1.0 = perfectly balanced)."""
         return _load_skew(self._shard_items)
@@ -386,4 +445,5 @@ class ShardedRunner:
             merged_report=merged.report(),
             shard_reports=shard_reports,
             shard_items=shard_items,
+            budget_reports=self.budget_reports(),
         )

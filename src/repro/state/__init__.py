@@ -1,10 +1,17 @@
 """State-change accounting substrate (the paper's Section 1.5 cost model).
 
 All algorithms in :mod:`repro` keep their working memory in tracked
-registers bound to a :class:`StateTracker`, so that the number of
-internal state changes, the per-cell write histogram, and the peak space
-in words are measured uniformly across the paper's algorithms and the
+registers bound to a tracker backend, so that the number of internal
+state changes, the per-cell write histogram, and the peak space in
+words are measured uniformly across the paper's algorithms and the
 Table 1 baselines.
+
+Accounting is pluggable (:mod:`repro.state.tracker`): the
+:class:`AggregateBackend` fast path keeps scalar counters only, the
+:class:`TraceBackend` (historically ``StateTracker``) adds the
+per-cell wear histogram and write listeners, and the
+:class:`BudgetBackend` enforces a :class:`WriteBudget` over the run's
+state changes (:mod:`repro.state.budget`).
 """
 
 from repro.state.algorithm import (
@@ -13,18 +20,44 @@ from repro.state.algorithm import (
     Sketch,
     StreamAlgorithm,
 )
+from repro.state.budget import (
+    BUDGET_POLICIES,
+    BudgetReport,
+    WriteBudget,
+    WriteBudgetExceededError,
+)
 from repro.state.registers import TrackedArray, TrackedDict, TrackedValue
 from repro.state.report import StateChangeReport
-from repro.state.tracker import StateTracker
+from repro.state.tracker import (
+    TRACKING_MODES,
+    AggregateBackend,
+    BudgetBackend,
+    StateTracker,
+    TraceBackend,
+    TrackerBackend,
+    make_tracker,
+    tracker_from_state,
+)
 
 __all__ = [
+    "AggregateBackend",
+    "BUDGET_POLICIES",
+    "BudgetBackend",
+    "BudgetReport",
     "NotMergeableError",
     "NotSerializableError",
     "Sketch",
     "StateChangeReport",
     "StateTracker",
     "StreamAlgorithm",
+    "TRACKING_MODES",
+    "TraceBackend",
     "TrackedArray",
     "TrackedDict",
     "TrackedValue",
+    "TrackerBackend",
+    "WriteBudget",
+    "WriteBudgetExceededError",
+    "make_tracker",
+    "tracker_from_state",
 ]

@@ -61,7 +61,7 @@ from repro.query import (
     UnsupportedQueryError,
 )
 from repro.state.report import StateChangeReport
-from repro.state.tracker import StateTracker
+from repro.state.tracker import StateTracker, tracker_from_state
 
 
 class NotMergeableError(TypeError):
@@ -112,8 +112,15 @@ class Sketch(abc.ABC):
     # Stream interface
     # ------------------------------------------------------------------
     def process(self, item: int) -> None:
-        """Feed one stream update and advance the state-change clock."""
-        self._update(item)
+        """Feed one stream update and advance the state-change clock.
+
+        Budget backends are consulted before the update runs: a denied
+        update is skipped wholesale (no partially-applied mutations)
+        while its tick still advances the stream clock with ``X_t = 0``.
+        """
+        admit = getattr(self.tracker, "admit_update", None)
+        if admit is None or admit():
+            self._update(item)
         self.tracker.tick()
         self._items_processed += 1
 
@@ -124,15 +131,26 @@ class Sketch(abc.ABC):
         a loop — one ``tick()`` per item — but the hot loop binds the
         update and tick callables once, which removes most of the
         per-item attribute-lookup and method-call overhead (see
-        ``benchmarks/bench_throughput.py``).
+        ``benchmarks/bench_throughput.py``).  Only budget backends
+        define the update-admission gate, so the common backends pay
+        nothing for enforcement.
         """
         update = self._update
-        tick = self.tracker.tick
+        tracker = self.tracker
+        tick = tracker.tick
+        admit = getattr(tracker, "admit_update", None)
         count = 0
-        for item in items:
-            update(item)
-            tick()
-            count += 1
+        if admit is None:
+            for item in items:
+                update(item)
+                tick()
+                count += 1
+        else:
+            for item in items:
+                if admit():
+                    update(item)
+                tick()
+                count += 1
         self._items_processed += count
         return count
 
@@ -278,6 +296,12 @@ class Sketch(abc.ABC):
         ``self._rng`` (Morris counters) is restored to its snapshotted
         generator state, so post-restore coin flips *resume* the
         original sequence bit for bit.
+
+        Accounting backends round-trip too: with ``tracker=None`` the
+        restored sketch runs on the same backend the snapshot came
+        from (aggregate / trace / budget, including the budget's
+        remaining headroom), rebuilt via
+        :func:`~repro.state.tracker.tracker_from_state`.
         """
         algorithm = state.get("algorithm")
         if algorithm != cls.__name__:
@@ -285,7 +309,10 @@ class Sketch(abc.ABC):
                 f"state is for {algorithm!r}, not {cls.__name__!r}"
             )
         base_words = tracker.current_words if tracker is not None else 0
-        instance = cls(tracker=tracker, **state["config"])
+        own_tracker = tracker
+        if own_tracker is None and state.get("audit") is not None:
+            own_tracker = tracker_from_state(state["audit"])
+        instance = cls(tracker=own_tracker, **state["config"])
         instance._load_payload(state["payload"])
         instance._items_processed = int(state.get("items_processed", 0))
         rng_state = state.get("rng")

@@ -1,0 +1,174 @@
+"""Write budgets: the lower-bound cost measure made enforceable.
+
+Theorem 1.2/1.4 lower-bound any ``(2-eps)``-approximation of ``Fp`` by
+the number of internal state changes it performs (``>= n^{1-1/p}/2``).
+:class:`WriteBudget` turns that measure into a runtime contract: a
+sketch running on a :class:`~repro.state.tracker.BudgetBackend` may
+change state at most ``limit`` times, and the ``policy`` decides what
+happens to the updates that would exceed it:
+
+* ``"raise"``   — abort the run with :class:`WriteBudgetExceededError`
+  at the first update that would cause state change ``limit + 1``
+  (hard real-time / wear-critical deployments).
+* ``"freeze"``  — stop mutating: once ``limit`` state changes have
+  happened the sketch's memory is read-only and later updates are
+  skipped; queries keep answering from the frozen state.  This is the
+  policy the lower-bound experiments run under — it realizes exactly
+  the "algorithm with at most ``B`` state changes" the theorems
+  quantify over.
+* ``"degrade"`` — admit a geometrically thinning trickle of updates
+  after exhaustion (the 1st, then the 2nd, 4th, 8th, … denied update
+  is admitted), so the sketch stays loosely fresh at ``limit +
+  O(log overage)`` total state changes.
+
+Budgets are frozen values: :meth:`WriteBudget.split` derives the
+per-shard budgets of a distributed run without mutating the global
+one, and :class:`BudgetReport` is the read-only outcome attached to
+run reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Valid enforcement policies, in documentation order.
+BUDGET_POLICIES = ("raise", "freeze", "degrade")
+
+
+class WriteBudgetExceededError(RuntimeError):
+    """A ``policy="raise"`` budget saw one state change too many."""
+
+    def __init__(self, limit: float, timestep: int) -> None:
+        super().__init__(
+            f"write budget of {limit:g} state changes exceeded at "
+            f"stream position {timestep}"
+        )
+        self.limit = limit
+        self.timestep = timestep
+
+    def __reduce__(self):
+        # Pickle as the constructor arguments, not the formatted
+        # message: a budget tripping inside a process-pool worker must
+        # unpickle cleanly in the parent or the pool hangs.
+        return (type(self), (self.limit, self.timestep))
+
+
+@dataclass(frozen=True)
+class WriteBudget:
+    """An enforceable cap on a run's internal state changes.
+
+    Attributes
+    ----------
+    limit:
+        Maximum admitted state changes; ``math.inf`` disables
+        enforcement (useful for equivalence testing — an unlimited
+        budget backend must audit identically to the other backends).
+    policy:
+        ``"raise"``, ``"freeze"``, or ``"degrade"`` (see module docs).
+    """
+
+    limit: float
+    policy: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.policy not in BUDGET_POLICIES:
+            raise ValueError(
+                f"unknown budget policy {self.policy!r}; "
+                f"choose from {BUDGET_POLICIES}"
+            )
+        limit = self.limit
+        if limit != math.inf and (
+            limit < 0 or int(limit) != limit
+        ):
+            raise ValueError(
+                f"budget limit must be a non-negative integer or "
+                f"math.inf: {limit!r}"
+            )
+
+    @property
+    def unlimited(self) -> bool:
+        """Whether this budget never denies anything."""
+        return self.limit == math.inf
+
+    def split(self, shards: int, how: str = "even") -> tuple["WriteBudget", ...]:
+        """Per-shard budgets of a ``shards``-way distributed run.
+
+        ``how="even"`` treats the limit as *global*: it is divided as
+        evenly as possible (the first ``limit % shards`` shards get one
+        extra state change), so the shard limits sum to the global
+        limit exactly.  ``how="replicate"`` treats the limit as
+        *per-device*: every shard receives the full limit (the NVM
+        wear reading, where each shard lives on its own device).
+        """
+        if shards < 1:
+            raise ValueError(f"need at least one shard: {shards}")
+        if how == "replicate" or self.unlimited:
+            return tuple(
+                WriteBudget(self.limit, self.policy) for _ in range(shards)
+            )
+        if how != "even":
+            raise ValueError(
+                f"unknown budget split {how!r}; "
+                f"choose from ('even', 'replicate')"
+            )
+        base, extra = divmod(int(self.limit), shards)
+        return tuple(
+            WriteBudget(base + (1 if index < extra else 0), self.policy)
+            for index in range(shards)
+        )
+
+    def describe(self) -> str:
+        """Short provenance string echoed in run reports."""
+        limit = "inf" if self.unlimited else f"{int(self.limit)}"
+        return f"budget({limit}, {self.policy})"
+
+
+@dataclass(frozen=True)
+class BudgetReport:
+    """How one budgeted run spent its write budget.
+
+    Attributes
+    ----------
+    limit / policy:
+        The enforced budget (limits of merged shard reports add).
+    state_changes:
+        State changes actually admitted.
+    denied:
+        Updates (or direct writes) the policy turned away.
+    exhausted:
+        Whether the run hit its limit.
+    """
+
+    limit: float
+    policy: str
+    state_changes: int
+    denied: int
+    exhausted: bool
+
+    @property
+    def remaining(self) -> float:
+        """State changes still admissible (``inf`` when unlimited)."""
+        if self.limit == math.inf:
+            return math.inf
+        return max(0.0, self.limit - self.state_changes)
+
+    def summary(self) -> str:
+        """One-line human-readable budget outcome."""
+        limit = "inf" if self.limit == math.inf else f"{int(self.limit)}"
+        remaining = (
+            "inf" if self.remaining == math.inf else f"{int(self.remaining)}"
+        )
+        return (
+            f"budget={limit} ({self.policy}) "
+            f"used={self.state_changes} remaining={remaining} "
+            f"denied={self.denied} exhausted={self.exhausted}"
+        )
+
+
+__all__ = [
+    "BUDGET_POLICIES",
+    "BudgetReport",
+    "WriteBudget",
+    "WriteBudgetExceededError",
+]

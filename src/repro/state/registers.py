@@ -9,18 +9,28 @@ Three container shapes cover every algorithm in the library:
   charged against the space budget (the hold-counter table, Misra-Gries
   summaries).
 
-Every mutation is routed through the owning
-:class:`~repro.state.tracker.StateTracker`, which decides whether the
-write changed the state.  Writes of an identical value are "silent":
-they cost a write *attempt* but not a state change, matching the
-paper's definition that ``X_t = 1`` only when ``sigma_t != sigma_{t-1}``.
+Every mutation is routed through the owning tracker backend
+(:mod:`repro.state.tracker`), which decides whether the write changed
+the state — and, for budget backends, whether it may be *applied* at
+all: the write methods consult the backend before storing, so an
+exhausted :class:`~repro.state.tracker.BudgetBackend` can refuse
+mutations and the register contents stay exactly as audited.  Writes
+of an identical value are "silent": they cost a write *attempt* but
+not a state change, matching the paper's definition that ``X_t = 1``
+only when ``sigma_t != sigma_{t-1}``.
+
+Each register binds its backend's write entry point once at
+construction: cell-label strings (``table[3]``, ``hold[17]``) are only
+built when the backend declares
+:attr:`~repro.state.tracker.TrackerBackend.needs_cell_ids` — the
+aggregate fast path never pays for label formatting.
 """
 
 from __future__ import annotations
 
 from typing import Generic, Hashable, Iterator, TypeVar
 
-from repro.state.tracker import StateTracker
+from repro.state.tracker import TrackerBackend
 
 T = TypeVar("T")
 K = TypeVar("K", bound=Hashable)
@@ -30,12 +40,16 @@ V = TypeVar("V")
 class TrackedValue(Generic[T]):
     """A single tracked memory word."""
 
-    __slots__ = ("_tracker", "_cell_id", "_value")
+    __slots__ = ("_tracker", "_cell_id", "_value", "_count")
 
-    def __init__(self, tracker: StateTracker, cell_id: str, initial: T) -> None:
+    def __init__(
+        self, tracker: TrackerBackend, cell_id: str, initial: T
+    ) -> None:
         self._tracker = tracker
         self._cell_id = cell_id
         self._value = initial
+        # Bound label-free fast path; None when the backend wants ids.
+        self._count = None if tracker.needs_cell_ids else tracker.count_write
         tracker.allocate(1)
 
     @property
@@ -44,11 +58,21 @@ class TrackedValue(Generic[T]):
         return self._value
 
     def set(self, new_value: T) -> bool:
-        """Write ``new_value``; returns True iff the contents changed."""
+        """Write ``new_value``; returns True iff the contents changed.
+
+        A budget backend may refuse the write, in which case the cell
+        keeps its previous contents and the method returns False.
+        """
         mutated = new_value != self._value
-        self._tracker.record_write(self._cell_id, mutated)
-        self._value = new_value
-        return mutated
+        count = self._count
+        if count is None:
+            applied = self._tracker.record_write(self._cell_id, mutated)
+        else:
+            applied = count(mutated)
+        if applied:
+            self._value = new_value
+            return mutated
+        return False
 
     def load(self, value: T) -> None:
         """Overwrite the cell without touching the audit.
@@ -70,16 +94,17 @@ class TrackedValue(Generic[T]):
 class TrackedArray(Generic[T]):
     """A fixed-length array of tracked words (reservoirs, sketch rows)."""
 
-    __slots__ = ("_tracker", "_name", "_cells")
+    __slots__ = ("_tracker", "_name", "_cells", "_count")
 
     def __init__(
-        self, tracker: StateTracker, name: str, length: int, fill: T
+        self, tracker: TrackerBackend, name: str, length: int, fill: T
     ) -> None:
         if length < 0:
             raise ValueError(f"array length must be non-negative: {length}")
         self._tracker = tracker
         self._name = name
         self._cells: list[T] = [fill] * length
+        self._count = None if tracker.needs_cell_ids else tracker.count_write
         tracker.allocate(length)
 
     def __len__(self) -> int:
@@ -89,10 +114,17 @@ class TrackedArray(Generic[T]):
         return self._cells[index]
 
     def __setitem__(self, index: int, new_value: T) -> None:
-        old = self._cells[index]
-        mutated = new_value != old
-        self._tracker.record_write(f"{self._name}[{index}]", mutated)
-        self._cells[index] = new_value
+        cells = self._cells
+        mutated = new_value != cells[index]
+        count = self._count
+        if count is None:
+            applied = self._tracker.record_write(
+                f"{self._name}[{index}]", mutated
+            )
+        else:
+            applied = count(mutated)
+        if applied:
+            cells[index] = new_value
 
     def __iter__(self) -> Iterator[T]:
         return iter(self._cells)
@@ -134,10 +166,10 @@ class TrackedDict(Generic[K, V]):
     tables and dictionary-based baselines.
     """
 
-    __slots__ = ("_tracker", "_name", "_entry_words", "_data")
+    __slots__ = ("_tracker", "_name", "_entry_words", "_data", "_count")
 
     def __init__(
-        self, tracker: StateTracker, name: str, entry_words: int = 1
+        self, tracker: TrackerBackend, name: str, entry_words: int = 1
     ) -> None:
         if entry_words <= 0:
             raise ValueError(f"entry_words must be positive: {entry_words}")
@@ -145,6 +177,7 @@ class TrackedDict(Generic[K, V]):
         self._name = name
         self._entry_words = entry_words
         self._data: dict[K, V] = {}
+        self._count = None if tracker.needs_cell_ids else tracker.count_write
 
     def __len__(self) -> int:
         return len(self._data)
@@ -159,19 +192,42 @@ class TrackedDict(Generic[K, V]):
         return self._data.get(key, default)
 
     def __setitem__(self, key: K, value: V) -> None:
-        cell_id = f"{self._name}[{key!r}]"
-        if key in self._data:
-            mutated = self._data[key] != value
-            self._tracker.record_write(cell_id, mutated)
+        data = self._data
+        count = self._count
+        if key in data:
+            mutated = data[key] != value
+            if count is None:
+                applied = self._tracker.record_write(
+                    f"{self._name}[{key!r}]", mutated
+                )
+            else:
+                applied = count(mutated)
+            if applied:
+                data[key] = value
         else:
-            self._tracker.allocate(self._entry_words)
-            self._tracker.record_write(cell_id, True)
-        self._data[key] = value
+            if count is None:
+                applied = self._tracker.record_write(
+                    f"{self._name}[{key!r}]", True
+                )
+            else:
+                applied = count(True)
+            if applied:
+                self._tracker.allocate(self._entry_words)
+                data[key] = value
 
     def __delitem__(self, key: K) -> None:
-        del self._data[key]
-        self._tracker.free(self._entry_words)
-        self._tracker.record_write(f"{self._name}[{key!r}]", True)
+        if key not in self._data:
+            raise KeyError(key)
+        count = self._count
+        if count is None:
+            applied = self._tracker.record_write(
+                f"{self._name}[{key!r}]", True
+            )
+        else:
+            applied = count(True)
+        if applied:
+            del self._data[key]
+            self._tracker.free(self._entry_words)
 
     def pop(self, key: K) -> V:
         """Remove and return the entry for ``key``."""
@@ -194,18 +250,23 @@ class TrackedDict(Generic[K, V]):
         Reserved for merges and checkpoint restores.  Space accounting
         is deliberately untouched: after a merge the tracker already
         carries both shards' allocations (see
-        :meth:`~repro.state.tracker.StateTracker.merge_child`), and a
+        :meth:`~repro.state.tracker.TrackerBackend.merge_child`), and a
         restore reconciles live words centrally in
         :meth:`~repro.state.algorithm.Sketch.from_state`.
         """
         self._data = dict(mapping)
 
     def clear(self) -> None:
-        """Drop every entry, freeing its space."""
-        if self._data:
+        """Drop every entry, freeing its space.
+
+        A budget backend that refuses the structural mutation leaves
+        the contents in place.
+        """
+        if not self._data:
+            return
+        if self._tracker.mark_dirty():
             self._tracker.free(self._entry_words * len(self._data))
-            self._tracker.mark_dirty()
-        self._data.clear()
+            self._data.clear()
 
     def __iter__(self) -> Iterator[K]:
         return iter(self._data)

@@ -1,10 +1,10 @@
-"""State-change accounting: the instrumented memory all algorithms run on.
+"""State-change accounting backends: the instrumented memory all
+algorithms run on.
 
 Every streaming algorithm in this library — the paper's algorithms and
 the Table 1 baselines alike — stores its working memory in *tracked
-registers* (:mod:`repro.state.registers`) bound to a single
-:class:`StateTracker`.  The tracker implements the paper's cost model
-(Section 1.5):
+registers* (:mod:`repro.state.registers`) bound to a single tracker
+backend.  The backend implements the paper's cost model (Section 1.5):
 
 * ``tick()`` is called exactly once per stream update; if any register
   cell changed value since the previous tick, the update counts as one
@@ -15,20 +15,54 @@ registers* (:mod:`repro.state.registers`) bound to a single
 * Space is accounted in *words*; allocation and deallocation update a
   live-word counter whose maximum is the reported space usage.
 
-The tracker also exposes a listener interface so that downstream
-consumers (e.g. the NVM wear simulator in :mod:`repro.nvm`) can observe
-the raw write trace without the algorithms knowing about them.
+Accounting is **pluggable**: the cost model has one definition but
+several deployments, and the backend class decides what one write
+costs in bookkeeping:
+
+* :class:`AggregateBackend` — the default fast path.  Scalar counters
+  only (``__slots__``-backed, no per-cell ``Counter``, no listener
+  machinery at all), so the ingest hot loop pays two integer
+  increments per write.  This is what the runtime and the
+  :class:`~repro.api.Engine` run on unless asked otherwise.
+* :class:`TraceBackend` — the full observability mode: per-cell
+  mutation histogram plus the listener interface that downstream
+  consumers (the NVM wear simulator in :mod:`repro.nvm`, audits)
+  subscribe to.  ``StateTracker`` — the substrate's historical name —
+  is an alias of this class, so directly-constructed sketches keep
+  their full audit.
+* :class:`BudgetBackend` — enforces a
+  :class:`~repro.state.budget.WriteBudget`: the run may change state
+  at most ``limit`` times, and the budget's policy (``raise`` /
+  ``freeze`` / ``degrade``) decides what happens to the excess.  This
+  generalizes the lower-bound strawman of Theorem 1.2/1.4 — *any*
+  sketch can run as "an algorithm with at most ``B`` state changes".
+
+All backends report identical :class:`StateChangeReport` aggregate
+fields on identical runs (an unlimited budget denies nothing); only
+the per-cell histogram, the listener stream, and the enforcement
+differ.  Backend identity and budget remainders survive
+``to_state()``/``load_state()`` round trips bit for bit, which is what
+the process executor's serial-equivalence guarantee rests on.
 """
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from typing import Callable, Protocol
 
+from repro.state.budget import (
+    BudgetReport,
+    WriteBudget,
+    WriteBudgetExceededError,
+)
 from repro.state.report import StateChangeReport
 
 #: Signature of a write listener: ``(timestep, cell_id, mutated)``.
 WriteListener = Callable[[int, str, bool], None]
+
+#: Valid ``tracking=`` mode names, in documentation order.
+TRACKING_MODES = ("aggregate", "trace", "budget")
 
 
 class SupportsWriteListener(Protocol):
@@ -38,19 +72,39 @@ class SupportsWriteListener(Protocol):
         """Called for every write attempt issued through the tracker."""
 
 
-class StateTracker:
-    """Counts state changes, cell writes, and live words for one run.
+class TrackerBackend:
+    """Shared counters and clock of every accounting backend.
 
-    Parameters
-    ----------
-    record_cells:
-        When True (default), keep a per-cell mutation histogram.  Turn
-        off for very large experiments where only the aggregate counts
-        matter.
+    The base class *is* the aggregate fast path: scalar counters, no
+    per-cell state, no listeners.  Subclasses layer observability
+    (:class:`TraceBackend`) or enforcement (:class:`BudgetBackend`) on
+    top of the same interface, so registers and sketches are backend-
+    agnostic.
+
+    Two write entry points exist so the hot path can skip cell-label
+    construction entirely: registers call :meth:`record_write` (with a
+    cell id) only when :attr:`needs_cell_ids` is set, and the label-
+    free :meth:`count_write` otherwise.  Both return ``True`` iff the
+    write may be applied — only budget policies ever answer ``False``.
     """
 
-    def __init__(self, record_cells: bool = True) -> None:
-        self._record_cells = record_cells
+    #: Backend mode name, serialized into snapshots.
+    kind: str = "aggregate"
+    #: Whether registers must construct per-cell labels for writes.
+    needs_cell_ids: bool = False
+
+    __slots__ = (
+        "_timestep",
+        "_dirty",
+        "_state_changes",
+        "_total_writes",
+        "_write_attempts",
+        "_current_words",
+        "_peak_words",
+        "_next_cell_id",
+    )
+
+    def __init__(self) -> None:
         self._timestep = 0
         self._dirty = False
         self._state_changes = 0
@@ -58,8 +112,6 @@ class StateTracker:
         self._write_attempts = 0
         self._current_words = 0
         self._peak_words = 0
-        self._cell_writes: Counter[str] = Counter()
-        self._listeners: list[WriteListener] = []
         self._next_cell_id = 0
 
     def fresh_cell_id(self, prefix: str) -> str:
@@ -99,29 +151,38 @@ class StateTracker:
     # ------------------------------------------------------------------
     # Write path (called by tracked registers)
     # ------------------------------------------------------------------
-    def record_write(self, cell_id: str, mutated: bool) -> None:
-        """Record one write attempt against ``cell_id``.
+    def count_write(self, mutated: bool) -> bool:
+        """Record one label-free write attempt; returns "apply it?".
 
         ``mutated`` is False when the stored value equals the previous
-        contents; such writes are "silent" and do not set the dirty flag
-        (the memory state is unchanged, so ``sigma_t == sigma_{t-1}``).
+        contents; such writes are "silent" and do not set the dirty
+        flag (the memory state is unchanged, so
+        ``sigma_t == sigma_{t-1}``).
         """
         self._write_attempts += 1
         if mutated:
             self._total_writes += 1
             self._dirty = True
-            if self._record_cells:
-                self._cell_writes[cell_id] += 1
-        for listener in self._listeners:
-            listener(self._timestep, cell_id, mutated)
+        return True
 
-    def mark_dirty(self) -> None:
+    def record_write(self, cell_id: str, mutated: bool) -> bool:
+        """Record one write attempt against ``cell_id``.
+
+        The base backend keeps no per-cell state, so the label is
+        dropped; :class:`TraceBackend` overrides this to feed the
+        histogram and the listeners.
+        """
+        return self.count_write(mutated)
+
+    def mark_dirty(self) -> bool:
         """Force the current update to count as a state change.
 
         Used for structural mutations that have no single-cell identity
-        (e.g. freeing a block of counters).
+        (e.g. freeing a block of counters).  Returns ``True`` iff the
+        mutation was admitted (budget policies may answer ``False``).
         """
         self._dirty = True
+        return True
 
     # ------------------------------------------------------------------
     # Space accounting (words)
@@ -147,7 +208,7 @@ class StateTracker:
     # ------------------------------------------------------------------
     # Distributed runs: audit merging and serialization
     # ------------------------------------------------------------------
-    def merge_child(self, other: "StateTracker") -> None:
+    def merge_child(self, other: "TrackerBackend") -> None:
         """Fold a merged shard's audit into this tracker.
 
         Every counter is combined additively — the merged tracker
@@ -156,13 +217,6 @@ class StateTracker:
         over both shards (both shards' memory was live during the run,
         so peak and current words add too).  Consequently the merged
         :meth:`report` equals the elementwise sum of the shard reports.
-
-        The wear histogram aggregates by *cell label*, and labels are
-        per tracker (``table[r][c]``, ``morris#0``, ...), so two
-        shards' physically distinct cells with the same label sum into
-        one entry — the merged ``max_cell_wear`` is a per-label total,
-        not a per-device maximum.  Per-device wear bounds should be
-        read off the per-shard reports, which remain exact.
         """
         if other is self:
             raise ValueError("cannot merge a tracker into itself")
@@ -173,19 +227,29 @@ class StateTracker:
         self._current_words += other._current_words
         self._peak_words += other._peak_words
         self._dirty = self._dirty or other._dirty
-        if self._record_cells:
-            self._cell_writes.update(other._cell_writes)
+
+    def _histogram(self) -> dict[str, int]:
+        """Per-cell mutation counts (empty unless the backend traces)."""
+        return {}
 
     def to_state(self) -> dict:
-        """Snapshot every counter into a JSON-safe dict."""
+        """Snapshot every counter into a JSON-safe dict.
+
+        The snapshot is self-describing: the ``"backend"`` tag (plus
+        budget extras, see :class:`BudgetBackend`) lets
+        :func:`tracker_from_state` rebuild the same backend in another
+        process, so accounting mode and budget remainders survive the
+        executor round trip bit-identically.
+        """
         return {
+            "backend": self.kind,
             "timestep": self._timestep,
             "state_changes": self._state_changes,
             "total_writes": self._total_writes,
             "write_attempts": self._write_attempts,
             "current_words": self._current_words,
             "peak_words": self._peak_words,
-            "cell_writes": dict(self._cell_writes),
+            "cell_writes": dict(self._histogram()),
         }
 
     def load_state(self, state: dict) -> None:
@@ -202,21 +266,10 @@ class StateTracker:
         self._current_words = int(state["current_words"])
         self._peak_words = int(state["peak_words"])
         self._dirty = False
-        self._cell_writes = Counter(
-            {str(cell): int(count) for cell, count in state["cell_writes"].items()}
-        )
 
     # ------------------------------------------------------------------
     # Observation
     # ------------------------------------------------------------------
-    def add_listener(self, listener: WriteListener) -> None:
-        """Subscribe ``listener`` to the raw write trace."""
-        self._listeners.append(listener)
-
-    def remove_listener(self, listener: WriteListener) -> None:
-        """Unsubscribe a previously added listener."""
-        self._listeners.remove(listener)
-
     @property
     def state_changes(self) -> int:
         """Number of updates whose processing mutated the state."""
@@ -246,5 +299,343 @@ class StateTracker:
             total_write_attempts=self._write_attempts,
             peak_words=self._peak_words,
             current_words=self._current_words,
-            cell_writes=dict(self._cell_writes),
+            cell_writes=dict(self._histogram()),
         )
+
+
+class AggregateBackend(TrackerBackend):
+    """The default fast path: scalar counters only.
+
+    No per-cell histogram, no listener dispatch, nothing per write
+    beyond two integer increments.  Registers bound to this backend
+    skip cell-label construction entirely (:attr:`needs_cell_ids` is
+    False), which is where most of the ingest speedup over
+    :class:`TraceBackend` comes from
+    (``benchmarks/bench_throughput.py``).
+    """
+
+    __slots__ = ()
+
+
+class TraceBackend(TrackerBackend):
+    """Full observability: per-cell wear histogram + write listeners.
+
+    This is the substrate's historical behaviour (``StateTracker`` is
+    an alias).  Audits that need :attr:`StateChangeReport.cell_writes`
+    or :attr:`~StateChangeReport.max_cell_wear`, and consumers of the
+    raw write trace (the NVM simulator), run on this backend.
+
+    Parameters
+    ----------
+    record_cells:
+        When True (default), keep the per-cell mutation histogram.
+        Turn off for very large experiments where only the listener
+        stream matters.
+    """
+
+    kind = "trace"
+    needs_cell_ids = True
+
+    __slots__ = ("_record_cells", "_cell_writes", "_listeners")
+
+    def __init__(self, record_cells: bool = True) -> None:
+        super().__init__()
+        self._record_cells = record_cells
+        self._cell_writes: Counter[str] = Counter()
+        self._listeners: list[WriteListener] = []
+
+    def record_write(self, cell_id: str, mutated: bool) -> bool:
+        self._write_attempts += 1
+        if mutated:
+            self._total_writes += 1
+            self._dirty = True
+            if self._record_cells:
+                self._cell_writes[cell_id] += 1
+        for listener in self._listeners:
+            listener(self._timestep, cell_id, mutated)
+        return True
+
+    def count_write(self, mutated: bool) -> bool:
+        # Registers always hand this backend real cell ids
+        # (needs_cell_ids is True); direct label-free callers still get
+        # correct aggregate accounting under a synthetic label.
+        return self.record_write("(untraced)", mutated)
+
+    def add_listener(self, listener: WriteListener) -> None:
+        """Subscribe ``listener`` to the raw write trace."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: WriteListener) -> None:
+        """Unsubscribe a previously added listener."""
+        self._listeners.remove(listener)
+
+    def merge_child(self, other: TrackerBackend) -> None:
+        """Fold a shard's audit in, aggregating wear by *cell label*.
+
+        Labels are per tracker (``table[r][c]``, ``morris#0``, ...), so
+        two shards' physically distinct cells with the same label sum
+        into one entry — the merged ``max_cell_wear`` is a per-label
+        total, not a per-device maximum.  Per-device wear bounds should
+        be read off the per-shard reports, which remain exact.
+        """
+        super().merge_child(other)
+        if self._record_cells:
+            self._cell_writes.update(other._histogram())
+
+    def _histogram(self) -> dict[str, int]:
+        return self._cell_writes
+
+    def to_state(self) -> dict:
+        state = super().to_state()
+        state["record_cells"] = self._record_cells
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._record_cells = bool(state.get("record_cells", True))
+        self._cell_writes = Counter(
+            {
+                str(cell): int(count)
+                for cell, count in state.get("cell_writes", {}).items()
+            }
+        )
+
+
+#: Historical name of the full-observability tracker; every sketch
+#: constructed without an explicit backend still runs on it.
+StateTracker = TraceBackend
+
+
+class BudgetBackend(TrackerBackend):
+    """Aggregate accounting plus an enforced write budget.
+
+    The budget caps *state changes* (the paper's ``sum_t X_t``), not
+    write attempts: all mutations inside one already-admitted update
+    belong to the same state change and are free.  Enforcement has two
+    hooks:
+
+    * :meth:`admit_update` — consulted by
+      :meth:`~repro.state.algorithm.Sketch.process` /
+      :meth:`~repro.state.algorithm.Sketch.process_many` before each
+      update.  Once the budget is exhausted, ``freeze`` denies every
+      further update (the sketch's memory is effectively read-only —
+      no partially-applied updates, no stuck eviction loops) and
+      ``degrade`` admits a geometrically thinning trickle (the 1st,
+      2nd, 4th, 8th, … denied update is let through).
+    * :meth:`count_write` / :meth:`record_write` / :meth:`mark_dirty`
+      — the ``raise`` policy aborts precisely at the first write that
+      would cause state change ``limit + 1``, and denied direct writes
+      under the other policies are refused (registers do not apply
+      them).
+
+    Policy decisions are pure functions of the serialized counters, so
+    a budgeted run resumed from a snapshot — or re-executed in a
+    worker process — makes bit-identical admissions.
+    """
+
+    kind = "budget"
+
+    __slots__ = (
+        "_budget",
+        "_limit",
+        "_denied",
+        "_denied_since_admit",
+        "_stride",
+    )
+
+    def __init__(
+        self, budget: WriteBudget | int | float | None = None
+    ) -> None:
+        super().__init__()
+        if budget is None:
+            budget = WriteBudget(math.inf)
+        elif not isinstance(budget, WriteBudget):
+            budget = WriteBudget(budget)
+        self._budget = budget
+        self._limit = budget.limit
+        self._denied = 0
+        self._denied_since_admit = 0
+        self._stride = 1
+
+    @property
+    def budget(self) -> WriteBudget:
+        """The enforced budget (immutable)."""
+        return self._budget
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the limit has been reached."""
+        return self._state_changes >= self._limit
+
+    @property
+    def denied(self) -> int:
+        """Updates (or direct writes) the policy has turned away."""
+        return self._denied
+
+    # ------------------------------------------------------------------
+    # Enforcement
+    # ------------------------------------------------------------------
+    def admit_update(self) -> bool:
+        """Whether the next stream update may mutate state.
+
+        The sketch's clock discipline calls this once per update; a
+        denied update is skipped wholesale (its tick still advances the
+        stream clock, with ``X_t = 0``).
+        """
+        if self._state_changes < self._limit:
+            return True
+        policy = self._budget.policy
+        if policy == "raise":
+            # Precise enforcement happens at the first mutating write
+            # (a silent update after exhaustion is still legal).
+            return True
+        if (
+            policy == "degrade"
+            and self._denied_since_admit >= self._stride
+        ):
+            self._stride <<= 1
+            self._denied_since_admit = 0
+            return True
+        self._denied += 1
+        self._denied_since_admit += 1
+        return False
+
+    def _admit_write(self) -> bool:
+        """Policy decision for a state-changing write past the limit."""
+        policy = self._budget.policy
+        if policy == "raise":
+            raise WriteBudgetExceededError(self._limit, self._timestep)
+        if policy == "degrade":
+            # The update-level gate admitted this update; its writes
+            # all belong to the one admitted state change.
+            return True
+        self._denied += 1
+        return False
+
+    def count_write(self, mutated: bool) -> bool:
+        self._write_attempts += 1
+        if mutated:
+            if not self._dirty and self._state_changes >= self._limit:
+                if not self._admit_write():
+                    return False
+            self._total_writes += 1
+            self._dirty = True
+        return True
+
+    def mark_dirty(self) -> bool:
+        if not self._dirty and self._state_changes >= self._limit:
+            if not self._admit_write():
+                return False
+        self._dirty = True
+        return True
+
+    # ------------------------------------------------------------------
+    # Reporting and serialization
+    # ------------------------------------------------------------------
+    def budget_report(self) -> BudgetReport:
+        """How the budget was spent so far."""
+        return BudgetReport(
+            limit=self._limit,
+            policy=self._budget.policy,
+            state_changes=self._state_changes,
+            denied=self._denied,
+            exhausted=self.exhausted,
+        )
+
+    def merge_child(self, other: TrackerBackend) -> None:
+        """Fold a shard in; per-shard limits and denials add."""
+        super().merge_child(other)
+        if isinstance(other, BudgetBackend):
+            self._limit += other._limit
+            self._denied += other._denied
+            # Keep the public budget value consistent with the folded
+            # limit: after a merge this tracker describes the whole
+            # distributed run.
+            self._budget = WriteBudget(self._limit, self._budget.policy)
+
+    def to_state(self) -> dict:
+        state = super().to_state()
+        state["budget"] = {
+            "limit": None if self._limit == math.inf else int(self._limit),
+            "policy": self._budget.policy,
+            "denied": self._denied,
+            "denied_since_admit": self._denied_since_admit,
+            "stride": self._stride,
+        }
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        budget = state.get("budget") or {}
+        limit = budget.get("limit")
+        policy = budget.get("policy", self._budget.policy)
+        self._budget = WriteBudget(
+            math.inf if limit is None else int(limit), policy
+        )
+        self._limit = self._budget.limit
+        self._denied = int(budget.get("denied", 0))
+        self._denied_since_admit = int(budget.get("denied_since_admit", 0))
+        self._stride = int(budget.get("stride", 1))
+
+
+# ----------------------------------------------------------------------
+# Backend construction
+# ----------------------------------------------------------------------
+def make_tracker(
+    tracking: str = "aggregate",
+    *,
+    budget: WriteBudget | int | float | None = None,
+    record_cells: bool = True,
+) -> TrackerBackend:
+    """Build a tracker backend from a mode name.
+
+    Passing a ``budget`` selects the budget backend regardless of the
+    default ``tracking`` value (a budget *is* a tracking mode);
+    combining a budget with an explicit ``tracking="trace"`` is
+    rejected, because the budget backend keeps no per-cell state.
+    """
+    if budget is not None:
+        if tracking not in ("aggregate", "budget"):
+            raise ValueError(
+                f"a write budget runs on the 'budget' backend, not "
+                f"{tracking!r}; drop tracking= or pass tracking='budget'"
+            )
+        return BudgetBackend(budget)
+    if tracking == "aggregate":
+        return AggregateBackend()
+    if tracking == "trace":
+        return TraceBackend(record_cells=record_cells)
+    if tracking == "budget":
+        return BudgetBackend()
+    raise ValueError(
+        f"unknown tracking mode {tracking!r}; choose from {TRACKING_MODES}"
+    )
+
+
+def tracker_from_state(state: dict) -> TrackerBackend:
+    """Rebuild the backend a :meth:`TrackerBackend.to_state` snapshot
+    came from (mode, budget configuration), with fresh counters.
+
+    Legacy snapshots without a ``"backend"`` tag predate the backend
+    architecture, when every tracker carried the full trace semantics —
+    they restore as :class:`TraceBackend`.
+    """
+    kind = state.get("backend", "trace")
+    if kind == "aggregate":
+        return AggregateBackend()
+    if kind == "trace":
+        return TraceBackend(
+            record_cells=bool(state.get("record_cells", True))
+        )
+    if kind == "budget":
+        budget = state.get("budget") or {}
+        limit = budget.get("limit")
+        return BudgetBackend(
+            WriteBudget(
+                math.inf if limit is None else int(limit),
+                budget.get("policy", "raise"),
+            )
+        )
+    raise ValueError(
+        f"unknown tracker backend {kind!r}; choose from {TRACKING_MODES}"
+    )

@@ -12,6 +12,10 @@ cover the dynamics the static laws miss:
 * ``trace-replay`` — replay an external integer trace file (one item
   per line, :mod:`repro.streams.traceio` format), so packet logs and
   query logs run through the same registry as synthetic laws.
+* ``budget-stress`` — a distinct-heavy churn prefix (every update hits
+  a fresh item, so naive algorithms change state every step) followed
+  by a skewed tail: the adversarial shape for enforced write budgets,
+  which it exhausts as early as possible.
 """
 
 from __future__ import annotations
@@ -116,6 +120,36 @@ def _phase_shift(
     return phase_shift_stream(n, m, phases=phases, skew=skew, seed=seed)
 
 
+def _budget_stress(
+    n: int, m: int, seed: int, churn_fraction: float, skew: float
+) -> list[int]:
+    """Churn prefix + skewed tail: the write-budget stress shape.
+
+    The first ``churn_fraction`` of the stream is back-to-back random
+    permutations of ``[n]`` — every update is a first (or freshly
+    re-shuffled) occurrence, maximizing early state changes — and the
+    remainder is a Zipf tail, where a budget-frugal algorithm can
+    coast on its established summary.  Running this scenario under
+    ``Engine.run(budget=...)`` shows each policy's character: ``raise``
+    aborts in the prefix, ``freeze`` answers from a prefix-shaped
+    summary, ``degrade`` tracks the tail loosely.
+    """
+    if not 0.0 <= churn_fraction <= 1.0:
+        raise ValueError(
+            f"churn_fraction must be in [0, 1]: {churn_fraction}"
+        )
+    churn = int(m * churn_fraction)
+    stream = _permutation(n, churn, seed)
+    if m > churn:
+        stream += zipf_stream(
+            n,
+            m - churn,
+            skew=skew,
+            seed=None if seed is None else seed + 0xB5,
+        )
+    return stream
+
+
 def _trace_replay(n: int, m: int, seed: int, path: str) -> list[int]:
     """Replay an external trace file, truncated to at most ``m`` items
     (``m=0`` replays the whole trace).
@@ -184,6 +218,14 @@ register_scenario(
     "Zipf whose heavy set changes identity at each phase boundary",
     phases=3,
     skew=1.3,
+)
+register_scenario(
+    "budget-stress",
+    _budget_stress,
+    "distinct-heavy churn prefix that burns write budgets, then a "
+    "skewed tail",
+    churn_fraction=0.5,
+    skew=1.2,
 )
 register_scenario(
     "trace-replay",

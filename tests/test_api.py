@@ -178,3 +178,132 @@ class TestSeedReproducibility:
         second = capsys.readouterr().out
         assert first == second
         assert "Sharded ingestion scaling" in first
+
+
+class TestEngineAccounting:
+    def test_default_tracking_is_aggregate(self, stream):
+        report = Engine("count-min", n=N, m=M, epsilon=0.2, seed=5).run(
+            stream, queries=()
+        )
+        assert report.tracking == "aggregate"
+        assert report.audit.cell_writes == {}
+        assert report.budget is None and report.nvm is None
+
+    def test_trace_tracking_fills_cell_histogram(self, stream):
+        report = Engine("count-min", n=N, m=M, epsilon=0.2, seed=5).run(
+            stream, queries=(), tracking="trace"
+        )
+        assert report.tracking == "trace"
+        assert report.audit.max_cell_wear > 0
+
+    def test_tracking_modes_agree_on_audit_and_answers(self, stream):
+        reports = {
+            mode: Engine("count-min", n=N, m=M, epsilon=0.2, seed=5).run(
+                stream, queries=[PointQuery(0), PointQuery(7)], tracking=mode
+            )
+            for mode in ("aggregate", "trace", "budget")
+        }
+        base = reports["aggregate"]
+        for report in reports.values():
+            assert report.audit.state_changes == base.audit.state_changes
+            assert report.audit.total_writes == base.audit.total_writes
+            assert report.audit.peak_words == base.audit.peak_words
+            assert [a for _, a in report.answers] == [
+                a for _, a in base.answers
+            ]
+
+    def test_freeze_budget_caps_state_changes(self, stream):
+        from repro.state import WriteBudget
+
+        report = Engine("count-min", n=N, m=M, epsilon=0.2, seed=5).run(
+            stream, queries=(), budget=WriteBudget(100, "freeze")
+        )
+        assert report.tracking == "budget"
+        assert report.audit.state_changes == 100
+        assert report.budget.exhausted
+        assert report.budget.denied == M - 100
+
+    def test_int_budget_means_raise_policy(self, stream):
+        from repro.state import WriteBudgetExceededError
+
+        with pytest.raises(WriteBudgetExceededError):
+            Engine("exact", n=N, m=M, seed=5).run(
+                stream, queries=(), budget=10
+            )
+
+    def test_sharded_budget_even_split_sums(self, stream):
+        from repro.state import WriteBudget
+
+        report = Engine(
+            "count-min", n=N, m=M, epsilon=0.2, seed=5, shards=4
+        ).run(stream, queries=(), budget=WriteBudget(201, "freeze"))
+        assert len(report.shard_budgets) == 4
+        assert sum(int(b.limit) for b in report.shard_budgets) == 201
+        assert report.budget.limit == 201
+        assert report.audit.state_changes <= 201
+
+    def test_replicate_split_gives_each_shard_full_limit(self, stream):
+        from repro.state import WriteBudget
+
+        report = Engine(
+            "count-min", n=N, m=M, epsilon=0.2, seed=5, shards=2
+        ).run(
+            stream,
+            queries=(),
+            budget=WriteBudget(60, "freeze"),
+            budget_split="replicate",
+        )
+        assert [int(b.limit) for b in report.shard_budgets] == [60, 60]
+
+    def test_budget_identical_serial_vs_process(self, stream):
+        from repro.state import WriteBudget
+
+        def run(executor):
+            return Engine(
+                "count-min", n=N, m=M, epsilon=0.2, seed=5,
+                shards=4, executor=executor,
+            ).run(stream, queries=[PointQuery(0)],
+                  budget=WriteBudget(300, "freeze"))
+
+        serial, process = run("serial"), run("process")
+        assert serial.audit == process.audit
+        assert serial.shard_budgets == process.shard_budgets
+        assert serial.answers == process.answers
+
+    def test_nvm_run_prices_the_audit(self, stream):
+        report = Engine("count-min", n=N, m=M, epsilon=0.2, seed=5).run(
+            stream, queries=(), nvm="pcm"
+        )
+        assert report.nvm is not None
+        assert report.nvm.model == "PCM"
+        assert report.nvm.device_writes == report.audit.total_writes
+        assert report.nvm.energy_nj > 0
+        assert report.nvm.max_wear > 0
+        assert report.tracking == "trace"
+
+    def test_nvm_accepts_cost_model_instance(self, stream):
+        from repro.nvm import NAND_FLASH
+
+        report = Engine("count-min", n=N, m=M, epsilon=0.2, seed=5).run(
+            stream, queries=(), nvm=NAND_FLASH
+        )
+        assert report.nvm.model == "NAND"
+
+    def test_nvm_rejects_process_executor(self, stream):
+        engine = Engine(
+            "count-min", n=N, m=M, epsilon=0.2, seed=5, executor="process"
+        )
+        with pytest.raises(ValueError):
+            engine.run(stream, queries=(), nvm="pcm")
+
+    def test_nvm_rejects_budget_combination(self, stream):
+        engine = Engine("count-min", n=N, m=M, epsilon=0.2, seed=5)
+        with pytest.raises(ValueError):
+            engine.run(stream, queries=(), nvm="pcm", budget=100)
+
+    def test_unknown_tracking_and_nvm_rejected(self, stream):
+        engine = Engine("count-min", n=N, m=M, epsilon=0.2, seed=5)
+        with pytest.raises(ValueError):
+            engine.run(stream, queries=(), tracking="nope")
+        with pytest.raises(ValueError):
+            engine.run(stream, queries=(), nvm="sram")

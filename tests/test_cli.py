@@ -211,3 +211,79 @@ class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.strip().split(" ", 1)[1]  # a non-empty version string
+
+
+class TestRunAccounting:
+    def test_run_with_freeze_budget_prints_budget_line(self, capsys):
+        code = main([
+            "run", "--algorithm", "count-min", "--workload", "zipf",
+            "--n", "128", "--m", "1024", "--budget", "50",
+            "--budget-policy", "freeze",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "budget=50 (freeze)" in out
+        assert "state_changes=50" in out
+        assert "exhausted=True" in out
+
+    def test_run_with_raise_budget_aborts_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "run", "--algorithm", "exact", "--workload", "zipf",
+                "--n", "128", "--m", "1024", "--budget", "10",
+            ])
+        assert "write budget" in str(excinfo.value)
+
+    def test_run_sharded_budget_prints_per_shard_budgets(self, capsys):
+        code = main([
+            "run", "--algorithm", "count-min", "--workload", "zipf",
+            "--n", "128", "--m", "1024", "--shards", "2",
+            "--budget", "41", "--budget-policy", "freeze",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "budgets=[" in out
+
+    def test_run_with_nvm_prints_pricing(self, capsys):
+        code = main([
+            "run", "--algorithm", "count-min", "--workload", "zipf",
+            "--n", "128", "--m", "1024", "--nvm", "pcm",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "nvm=PCM" in out
+        assert "energy=" in out
+        assert "lifetime=" in out
+
+    def test_run_nvm_rejects_process_executor(self):
+        with pytest.raises(SystemExit):
+            main([
+                "run", "--algorithm", "count-min", "--workload", "zipf",
+                "--n", "128", "--m", "1024", "--nvm", "pcm",
+                "--executor", "process",
+            ])
+
+    def test_run_negative_budget_exits(self):
+        with pytest.raises(SystemExit):
+            main([
+                "run", "--algorithm", "count-min", "--workload", "zipf",
+                "--budget", "-1",
+            ])
+
+    def test_run_tracking_trace_accepted(self, capsys):
+        code = main([
+            "run", "--algorithm", "count-min", "--workload", "zipf",
+            "--n", "128", "--m", "1024", "--tracking", "trace",
+        ])
+        assert code == 0
+        assert "state_changes" in capsys.readouterr().out

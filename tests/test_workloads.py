@@ -12,6 +12,7 @@ from repro.streams import write_trace
 from repro.workloads import Workload
 
 BUILTIN = (
+    "budget-stress",
     "bursty",
     "permutation",
     "phase-shift",
@@ -133,6 +134,33 @@ class TestScenarioShapes:
         assert sorted(stream[:50]) == list(range(50))
         assert sorted(stream[50:100]) == list(range(50))
         assert len(stream) == 125
+
+    def test_budget_stress_churn_prefix_then_skewed_tail(self):
+        stream = workloads.generate(
+            "budget-stress", n=40, m=200, seed=4, churn_fraction=0.5
+        )
+        assert len(stream) == 200
+        # churn prefix: back-to-back permutations, every window distinct
+        assert sorted(stream[:40]) == list(range(40))
+        assert sorted(stream[40:80]) == list(range(40))
+        # the tail repeats items (skewed draws), unlike the prefix
+        assert len(set(stream[100:200])) < 100
+
+    def test_budget_stress_validates_churn_fraction(self):
+        with pytest.raises(ValueError):
+            workloads.generate("budget-stress", n=8, m=16, churn_fraction=1.5)
+
+    def test_budget_stress_exhausts_a_budget_early(self):
+        from repro.state import WriteBudget
+
+        report = Engine("exact", n=64, m=512, seed=1).run(
+            workload="budget-stress",
+            queries=(),
+            budget=WriteBudget(32, "freeze"),
+        )
+        # the all-distinct prefix burns the budget within its window
+        assert report.budget.exhausted
+        assert report.audit.state_changes == 32
 
     def test_trace_replay_round_trip(self, tmp_path):
         path = tmp_path / "trace.txt"
