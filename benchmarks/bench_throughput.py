@@ -45,6 +45,15 @@ from repro.streams import zipf_stream
 #: Representative sketch families (array-, dict-, and counter-backed).
 SKETCHES = ("count-min", "misra-gries", "space-saving", "kmv", "exact")
 
+#: Families with fully/mostly vectorized chunk kernels — the ones the
+#: chunked-vs-scalar speedup gate applies to.
+VECTORIZED_SKETCHES = ("count-min", "count-sketch", "kmv", "exact")
+
+#: Families whose chunk kernel is a candidate-filter pre-pass (bulk
+#: only over tracked-item segments) — reported, not gated: their gain
+#: depends on how often the tracked set churns under the workload.
+PREPASS_SKETCHES = ("misra-gries", "space-saving")
+
 #: Aggregate audit fields every backend must agree on exactly.
 _AUDIT_FIELDS = (
     "stream_length",
@@ -219,6 +228,106 @@ def format_backend_throughput(payload: dict) -> str:
     return "\n".join(lines)
 
 
+def run_chunked_throughput(
+    m: int = 100_000,
+    n: int = 4096,
+    epsilon: float = 0.1,
+    skew: float = 1.2,
+    seed: int = 0,
+    repeats: int = 3,
+    chunk_size: int = 8192,
+    sketches: tuple[str, ...] = VECTORIZED_SKETCHES + PREPASS_SKETCHES,
+) -> dict:
+    """Columnar ``process_chunk`` vs scalar ``process_many`` ingest.
+
+    Both arms ingest the identical Zipf stream into identically-seeded
+    fresh instances on the aggregate backend; the scalar arm consumes
+    the ``list[int]`` materialization, the chunked arm the ``int64``
+    chunks.  Alongside the timings the run cross-checks the data-plane
+    contract: both arms must produce bit-identical serialized states
+    (payload *and* audit).  The geometric-mean speedup over the
+    vectorized deterministic families is the tentpole's perf gate.
+    """
+    stream = zipf_stream(n, m, skew=skew, seed=seed)
+    items = stream.materialize()
+    results: dict[str, dict[str, float]] = {}
+    states_identical = True
+    for name in sketches:
+        scalar_seconds = float("inf")
+        chunked_seconds = float("inf")
+        for _ in range(repeats):
+            scalar = registry.create(
+                name, n=n, m=m, epsilon=epsilon, seed=seed,
+                tracker=make_tracker("aggregate"),
+            )
+            start = time.perf_counter()
+            scalar.process_many(items)
+            scalar_seconds = min(
+                scalar_seconds, time.perf_counter() - start
+            )
+
+            chunked = registry.create(
+                name, n=n, m=m, epsilon=epsilon, seed=seed,
+                tracker=make_tracker("aggregate"),
+            )
+            start = time.perf_counter()
+            for chunk in stream.chunks(chunk_size):
+                chunked.process_chunk(chunk)
+            chunked_seconds = min(
+                chunked_seconds, time.perf_counter() - start
+            )
+            assert chunked.items_processed == scalar.items_processed == m
+        if json.dumps(scalar.to_state(), sort_keys=True) != json.dumps(
+            chunked.to_state(), sort_keys=True
+        ):
+            states_identical = False
+        results[name] = {
+            "items": m,
+            "vectorized": name in VECTORIZED_SKETCHES,
+            "scalar_items_per_sec": m / scalar_seconds,
+            "chunked_items_per_sec": m / chunked_seconds,
+            "chunked_speedup": scalar_seconds / chunked_seconds,
+        }
+    gated = [
+        row["chunked_speedup"]
+        for name, row in results.items()
+        if name in VECTORIZED_SKETCHES
+    ]
+    return {
+        "benchmark": "chunked-throughput",
+        "stream": {"n": n, "m": m, "skew": skew, "seed": seed},
+        "chunk_size": chunk_size,
+        "results": results,
+        "geomean_vectorized_speedup": math.exp(
+            sum(math.log(s) for s in gated) / len(gated)
+        ),
+        "identical_states": states_identical,
+    }
+
+
+def format_chunked_throughput(payload: dict) -> str:
+    """Render the chunked comparison as an aligned text table."""
+    lines = [
+        f"Columnar ingest — process_chunk vs process_many "
+        f"(zipf, chunk_size={payload['chunk_size']})",
+        f"{'sketch':>16}{'scalar it/s':>14}{'chunked it/s':>15}"
+        f"{'speedup':>9}{'kernel':>10}",
+    ]
+    for name, row in payload["results"].items():
+        kernel = "vector" if row["vectorized"] else "pre-pass"
+        lines.append(
+            f"{name:>16}{row['scalar_items_per_sec']:>14.0f}"
+            f"{row['chunked_items_per_sec']:>15.0f}"
+            f"{row['chunked_speedup']:>9.2f}{kernel:>10}"
+        )
+    lines.append(
+        f"geometric-mean vectorized speedup: "
+        f"{payload['geomean_vectorized_speedup']:.2f}x "
+        f"(identical states: {payload['identical_states']})"
+    )
+    return "\n".join(lines)
+
+
 def run_sharded_throughput(
     m: int = 1_000_000,
     n: int = 4096,
@@ -326,6 +435,30 @@ def test_throughput(save_result):
         assert row["batched_speedup"] > 0.9, (name, row)
 
 
+def test_chunked_throughput(save_result):
+    payload = run_chunked_throughput(m=_quick(100_000, floor=20_000))
+    save_result(
+        "BENCH_chunked_throughput_table", format_chunked_throughput(payload)
+    )
+    results_path = (
+        __import__("pathlib").Path(__file__).parent
+        / "results"
+        / "BENCH_chunked_throughput.json"
+    )
+    results_path.write_text(json.dumps(payload, indent=2) + "\n")
+    # The data-plane contract is unconditional: chunked and scalar
+    # ingest produce bit-identical serialized states (payload + audit).
+    assert payload["identical_states"], payload
+    # The perf gate applies to calibrated full-size runs; quick mode
+    # (the CI trajectory job) records the numbers without gating on
+    # shared-runner jitter.
+    if not os.environ.get("REPRO_BENCH_QUICK"):
+        assert payload["geomean_vectorized_speedup"] >= 3.0, payload
+        for name, row in payload["results"].items():
+            if row["vectorized"]:
+                assert row["chunked_speedup"] > 1.0, (name, row)
+
+
 def test_sharded_executor_throughput(save_result):
     payload = run_sharded_throughput(m=_quick(1_000_000, floor=200_000),
                                      shards=4)
@@ -357,5 +490,7 @@ if __name__ == "__main__":
     print(format_throughput(run_throughput()))
     print()
     print(format_backend_throughput(run_backend_throughput()))
+    print()
+    print(format_chunked_throughput(run_chunked_throughput()))
     print()
     print(format_sharded_throughput(run_sharded_throughput()))

@@ -60,6 +60,21 @@ def main() -> None:
     budgets = [shard.state_changes for shard in flash.shard_reports]
     print(f"  per-shard write costs: {budgets} (skew {flash.skew:.2f})\n")
 
+    # --- columnar (chunked) ingest -----------------------------------
+    # Streams are ChunkedStreams — lazy sequences of int64 ndarray
+    # chunks — and the deterministic families ingest them through
+    # vectorized kernels (~10-30x the scalar loop on CountMin) while
+    # answers and state-change audits stay bit-identical at any chunk
+    # size.  chunk_size re-chunks the stream per run.
+    fast = Engine("count-min", n=N, m=M, epsilon=0.1, seed=7)
+    wide = fast.run(workload="zipf", chunk_size=1 << 14)
+    print("CountMin, columnar ingest at 16384-item chunks:")
+    print(f"  {wide.summary()}")
+    narrow = fast.run(workload="zipf", chunk_size=64)
+    assert wide.audit == narrow.audit  # chunking never changes results
+    print(f"  identical audit at 64-item chunks: "
+          f"{wide.audit.state_changes} state changes either way\n")
+
     # --- enforced write budgets --------------------------------------
     # The lower-bound cost measure as a runtime contract: cap the
     # run's state changes and pick what happens past the cap

@@ -64,6 +64,7 @@ from repro.state import (
     make_tracker,
 )
 from repro.streams import (
+    ChunkedStream,
     FrequencyVector,
     bursty_stream,
     lower_bound_pair,
@@ -86,6 +87,7 @@ __all__ = [
     "BudgetBackend",
     "BudgetReport",
     "Checkpoint",
+    "ChunkedStream",
     "Engine",
     "EntropyEstimator",
     "ExactCounter",

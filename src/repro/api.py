@@ -50,6 +50,8 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro import registry
 from repro.nvm import (
     NVMCostModel,
@@ -74,6 +76,7 @@ from repro.state.algorithm import Sketch
 from repro.state.budget import BudgetReport, WriteBudget
 from repro.state.report import StateChangeReport
 from repro.state.tracker import TRACKING_MODES, BudgetBackend
+from repro.streams.chunked import ChunkedStream
 from repro.workloads import Workload
 
 #: Parameter-free query constructors, in presentation order (point
@@ -145,6 +148,7 @@ class RunReport:
     budget: BudgetReport | None = None
     shard_budgets: tuple[BudgetReport, ...] = ()
     nvm: NVMRunReport | None = None
+    chunk_size: int | None = None
 
     def answer(self, kind: QueryKind) -> Answer:
         """The first answer of the given kind.
@@ -286,6 +290,7 @@ class Engine:
         nvm: str | NVMCostModel | None = None,
         nvm_cells: int = 1024,
         nvm_wear_leveling: str = "round-robin",
+        chunk_size: int | None = None,
     ) -> RunReport:
         """Ingest a stream, merge-reduce, answer ``queries``.
 
@@ -315,6 +320,21 @@ class Engine:
         to every shard's write trace — which requires the trace
         backend (implied) and the serial executor (listeners cannot
         cross a process pool), and is incompatible with a budget.
+
+        Ingestion is columnar whenever the stream allows it: named
+        workloads materialize as
+        :class:`~repro.streams.chunked.ChunkedStream` values and flow
+        chunk-wise through the vectorized router and
+        ``process_chunk`` kernels, bit-identical to the scalar path.
+        ``chunk_size`` re-chunks the stream (and wraps a plain
+        iterable into chunks); ``None`` keeps the stream's own
+        chunking — the scalar per-item path applies only to plain
+        iterables.  Note that wrapping a plain iterable materializes
+        it into one ``int64`` array first; for huge one-shot sources
+        prefer a :class:`~repro.streams.chunked.ChunkedStream` (e.g.
+        :func:`~repro.streams.traceio.trace_stream`), which stays
+        lazy, or omit ``chunk_size`` to keep the bounded-memory
+        scalar batching.
         """
         if (stream is None) == (workload is None):
             raise ValueError(
@@ -357,6 +377,8 @@ class Engine:
             )
         if budget is not None:
             tracking = "budget"
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
         workload_name = None
         if workload is not None:
             if isinstance(workload, str):
@@ -365,6 +387,14 @@ class Engine:
                 )
             workload_name = workload.describe()
             stream = workload.materialize()
+        if chunk_size is not None and not hasattr(stream, "chunks"):
+            # An explicit chunk size asks for columnar ingestion even
+            # from a plain iterable; ndarrays are chunked zero-copy.
+            stream = (
+                ChunkedStream(stream, chunk_size)
+                if isinstance(stream, np.ndarray)
+                else ChunkedStream.from_items(stream, chunk_size)
+            )
         runner = ShardedRunner.from_registry(
             self.sketch_name,
             self.shards,
@@ -379,6 +409,7 @@ class Engine:
             tracking=tracking,
             budget=budget,
             budget_split=budget_split,
+            chunk_size=chunk_size,
         )
         if device is not None:
             for shard in runner.shards:
@@ -420,6 +451,7 @@ class Engine:
                 if report is not None
             ),
             nvm=nvm_report,
+            chunk_size=chunk_size,
         )
 
     # ------------------------------------------------------------------

@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 import statistics
 
+import numpy as np
+
 from repro.hashing.prime_field import KWiseHash
 from repro.query import Moment, MomentAnswer, QueryKind
 from repro.state.algorithm import StreamAlgorithm
@@ -68,6 +70,21 @@ class AMSSketch(StreamAlgorithm):
     def _update(self, item: int) -> None:
         for c, sign_hash in enumerate(self._signs):
             self._sums[c] = self._sums[c] + sign_hash.sign(item)
+
+    def _update_chunk(self, chunk: np.ndarray) -> None:
+        # Vectorized kernel: each counter's delta is the sum of its ±1
+        # signs over the chunk.  Every update writes every counter (a
+        # ±1 add is never silent), so the chunk costs
+        # k * num_counters mutating writes and k state changes.
+        k = len(chunk)
+        tracker = self.tracker
+        deltas = [int(h.sign_many(chunk).sum()) for h in self._signs]
+        self._sums.load([z + d for z, d in zip(self._sums, deltas)])
+        cells = None
+        if tracker.needs_cell_ids:
+            cells = {f"ams[{c}]": k for c in range(len(self._signs))}
+        writes = k * len(self._signs)
+        tracker.record_chunk(k, k, writes, writes, cells)
 
     # ------------------------------------------------------------------
     # Queries

@@ -13,6 +13,8 @@ import math
 import warnings
 from typing import Iterable
 
+import numpy as np
+
 from repro.hashing.prime_field import KWiseHash
 from repro.query import PointQuery, QueryKind, ScalarAnswer
 from repro.state.algorithm import StreamAlgorithm
@@ -72,6 +74,27 @@ class CountMin(StreamAlgorithm):
         for row, h in zip(self._rows, self._hashes):
             bucket = h.bucket(item, self.width)
             row[bucket] = row[bucket] + 1
+
+    def _update_chunk(self, chunk: np.ndarray) -> None:
+        # Vectorized kernel: one row hash + bincount per row, cells
+        # merged through the untracked load path.  Every update
+        # increments depth cells (increments are never silent), so the
+        # bulk audit is exact: k updates = k state changes and
+        # k * depth mutating writes.
+        k = len(chunk)
+        tracker = self.tracker
+        cells = {} if tracker.needs_cell_ids else None
+        for r, (row, h) in enumerate(zip(self._rows, self._hashes)):
+            counts = np.bincount(h.bucket_many(chunk, self.width))
+            touched = np.flatnonzero(counts)
+            deltas = counts[touched].tolist()
+            touched = touched.tolist()
+            row.add_at(touched, deltas)
+            if cells is not None:
+                for bucket, count in zip(touched, deltas):
+                    cells[f"cm[{r}][{bucket}]"] = count
+        writes = k * self.depth
+        tracker.record_chunk(k, k, writes, writes, cells)
 
     # ------------------------------------------------------------------
     # Queries

@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 import statistics
 
+import numpy as np
+
 from repro.hashing.prime_field import KWiseHash
 from repro.query import (
     Moment,
@@ -86,6 +88,33 @@ class CountSketch(StreamAlgorithm):
         ):
             bucket = bucket_hash.bucket(item, self.width)
             row[bucket] = row[bucket] + sign_hash.sign(item)
+
+    def _update_chunk(self, chunk: np.ndarray) -> None:
+        # Vectorized kernel: bucket + sign hashes per row, the signed
+        # deltas scattered with np.add.at.  Every update writes ±1 to
+        # depth cells — each write mutates even when per-bucket deltas
+        # net to zero across the chunk, so the audit charges one write
+        # per (update, row), exactly like the scalar loop.
+        k = len(chunk)
+        tracker = self.tracker
+        cells = {} if tracker.needs_cell_ids else None
+        for r, (row, bucket_hash, sign_hash) in enumerate(
+            zip(self._rows, self._bucket_hashes, self._sign_hashes)
+        ):
+            buckets = bucket_hash.bucket_many(chunk, self.width)
+            delta = np.zeros(self.width, dtype=np.int64)
+            np.add.at(delta, buckets, sign_hash.sign_many(chunk))
+            # Touching only the net-nonzero cells is exact: a bucket
+            # whose ±1s cancel keeps its value either way (the writes
+            # are still charged above, like the scalar loop's).
+            touched = np.flatnonzero(delta)
+            row.add_at(touched.tolist(), delta[touched].tolist())
+            if cells is not None:
+                counts = np.bincount(buckets, minlength=self.width)
+                for bucket in np.flatnonzero(counts).tolist():
+                    cells[f"cs[{r}][{bucket}]"] = int(counts[bucket])
+        writes = k * self.depth
+        tracker.record_chunk(k, k, writes, writes, cells)
 
     # ------------------------------------------------------------------
     # Queries

@@ -10,9 +10,12 @@ behaviour the paper contrasts against.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.baselines._dict_summary import (
     DictSummaryQueries,
     added_counts,
+    chunk_with_tracked_segments,
     dict_payload,
     load_dict_payload,
 )
@@ -66,6 +69,16 @@ class MisraGries(DictSummaryQueries, StreamAlgorithm):
                     self._counters[tracked] = count - 1
             for tracked in expired:
                 del self._counters[tracked]
+
+    def _update_chunk(self, chunk: np.ndarray) -> None:
+        # Candidate-filter pre-pass: segments of already-tracked items
+        # bulk-increment; untracked items replay scalar.  A structural
+        # step removes keys only via decrement-all evictions, which
+        # shrink the table — inserts only grow it — so the segment
+        # mask stays valid exactly while the length never drops.
+        chunk_with_tracked_segments(
+            self, chunk, "mg", lambda before, after: after < before
+        )
 
     # ------------------------------------------------------------------
     # Queries (point/all-estimates hooks come from DictSummaryQueries)

@@ -9,8 +9,11 @@ most ``m/k``.  Like Misra–Gries it writes on every update —
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.baselines._dict_summary import (
     DictSummaryQueries,
+    chunk_with_tracked_segments,
     dict_payload,
     load_dict_payload,
 )
@@ -60,6 +63,17 @@ class SpaceSaving(DictSummaryQueries, StreamAlgorithm):
             inherited = self._counters[victim]
             del self._counters[victim]
             self._counters[item] = inherited + 1
+
+    def _update_chunk(self, chunk: np.ndarray) -> None:
+        # Candidate-filter pre-pass: segments of already-tracked items
+        # bulk-increment; untracked items replay scalar.  A structural
+        # step either inserts into a free slot (table grows, no key
+        # leaves) or replaces the minimum (table size unchanged, the
+        # victim's key leaves) — so the segment mask stays valid
+        # exactly while the table keeps growing.
+        chunk_with_tracked_segments(
+            self, chunk, "ss", lambda before, after: after <= before
+        )
 
     # ------------------------------------------------------------------
     # Queries (point/all-estimates hooks come from DictSummaryQueries)

@@ -208,6 +208,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             budget_split=args.budget_split,
             nvm=args.nvm,
             nvm_cells=args.nvm_cells,
+            chunk_size=args.chunk_size,
         )
     except WriteBudgetExceededError as error:
         # policy="raise" doing its job: surface the abort, not a trace.
@@ -291,6 +292,7 @@ def _cmd_shard(args: argparse.Namespace) -> int:
             workload=args.workload,
             executor=args.executor,
             workload_params=_workload_params(args),
+            chunk_size=args.chunk_size,
         )
     except (ValueError, OSError) as error:
         # e.g. trace-replay without --trace, or an unreadable file.
@@ -406,6 +408,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "(implies --tracking trace, serial executor)")
     run.add_argument("--nvm-cells", type=int, default=1024,
                      help="physical cells of the simulated NVM device")
+    run.add_argument("--chunk-size", type=int, default=None,
+                     help="items per columnar ingest chunk (default: "
+                          "the stream's own chunking)")
     run.set_defaults(func=_cmd_run)
 
     shard = sub.add_parser(
@@ -428,6 +433,9 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--skew", type=float, default=1.2)
     shard.add_argument("--epsilon", type=float, default=0.1)
     shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument("--chunk-size", type=int, default=None,
+                       help="items per columnar ingest chunk (default: "
+                            "the stream's own chunking)")
     shard.set_defaults(func=_cmd_shard)
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")

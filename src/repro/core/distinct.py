@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.hashing.prime_field import KWiseHash
 from repro.query import Distinct, QueryKind, ScalarAnswer
 from repro.state.algorithm import StreamAlgorithm
@@ -100,6 +102,25 @@ class KMVDistinctElements(StreamAlgorithm):
         if evicted < 1.0:
             self._members.discard(evicted)
         self._members.add(value)
+
+    def _update_chunk(self, chunk: np.ndarray) -> None:
+        # Candidate-filter pre-pass: hash the whole chunk vectorized,
+        # then scalar-process only potential record-breakers.  The
+        # k-th minimum only decreases during a chunk, so filtering on
+        # its value at chunk entry is sound; the relative slack covers
+        # the one-ulp difference between uint64->float64 unit hashes
+        # and Python's correctly-rounded scalar division (a too-loose
+        # filter only adds no-op scalar steps, never loses a record).
+        # Culled updates are reads only — no writes, X_t = 0 — and are
+        # bulk-ticked in one call.
+        values = self._hash.unit_many(chunk)
+        threshold = self._minima[self.k - 1] * (1.0 + 1e-9)
+        candidates = np.flatnonzero(values < threshold)
+        for position in candidates.tolist():
+            self._scalar_step(int(chunk[position]))
+        culled = len(chunk) - len(candidates)
+        if culled:
+            self.tracker.record_chunk(culled, 0, 0, 0)
 
     # ------------------------------------------------------------------
     # Queries

@@ -123,6 +123,7 @@ def shard_scaling(
     workload: str = "zipf",
     executor: str = "serial",
     workload_params: dict | None = None,
+    chunk_size: int | None = None,
 ) -> list[ShardScalingRow]:
     """Compare shard counts against the single-instance baseline.
 
@@ -158,7 +159,7 @@ def shard_scaling(
 
     kind = _scoring_kind(registry.spec(sketch).supports)
     single = engine_for(1)
-    single_report = single.run(stream, queries=())
+    single_report = single.run(stream, queries=(), chunk_size=chunk_size)
     if kind is QueryKind.POINT:
         single_estimates = {
             item: single.query(PointQuery(item)).value for item in top_items
@@ -177,7 +178,7 @@ def shard_scaling(
             engine, report = single, single_report
         else:
             engine = engine_for(num_shards)
-            report = engine.run(stream, queries=())
+            report = engine.run(stream, queries=(), chunk_size=chunk_size)
         if kind is QueryKind.POINT:
             estimates = {
                 item: engine.query(PointQuery(item)).value

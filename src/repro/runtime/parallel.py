@@ -23,12 +23,17 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Any, Sequence
+from typing import Any, Sequence, Union
+
+import numpy as np
 
 from repro import registry
 
 #: One shard's work order: ``(shard_index, empty_state, items)``.
-ShardTask = tuple[int, dict[str, Any], list[int]]
+#: Chunk-routed work ships the items as one ``int64`` ndarray (pickled
+#: as a contiguous buffer, not a list of Python ints); scalar-routed
+#: work keeps the historical ``list[int]``.
+ShardTask = tuple[int, dict[str, Any], Union["np.ndarray", list[int]]]
 #: One shard's result: ``(shard_index, ingested_state)``.
 ShardResult = tuple[int, dict[str, Any]]
 
@@ -36,13 +41,19 @@ ShardResult = tuple[int, dict[str, Any]]
 def ingest_shard(task: ShardTask) -> ShardResult:
     """Worker entry point: rebuild, ingest, snapshot one shard.
 
-    Module-level (picklable) so it works under both ``fork`` and
-    ``spawn`` start methods.
+    Ndarray payloads ingest through the columnar ``process_chunk``
+    fast path, list payloads through the scalar ``process_many`` loop;
+    the two are bit-identical on the same items, so the executor
+    contract is unchanged.  Module-level (picklable) so it works under
+    both ``fork`` and ``spawn`` start methods.
     """
     index, state, items = task
     sketch_cls = registry.sketch_class(state["algorithm"])
     shard = sketch_cls.from_state(state)
-    shard.process_many(items)
+    if isinstance(items, np.ndarray):
+        shard.process_chunk(items)
+    else:
+        shard.process_many(items)
     return index, shard.to_state()
 
 

@@ -37,22 +37,33 @@ argument picks the accounting backend for unbudgeted runs
 (``"aggregate"`` — the fast-path default — or ``"trace"`` for
 per-cell wear histograms).
 
+Ingestion is columnar when the stream is: a
+:class:`~repro.streams.chunked.ChunkedStream` (or bare ``int64``
+ndarray) is routed chunk-wise — one vectorized partition hash per
+chunk, boolean-mask splits, shard-side
+:meth:`~repro.state.algorithm.Sketch.process_chunk` — with shard
+assignment and results bit-identical to the per-item route.  An
+optional ``chunk_size`` re-chunks the stream at ingest time.
+
 Two executors decide *where* the per-shard ingest runs:
 
 * ``"serial"`` — shards are ingested in-process as the stream is
   routed (the historical behaviour).
 * ``"process"`` — routed items are buffered per shard, shipped to a
   ``multiprocessing`` pool (:mod:`repro.runtime.parallel`) via the
-  ``to_state``/``from_state`` serialization, ingested in workers, and
-  restored for the same binary merge-tree reduce.  Results — merged
-  payload, answers, and the full audit — are bit-identical to serial
-  mode; only the wall-clock changes.
+  ``to_state``/``from_state`` serialization (chunk-routed shards ship
+  one pickled ``int64`` ndarray, not a list of Python ints), ingested
+  in workers, and restored for the same binary merge-tree reduce.
+  Results — merged payload, answers, and the full audit — are
+  bit-identical to serial mode; only the wall-clock changes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
 
 from repro import registry
 from repro.hashing.prime_field import KWiseHash
@@ -61,6 +72,7 @@ from repro.state.algorithm import NotMergeableError, Sketch
 from repro.state.budget import BudgetReport, WriteBudget
 from repro.state.report import StateChangeReport
 from repro.state.tracker import BudgetBackend, make_tracker
+from repro.streams.chunked import ChunkedStream, as_chunk
 
 #: Builds the shard with the given index; shards must be mutually
 #: merge-compatible (same type, same hash seeds, separate trackers).
@@ -166,6 +178,7 @@ class ShardedRunner:
         batch_size: int = 1024,
         executor: str = "serial",
         max_workers: int | None = None,
+        chunk_size: int | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"need at least one shard: {num_shards}")
@@ -179,11 +192,14 @@ class ShardedRunner:
             )
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1: {batch_size}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
         self.num_shards = num_shards
         self.partition = partition
         self.executor = executor
         self.max_workers = max_workers
         self.batch_size = batch_size
+        self.chunk_size = chunk_size
         self._shards: list[Sketch] = [factory(i) for i in range(num_shards)]
         trackers = {id(shard.tracker) for shard in self._shards}
         if len(trackers) != num_shards:
@@ -200,6 +216,10 @@ class ShardedRunner:
         self._route = KWiseHash(2, seed=seed + 0x5A5A)
         self._cursor = 0  # round-robin position
         self._buffers: list[list[int]] = [[] for _ in range(num_shards)]
+        # Routed ndarray chunks awaiting the pool (process executor).
+        self._chunk_buffers: list[list[np.ndarray]] = [
+            [] for _ in range(num_shards)
+        ]
         self._shard_items = [0] * num_shards
         self._merged: Sketch | None = None
         self._premerge_reports: tuple[StateChangeReport, ...] = ()
@@ -222,6 +242,7 @@ class ShardedRunner:
         tracking: str = "aggregate",
         budget: WriteBudget | int | None = None,
         budget_split: str = "even",
+        chunk_size: int | None = None,
     ) -> "ShardedRunner":
         """Runner whose shards come from :mod:`repro.registry`.
 
@@ -256,6 +277,7 @@ class ShardedRunner:
             batch_size=batch_size,
             executor=executor,
             max_workers=max_workers,
+            chunk_size=chunk_size,
         )
 
     # ------------------------------------------------------------------
@@ -282,25 +304,29 @@ class ShardedRunner:
     def ingest(self, stream: Iterable[int]) -> int:
         """Route ``stream`` to the shards; returns items consumed.
 
-        Under the serial executor items are buffered per shard and
-        flushed through ``process_many`` in ``batch_size`` chunks, so
-        the per-item Python overhead is amortized even when the caller
-        feeds one long iterable.  Under the process executor routing
-        only buffers; the buffered work runs on the pool at the first
+        Columnar sources — a :class:`~repro.streams.chunked.
+        ChunkedStream` or an ``np.ndarray`` — take the chunked fast
+        path: one vectorized partition hash over each chunk, a
+        boolean-mask split per shard, and shard-side ingest through
+        :meth:`~repro.state.algorithm.Sketch.process_chunk`
+        (bit-identical to the scalar route).  Other iterables keep the
+        historical per-item path: under the serial executor items are
+        buffered per shard and flushed through ``process_many`` in
+        ``batch_size`` chunks; under the process executor routing only
+        buffers, and the buffered work runs on the pool at the first
         observation (reports, merge, or :meth:`run`).
         """
-        if self._merged is not None:
-            raise RuntimeError(
-                "runner is already merged; create a new ShardedRunner"
+        self._check_ingestable()
+        chunks = getattr(stream, "chunks", None)
+        if chunks is not None:
+            return self._ingest_chunks(chunks(self.chunk_size))
+        if isinstance(stream, np.ndarray):
+            return self._ingest_chunks(
+                ChunkedStream(stream).chunks(self.chunk_size)
             )
         buffers = self._buffers
         count = 0
         if self.executor == "process":
-            if self._dispatched:
-                raise RuntimeError(
-                    "process-executor runner has already executed; "
-                    "create a new ShardedRunner"
-                )
             shard_items = self._shard_items
             for item in stream:
                 shard = self._next_shard(item)
@@ -320,6 +346,63 @@ class ShardedRunner:
             self._flush(shard)
         return count
 
+    def _check_ingestable(self) -> None:
+        if self._merged is not None:
+            raise RuntimeError(
+                "runner is already merged; create a new ShardedRunner"
+            )
+        if self.executor == "process" and self._dispatched:
+            raise RuntimeError(
+                "process-executor runner has already executed; "
+                "create a new ShardedRunner"
+            )
+
+    def _ingest_chunks(self, chunks: Iterator[np.ndarray]) -> int:
+        """Columnar routing: split each chunk across the shards with
+        one vectorized hash (or a cursor arithmetic for round-robin)
+        and deliver per-shard sub-chunks in stream order."""
+        num_shards = self.num_shards
+        count = 0
+        for chunk in chunks:
+            chunk = as_chunk(chunk)
+            if not len(chunk):
+                continue
+            count += len(chunk)
+            if num_shards == 1:
+                self._deliver_chunk(0, chunk)
+                continue
+            if self.partition == "hash":
+                routed = self._route.bucket_many(chunk, num_shards)
+            else:
+                routed = (
+                    self._cursor + np.arange(len(chunk), dtype=np.int64)
+                ) % num_shards
+                self._cursor = int(
+                    (self._cursor + len(chunk)) % num_shards
+                )
+            for shard in range(num_shards):
+                part = chunk[routed == shard]
+                if len(part):
+                    self._deliver_chunk(shard, part)
+        return count
+
+    def _deliver_chunk(self, shard: int, part: np.ndarray) -> None:
+        if self.executor == "process":
+            # Any scalar-buffered items precede this chunk in stream
+            # order; freeze them into the chunk queue first.
+            pending = self._buffers[shard]
+            if pending:
+                self._chunk_buffers[shard].append(
+                    np.asarray(pending, dtype=np.int64)
+                )
+                pending.clear()
+            self._chunk_buffers[shard].append(part)
+            self._shard_items[shard] += len(part)
+        else:
+            self._shard_items[shard] += self._shards[shard].process_chunk(
+                part
+            )
+
     def _flush(self, shard: int) -> None:
         buffer = self._buffers[shard]
         if buffer:
@@ -327,6 +410,28 @@ class ShardedRunner:
                 buffer
             )
             buffer.clear()
+
+    def _shard_payload(self, index: int):
+        """A shard's buffered work in stream order, or None when empty.
+
+        Chunk-routed shards ship one concatenated ``int64`` ndarray
+        (the pickle of an array, not a list of Python ints) that
+        workers ingest via ``process_chunk``; purely scalar-routed
+        shards keep the historical ``list[int]`` payload and the
+        ``process_many`` worker path.
+        """
+        chunked = self._chunk_buffers[index]
+        scalar = self._buffers[index]
+        if chunked:
+            segments = list(chunked)
+            if scalar:  # trailing scalar items arrived after the chunks
+                segments.append(np.asarray(scalar, dtype=np.int64))
+            return (
+                segments[0]
+                if len(segments) == 1
+                else np.concatenate(segments)
+            )
+        return list(scalar) if scalar else None
 
     def _execute(self) -> None:
         """Run buffered shard work on the process pool (at most once).
@@ -341,15 +446,18 @@ class ShardedRunner:
         if self.executor != "process" or self._dispatched:
             return
         self._dispatched = True
-        tasks = [
-            (index, self._shards[index].to_state(), self._buffers[index])
-            for index in range(self.num_shards)
-            if self._buffers[index]
-        ]
+        tasks = []
+        for index in range(self.num_shards):
+            payload = self._shard_payload(index)
+            if payload is not None:
+                tasks.append(
+                    (index, self._shards[index].to_state(), payload)
+                )
         for index, state in run_shard_tasks(tasks, self.max_workers):
             sketch_cls = registry.sketch_class(state["algorithm"])
             self._shards[index] = sketch_cls.from_state(state)
         self._buffers = [[] for _ in range(self.num_shards)]
+        self._chunk_buffers = [[] for _ in range(self.num_shards)]
 
     # ------------------------------------------------------------------
     # Reduce

@@ -53,6 +53,8 @@ import abc
 import random
 from typing import Any, ClassVar, Iterable
 
+import numpy as np
+
 from repro.query import (
     QUERY_HOOKS,
     Answer,
@@ -62,6 +64,7 @@ from repro.query import (
 )
 from repro.state.report import StateChangeReport
 from repro.state.tracker import StateTracker, tracker_from_state
+from repro.streams.chunked import as_chunk
 
 
 class NotMergeableError(TypeError):
@@ -135,28 +138,129 @@ class Sketch(abc.ABC):
         define the update-admission gate, so the common backends pay
         nothing for enforcement.
         """
+        if isinstance(items, np.ndarray):
+            # Scalar kernels expect Python ints (arbitrary-precision
+            # hashing, dict keys, JSON-safe payloads).
+            items = items.tolist()
         update = self._update
         tracker = self.tracker
         tick = tracker.tick
         admit = getattr(tracker, "admit_update", None)
         count = 0
-        if admit is None:
-            for item in items:
-                update(item)
-                tick()
-                count += 1
-        else:
-            for item in items:
-                if admit():
+        # try/finally: a raise-policy abort mid-batch must not lose the
+        # completed updates' accounting (the aborting update itself is
+        # never counted — its tick never ran).
+        try:
+            if admit is None:
+                for item in items:
                     update(item)
-                tick()
-                count += 1
-        self._items_processed += count
+                    tick()
+                    count += 1
+            else:
+                for item in items:
+                    if admit():
+                        update(item)
+                    tick()
+                    count += 1
+        finally:
+            self._items_processed += count
         return count
 
     def process_stream(self, stream: Iterable[int]) -> None:
-        """Feed every update of ``stream`` in order."""
-        self.process_many(stream)
+        """Feed every update of ``stream`` in order.
+
+        Columnar sources — ``np.ndarray`` chunks or a
+        :class:`~repro.streams.chunked.ChunkedStream` — route through
+        :meth:`process_chunk` (bit-identical, usually much faster);
+        anything else takes the scalar :meth:`process_many` loop.
+        """
+        chunks = getattr(stream, "chunks", None)
+        if chunks is not None:
+            for chunk in chunks():
+                self.process_chunk(chunk)
+        elif isinstance(stream, np.ndarray):
+            self.process_chunk(stream)
+        else:
+            self.process_many(stream)
+
+    # ------------------------------------------------------------------
+    # Columnar (chunked) ingestion
+    # ------------------------------------------------------------------
+    def process_chunk(self, chunk) -> int:
+        """Feed one columnar chunk (``int64`` array-like); returns the
+        number of updates consumed.
+
+        **Contract: bit-identical to the scalar path.**  For every
+        family, backend, and chunk size, ``process_chunk`` over any
+        chunking of a stream produces exactly the payload, audit, and
+        answers of :meth:`process_many` over the same items
+        (``tests/test_chunked_ingest.py`` sweeps this with Hypothesis).
+
+        Families with a vectorized kernel override
+        :meth:`_update_chunk` and account each sub-chunk in bulk
+        (:meth:`~repro.state.tracker.TrackerBackend.record_chunk`);
+        everything else — and every run with write listeners attached,
+        whose per-write callbacks a bulk kernel cannot replay — falls
+        back to the scalar loop, coercing items to Python ints at this
+        boundary so downstream hashes and dict keys never see
+        ``np.int64``.
+
+        Budget backends gate the kernel through
+        :meth:`~repro.state.tracker.TrackerBackend.bulk_admit`: the
+        kernel runs only over prefixes where no denial can trigger,
+        and the remainder of the chunk is replayed through the scalar
+        per-update gate — so freeze/degrade/raise cut over at the
+        exact update index, not the chunk edge.
+        """
+        chunk = as_chunk(chunk)
+        total = len(chunk)
+        if total == 0:
+            return 0
+        tracker = self.tracker
+        if (
+            type(self)._update_chunk is Sketch._update_chunk
+            or tracker.has_listeners
+        ):
+            return self.process_many(chunk.tolist())
+        consumed = 0
+        while consumed < total:
+            admitted = tracker.bulk_admit(total - consumed)
+            if admitted <= 0:
+                # Budget exhausted: the scalar gate implements the
+                # policy (freeze/degrade/raise) update by update.
+                consumed += self.process_many(chunk[consumed:].tolist())
+                break
+            self._update_chunk(chunk[consumed:consumed + admitted])
+            self._items_processed += admitted
+            consumed += admitted
+        return consumed
+
+    def _update_chunk(self, chunk: np.ndarray) -> None:
+        """Vectorized kernel hook: ingest one pre-admitted chunk.
+
+        Overrides must (a) apply register mutations through the
+        untracked ``load`` path, (b) account the chunk in bulk via
+        ``self.tracker.record_chunk(...)`` — exactly the counts the
+        scalar loop would have produced, including per-cell histogram
+        entries when ``tracker.needs_cell_ids`` — and (c) leave
+        ``self._items_processed`` alone (:meth:`process_chunk` owns
+        it).  Individual structural updates inside the chunk may be
+        delegated to :meth:`_scalar_step`.
+
+        The base implementation is deliberately not a fallback:
+        :meth:`process_chunk` checks ``is Sketch._update_chunk`` to
+        decide whether a kernel exists.
+        """
+        raise NotImplementedError
+
+    def _scalar_step(self, item: int) -> None:
+        """One scalar update inside a chunk kernel: identical write
+        path and clock discipline to :meth:`process`, but without the
+        items-processed bump (the kernel's caller accounts it)."""
+        admit = getattr(self.tracker, "admit_update", None)
+        if admit is None or admit():
+            self._update(item)
+        self.tracker.tick()
 
     @abc.abstractmethod
     def _update(self, item: int) -> None:

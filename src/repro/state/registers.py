@@ -149,6 +149,21 @@ class TrackedArray(Generic[T]):
             )
         self._cells = list(values)
 
+    def add_at(self, indices, deltas) -> None:
+        """Add ``deltas`` to the cells at ``indices`` without touching
+        the audit.
+
+        The bulk counterpart of per-cell ``load``: chunk kernels that
+        have already accounted a whole chunk via
+        :meth:`~repro.state.tracker.TrackerBackend.record_chunk` apply
+        the folded per-bucket deltas here, touching only the hit cells
+        — per-chunk work scales with the number of touched buckets,
+        not the array width.
+        """
+        cells = self._cells
+        for index, delta in zip(indices, deltas):
+            cells[index] += delta
+
     def release(self) -> None:
         """Free the whole array."""
         self._tracker.free(len(self._cells))
@@ -255,6 +270,19 @@ class TrackedDict(Generic[K, V]):
         :meth:`~repro.state.algorithm.Sketch.from_state`.
         """
         self._data = dict(mapping)
+
+    def load_update(self, mapping: dict[K, V]) -> None:
+        """Merge entries in place without touching the audit.
+
+        The bulk counterpart of per-cell ``load``: chunk kernels that
+        have already accounted a segment via
+        :meth:`~repro.state.tracker.TrackerBackend.record_chunk` (and
+        :meth:`~repro.state.tracker.TrackerBackend.allocate` for
+        inserts) apply the merged values here, touching only the
+        changed entries — never copying the table.  New keys append in
+        ``mapping`` order, matching scalar insertion order.
+        """
+        self._data.update(mapping)
 
     def clear(self) -> None:
         """Drop every entry, freeing its space.

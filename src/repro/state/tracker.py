@@ -185,6 +185,66 @@ class TrackerBackend:
         return True
 
     # ------------------------------------------------------------------
+    # Bulk write path (called by vectorized chunk kernels)
+    # ------------------------------------------------------------------
+    @property
+    def has_listeners(self) -> bool:
+        """Whether per-write observers are attached (trace backend only).
+
+        Listeners need one callback per write in stream order, which a
+        bulk-accounted chunk cannot replay — chunked ingest falls back
+        to the scalar loop while this is True.
+        """
+        return False
+
+    def bulk_admit(self, k: int) -> int:
+        """Longest prefix of the next ``k`` updates that may run
+        without per-update admission gating.
+
+        Unbudgeted backends admit everything.  Budget backends bound
+        the prefix so no update inside it can be denied or aborted
+        (every update causes at most one state change), returning 0
+        once exhausted — the signal to fall back to the per-update
+        scalar gate, which implements the policy exactly.
+        """
+        return k
+
+    def record_chunk(
+        self,
+        updates: int,
+        state_changes: int,
+        writes: int,
+        attempts: int,
+        cell_writes: dict[str, int] | None = None,
+    ) -> None:
+        """Account a whole ingested chunk in one call.
+
+        ``updates`` ticks are advanced at once, of which
+        ``state_changes`` had ``X_t = 1``; ``writes`` mutating writes
+        out of ``attempts`` attempts are charged.  Vectorized kernels
+        compute these counts exactly (per family, per chunk), so a
+        chunked run reports the identical audit a scalar run would —
+        the backends just skip the per-item bookkeeping dispatch.
+
+        ``cell_writes`` (cell id → mutation count) feeds the trace
+        backend's wear histogram; other backends ignore it, matching
+        :meth:`record_write` dropping labels.
+        """
+        if updates < 0 or not 0 <= state_changes <= updates:
+            raise ValueError(
+                f"need 0 <= state_changes <= updates: "
+                f"{state_changes}, {updates}"
+            )
+        if writes < 0 or attempts < writes:
+            raise ValueError(
+                f"need 0 <= writes <= attempts: {writes}, {attempts}"
+            )
+        self._timestep += updates
+        self._state_changes += state_changes
+        self._total_writes += writes
+        self._write_attempts += attempts
+
+    # ------------------------------------------------------------------
     # Space accounting (words)
     # ------------------------------------------------------------------
     def allocate(self, words: int) -> None:
@@ -361,6 +421,36 @@ class TraceBackend(TrackerBackend):
         # correct aggregate accounting under a synthetic label.
         return self.record_write("(untraced)", mutated)
 
+    @property
+    def has_listeners(self) -> bool:
+        return bool(self._listeners)
+
+    def record_chunk(
+        self,
+        updates: int,
+        state_changes: int,
+        writes: int,
+        attempts: int,
+        cell_writes: dict[str, int] | None = None,
+    ) -> None:
+        """Bulk accounting plus the per-cell wear histogram.
+
+        Callers must not bulk-account while listeners are attached
+        (checked here; chunked ingest already falls back on
+        :attr:`has_listeners`) — a listener expects one callback per
+        write, which a folded chunk cannot replay.
+        """
+        if self._listeners:
+            raise RuntimeError(
+                "cannot bulk-account a chunk while write listeners are "
+                "attached; ingest through the scalar path instead"
+            )
+        super().record_chunk(
+            updates, state_changes, writes, attempts, cell_writes
+        )
+        if self._record_cells and cell_writes:
+            self._cell_writes.update(cell_writes)
+
     def add_listener(self, listener: WriteListener) -> None:
         """Subscribe ``listener`` to the raw write trace."""
         self._listeners.append(listener)
@@ -521,6 +611,44 @@ class BudgetBackend(TrackerBackend):
             self._total_writes += 1
             self._dirty = True
         return True
+
+    # ------------------------------------------------------------------
+    # Bulk write path
+    # ------------------------------------------------------------------
+    def bulk_admit(self, k: int) -> int:
+        """Prefix of the next ``k`` updates that needs no gating.
+
+        Each update causes at most one state change, so before the
+        ``i``-th update of the prefix the spent budget is at most
+        ``state_changes + i - 1 < limit`` — no policy (deny or raise)
+        can trigger inside it.  Once exhausted the answer is 0 and
+        chunked ingest falls back to the per-update gate, which cuts
+        over at the exact update index a scalar run would.
+        """
+        remaining = self._limit - self._state_changes
+        if remaining <= 0:
+            return 0
+        if math.isinf(remaining):
+            return k
+        return min(k, int(remaining))
+
+    def record_chunk(
+        self,
+        updates: int,
+        state_changes: int,
+        writes: int,
+        attempts: int,
+        cell_writes: dict[str, int] | None = None,
+    ) -> None:
+        if self._state_changes + state_changes > self._limit:
+            raise ValueError(
+                f"bulk-accounting {state_changes} state changes would "
+                f"overrun the budget ({self._state_changes} of "
+                f"{self._limit} spent); gate the chunk with bulk_admit()"
+            )
+        super().record_chunk(
+            updates, state_changes, writes, attempts, cell_writes
+        )
 
     def mark_dirty(self) -> bool:
         if not self._dirty and self._state_changes >= self._limit:

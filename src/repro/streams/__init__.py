@@ -6,8 +6,18 @@ from repro.streams.adversarial import (
     lower_bound_pair,
     pseudo_heavy_counterexample,
 )
+from repro.streams.chunked import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkedStream,
+    as_chunk,
+)
 from repro.streams.frequency import FrequencyVector
-from repro.streams.traceio import read_trace, write_trace
+from repro.streams.traceio import (
+    read_trace,
+    read_trace_chunks,
+    trace_stream,
+    write_trace,
+)
 from repro.streams.generators import (
     bursty_stream,
     permutation_stream,
@@ -19,9 +29,12 @@ from repro.streams.generators import (
 )
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ChunkedStream",
     "FrequencyVector",
     "LowerBoundInstance",
     "PseudoHeavyInstance",
+    "as_chunk",
     "bursty_stream",
     "lower_bound_pair",
     "permutation_stream",
@@ -29,6 +42,8 @@ __all__ = [
     "planted_heavy_hitter_stream",
     "pseudo_heavy_counterexample",
     "read_trace",
+    "read_trace_chunks",
+    "trace_stream",
     "write_trace",
     "round_robin_stream",
     "uniform_stream",

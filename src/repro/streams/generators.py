@@ -6,8 +6,14 @@ stream; uniform, permutation, round-robin and planted-heavy-hitter
 streams cover the corner cases exercised by the theorems and the
 Section 1.4 discussion.
 
-All generators return plain ``list[int]`` streams over the universe
-``range(n)`` and take an explicit seed for reproducibility.
+All generators return :class:`~repro.streams.chunked.ChunkedStream`
+values over the universe ``range(n)`` and take an explicit seed for
+reproducibility.  The draws are identical to the historical
+``list[int]`` returns (same RNG call sequences, same seeds) — the
+columnar wrapper just skips the ``ndarray -> list -> ndarray`` round
+trip the scalar data plane used to pay, while ``len()``, indexing,
+iteration (as Python ints), and ``==`` against lists keep the old
+call sites working.
 """
 
 from __future__ import annotations
@@ -16,15 +22,13 @@ import random
 
 import numpy as np
 
+from repro.streams.chunked import ChunkedStream
 
-def zipf_stream(
-    n: int, m: int, skew: float = 1.1, seed: int | None = None
-) -> list[int]:
-    """``m`` i.i.d. draws from a Zipf(``skew``) law over ``range(n)``.
 
-    Item ``i`` has probability proportional to ``(i+1)^{-skew}``; item 0
-    is the most frequent.
-    """
+def _zipf_draws(
+    n: int, m: int, skew: float, seed: int | None
+) -> np.ndarray:
+    """``m`` Zipf draws as an ``int64`` array (shared RNG sequence)."""
     if n <= 0 or m < 0:
         raise ValueError(f"need n > 0 and m >= 0: n={n}, m={m}")
     if skew <= 0:
@@ -32,18 +36,33 @@ def zipf_stream(
     rng = np.random.default_rng(seed)
     weights = (np.arange(1, n + 1, dtype=np.float64)) ** (-skew)
     weights /= weights.sum()
-    return rng.choice(n, size=m, p=weights).tolist()
+    return rng.choice(n, size=m, p=weights).astype(np.int64)
 
 
-def uniform_stream(n: int, m: int, seed: int | None = None) -> list[int]:
+def zipf_stream(
+    n: int, m: int, skew: float = 1.1, seed: int | None = None
+) -> ChunkedStream:
+    """``m`` i.i.d. draws from a Zipf(``skew``) law over ``range(n)``.
+
+    Item ``i`` has probability proportional to ``(i+1)^{-skew}``; item 0
+    is the most frequent.
+    """
+    return ChunkedStream(_zipf_draws(n, m, skew, seed))
+
+
+def uniform_stream(
+    n: int, m: int, seed: int | None = None
+) -> ChunkedStream:
     """``m`` i.i.d. uniform draws from ``range(n)``."""
     if n <= 0 or m < 0:
         raise ValueError(f"need n > 0 and m >= 0: n={n}, m={m}")
     rng = np.random.default_rng(seed)
-    return rng.integers(0, n, size=m).tolist()
+    return ChunkedStream(rng.integers(0, n, size=m).astype(np.int64))
 
 
-def permutation_stream(n: int, seed: int | None = None) -> list[int]:
+def permutation_stream(
+    n: int, seed: int | None = None
+) -> ChunkedStream:
     """A uniformly random permutation of ``range(n)``.
 
     Every frequency is exactly 1, so ``Fp = n`` for all ``p`` — the
@@ -51,14 +70,14 @@ def permutation_stream(n: int, seed: int | None = None) -> list[int]:
     proofs of Theorems 1.2/1.4).
     """
     if n <= 0:
-        raise ValueError(f"need n > 0: n={n}")
+        raise ValueError(f"need n > 0: {n}")
     rng = random.Random(seed)
     stream = list(range(n))
     rng.shuffle(stream)
-    return stream
+    return ChunkedStream(np.array(stream, dtype=np.int64))
 
 
-def round_robin_stream(n: int, m: int) -> list[int]:
+def round_robin_stream(n: int, m: int) -> ChunkedStream:
     """Deterministic cyclic stream ``0, 1, ..., n-1, 0, 1, ...``.
 
     The worst case for sample-based heavy hitters with clustered
@@ -66,7 +85,7 @@ def round_robin_stream(n: int, m: int) -> list[int]:
     """
     if n <= 0 or m < 0:
         raise ValueError(f"need n > 0 and m >= 0: n={n}, m={m}")
-    return [t % n for t in range(m)]
+    return ChunkedStream(np.arange(m, dtype=np.int64) % n)
 
 
 def bursty_stream(
@@ -77,7 +96,7 @@ def bursty_stream(
     burst_intensity: float = 0.9,
     background_skew: float = 1.1,
     seed: int | None = None,
-) -> list[int]:
+) -> ChunkedStream:
     """A flash-crowd stream: Zipf background with item-dominating bursts.
 
     The stream is cut into windows; ``num_bursts`` of them (covering
@@ -89,8 +108,6 @@ def bursty_stream(
     policies and per-shard write budgets (a hash-partitioned flash item
     concentrates its wear on one shard).
     """
-    if n <= 0 or m < 0:
-        raise ValueError(f"need n > 0 and m >= 0: n={n}, m={m}")
     if num_bursts < 0:
         raise ValueError(f"num_bursts must be >= 0: {num_bursts}")
     if not 0.0 <= burst_fraction <= 1.0:
@@ -99,19 +116,18 @@ def bursty_stream(
         raise ValueError(
             f"burst_intensity must be in [0, 1]: {burst_intensity}"
         )
-    background = zipf_stream(n, m, skew=background_skew, seed=seed)
+    stream = _zipf_draws(n, m, background_skew, seed)
     if num_bursts == 0 or m == 0 or burst_fraction == 0.0:
-        return background
+        return ChunkedStream(stream)
     rng = random.Random(None if seed is None else seed + 0x0B57)
     burst_length = max(1, int(m * burst_fraction / num_bursts))
-    stream = background
     for _ in range(num_bursts):
         start = rng.randrange(max(1, m - burst_length + 1))
         flash_item = rng.randrange(n)
         for t in range(start, min(m, start + burst_length)):
             if rng.random() < burst_intensity:
                 stream[t] = flash_item
-    return stream
+    return ChunkedStream(stream)
 
 
 def phase_shift_stream(
@@ -120,7 +136,7 @@ def phase_shift_stream(
     phases: int = 3,
     skew: float = 1.3,
     seed: int | None = None,
-) -> list[int]:
+) -> ChunkedStream:
     """A Zipf stream whose item ranking is reshuffled each phase.
 
     The stream is split into ``phases`` equal segments; every segment
@@ -138,14 +154,16 @@ def phase_shift_stream(
     rng = np.random.default_rng(seed)
     weights = (np.arange(1, n + 1, dtype=np.float64)) ** (-skew)
     weights /= weights.sum()
-    stream: list[int] = []
+    segments: list[np.ndarray] = []
     bounds = [round(m * k / phases) for k in range(phases + 1)]
     for phase in range(phases):
         length = bounds[phase + 1] - bounds[phase]
         ranking = rng.permutation(n)
         draws = rng.choice(n, size=length, p=weights)
-        stream.extend(int(ranking[d]) for d in draws)
-    return stream
+        segments.append(ranking[draws].astype(np.int64))
+    if not segments:
+        return ChunkedStream(np.empty(0, dtype=np.int64))
+    return ChunkedStream(np.concatenate(segments))
 
 
 def planted_heavy_hitter_stream(
@@ -155,7 +173,7 @@ def planted_heavy_hitter_stream(
     background: str = "uniform",
     skew: float = 1.1,
     seed: int | None = None,
-) -> list[int]:
+) -> ChunkedStream:
     """A background stream with specified items planted at exact counts.
 
     Parameters
@@ -195,4 +213,4 @@ def planted_heavy_hitter_stream(
     for item, count in heavy_items.items():
         body.extend([item] * count)
     rng.shuffle(body)
-    return body
+    return ChunkedStream(np.array(body, dtype=np.int64))

@@ -17,10 +17,15 @@ sweep is one reproducible call.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
-#: Uniform generator signature: ``fn(n, m, seed, **params) -> list[int]``.
-ScenarioGenerator = Callable[..., "list[int]"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.streams.chunked import ChunkedStream
+
+#: Uniform generator signature:
+#: ``fn(n, m, seed, **params) -> ChunkedStream`` (columnar; iterates
+#: as Python ints and compares equal to the historical ``list[int]``).
+ScenarioGenerator = Callable[..., "ChunkedStream"]
 
 
 @dataclass(frozen=True)
@@ -83,7 +88,7 @@ def generate(
     m: int = 65536,
     seed: int = 0,
     **params: Any,
-) -> list[int]:
+) -> "ChunkedStream":
     """Materialize a named scenario with uniform sizing arguments.
 
     Unknown parameter names are rejected up front (against the

@@ -22,6 +22,9 @@ from __future__ import annotations
 
 import random
 
+import numpy as np
+
+from repro.streams.chunked import ChunkedStream
 from repro.streams.generators import (
     bursty_stream,
     permutation_stream,
@@ -31,36 +34,42 @@ from repro.streams.generators import (
     uniform_stream,
     zipf_stream,
 )
-from repro.streams.traceio import read_trace
+from repro.streams.traceio import read_trace_chunks
 from repro.workloads.registry import register_scenario
 
 
-def _zipf(n: int, m: int, seed: int, skew: float) -> list[int]:
+def _zipf(n: int, m: int, seed: int, skew: float) -> ChunkedStream:
     return zipf_stream(n, m, skew=skew, seed=seed)
 
 
-def _uniform(n: int, m: int, seed: int) -> list[int]:
+def _uniform(n: int, m: int, seed: int) -> ChunkedStream:
     return uniform_stream(n, m, seed=seed)
 
 
-def _permutation(n: int, m: int, seed: int) -> list[int]:
+def _permutation(n: int, m: int, seed: int) -> ChunkedStream:
     """``m`` items drawn as back-to-back random permutations of ``[n]``.
 
     Every window of ``n`` updates hits each item exactly once (a fresh
     shuffle per window), preserving the flat frequency profile of the
     lower-bound instances at any stream length.
     """
-    stream: list[int] = []
+    windows: list[np.ndarray] = []
+    length = 0
     window = 0
-    while len(stream) < m:
-        stream.extend(
-            permutation_stream(n, seed=None if seed is None else seed + window)
+    while length < m:
+        windows.append(
+            permutation_stream(
+                n, seed=None if seed is None else seed + window
+            ).to_array()
         )
+        length += n
         window += 1
-    return stream[:m]
+    if not windows:
+        return ChunkedStream(np.empty(0, dtype=np.int64))
+    return ChunkedStream(np.concatenate(windows)[:m])
 
 
-def _round_robin(n: int, m: int, seed: int) -> list[int]:
+def _round_robin(n: int, m: int, seed: int) -> ChunkedStream:
     del seed  # deterministic by construction
     return round_robin_stream(n, m)
 
@@ -122,7 +131,7 @@ def _phase_shift(
 
 def _budget_stress(
     n: int, m: int, seed: int, churn_fraction: float, skew: float
-) -> list[int]:
+) -> ChunkedStream:
     """Churn prefix + skewed tail: the write-budget stress shape.
 
     The first ``churn_fraction`` of the stream is back-to-back random
@@ -139,39 +148,48 @@ def _budget_stress(
             f"churn_fraction must be in [0, 1]: {churn_fraction}"
         )
     churn = int(m * churn_fraction)
-    stream = _permutation(n, churn, seed)
+    prefix = _permutation(n, churn, seed).to_array()
     if m > churn:
-        stream += zipf_stream(
+        tail = zipf_stream(
             n,
             m - churn,
             skew=skew,
             seed=None if seed is None else seed + 0xB5,
-        )
-    return stream
+        ).to_array()
+        return ChunkedStream(np.concatenate([prefix, tail]))
+    return ChunkedStream(prefix)
 
 
-def _trace_replay(n: int, m: int, seed: int, path: str) -> list[int]:
+def _trace_replay(n: int, m: int, seed: int, path: str) -> ChunkedStream:
     """Replay an external trace file, truncated to at most ``m`` items
     (``m=0`` replays the whole trace).
 
     ``seed`` is ignored (a trace is already fixed); items must fit the
     universe hint ``n`` so downstream sketches are sized correctly.
+    The stream stays lazy: the file is read chunk-wise with ``m`` as
+    the ``max_items`` guard and each chunk is universe-checked as it
+    is produced, so a multi-gigabyte trace replays in constant memory
+    (an out-of-universe item aborts the ingest mid-read rather than
+    at materialization time).
     """
     del seed
     if not path:
         raise ValueError(
             "trace-replay needs a file: params={'path': '<trace file>'}"
         )
-    stream = read_trace(path)
-    if m:
-        stream = stream[:m]
-    oversized = next((item for item in stream if item >= n), None)
-    if oversized is not None:
-        raise ValueError(
-            f"trace item {oversized} outside universe [0, {n}); "
-            f"raise the n hint to at least {oversized + 1}"
-        )
-    return stream
+
+    def checked_chunks():
+        for chunk in read_trace_chunks(path, max_items=m if m else None):
+            oversized = chunk[chunk >= n]
+            if len(oversized):
+                raise ValueError(
+                    f"trace item {int(oversized[0])} outside universe "
+                    f"[0, {n}); raise the n hint to at least "
+                    f"{int(oversized[0]) + 1}"
+                )
+            yield chunk
+
+    return ChunkedStream(checked_chunks)
 
 
 register_scenario(

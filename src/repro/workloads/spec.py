@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.streams.chunked import ChunkedStream
 from repro.workloads.registry import generate, scenario_spec
 
 
@@ -53,8 +54,15 @@ class Workload:
                 f"need n > 0 and m >= 0: n={self.n}, m={self.m}"
             )
 
-    def materialize(self) -> list[int]:
-        """Generate the stream this spec describes."""
+    def materialize(self) -> ChunkedStream:
+        """Generate the stream this spec describes.
+
+        The stream comes back columnar
+        (:class:`~repro.streams.chunked.ChunkedStream`) so the engine
+        and runtime ingest it chunk-wise; iterate it, compare it to
+        lists, or call ``.materialize()`` on it for the historical
+        ``list[int]`` form.
+        """
         return generate(
             self.scenario,
             n=self.n,

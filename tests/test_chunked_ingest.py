@@ -1,0 +1,388 @@
+"""Chunked data plane tests: the bit-identity contract.
+
+The invariant under test everywhere: for every registered family,
+accounting backend, and chunking of a stream,
+``process_chunk`` produces exactly the payload, audit (including the
+per-cell wear histogram on the trace backend), answers, and budget
+outcome of the scalar ``process_many`` reference — and the sharded
+runtime's columnar routing preserves the same guarantee end to end,
+serial and process executors alike.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import registry
+from repro.api import Engine
+from repro.query import (
+    AllEstimates,
+    Distinct,
+    Entropy,
+    HeavyHitters,
+    Moment,
+    PointQuery,
+    QueryKind,
+)
+from repro.runtime.checkpoint import Checkpoint
+from repro.runtime.sharded import ShardedRunner
+from repro.state.budget import WriteBudget, WriteBudgetExceededError
+from repro.state.tracker import make_tracker
+from repro.streams import ChunkedStream, zipf_stream
+from repro.streams.generators import _zipf_draws
+
+#: Aggregate audit fields every arm must agree on exactly.
+AUDIT_FIELDS = (
+    "stream_length",
+    "state_changes",
+    "total_writes",
+    "total_write_attempts",
+    "peak_words",
+    "current_words",
+)
+
+#: One parameter-free query per kind (points get item 1).
+QUERY_FOR_KIND = {
+    QueryKind.POINT: lambda: PointQuery(1),
+    QueryKind.ALL_ESTIMATES: AllEstimates,
+    QueryKind.HEAVY_HITTERS: HeavyHitters,
+    QueryKind.MOMENT: Moment,
+    QueryKind.DISTINCT: Distinct,
+    QueryKind.ENTROPY: Entropy,
+}
+
+N, M = 64, 240
+ARR = _zipf_draws(N, M, 1.1, 5)
+ITEMS = ARR.tolist()
+
+
+def build(name: str, mode: str):
+    return registry.create(
+        name, n=N, m=M, epsilon=0.3, seed=9, tracker=make_tracker(mode)
+    )
+
+
+def fingerprint(sketch) -> tuple:
+    """Everything observable about an ingested sketch, exactly."""
+    report = sketch.report()
+    audit = tuple(getattr(report, field) for field in AUDIT_FIELDS)
+    cells = tuple(sorted(report.cell_writes.items()))
+    answers = tuple(
+        repr(sketch.query(QUERY_FOR_KIND[kind]()))
+        for kind in sorted(sketch.supports, key=str)
+    )
+    try:
+        payload = json.dumps(sketch.to_state(), sort_keys=True)
+    except TypeError:  # family without serialization hooks
+        payload = None
+    return (sketch.items_processed, audit, cells, answers, payload)
+
+
+_SCALAR_REFERENCE: dict = {}
+
+
+def scalar_reference(name: str, mode: str) -> tuple:
+    key = (name, mode)
+    if key not in _SCALAR_REFERENCE:
+        sketch = build(name, mode)
+        sketch.process_many(ITEMS)
+        _SCALAR_REFERENCE[key] = fingerprint(sketch)
+    return _SCALAR_REFERENCE[key]
+
+
+def ingest_chunked(sketch, sizes) -> None:
+    position = 0
+    index = 0
+    while position < M:
+        size = sizes[index % len(sizes)]
+        index += 1
+        assert sketch.process_chunk(ARR[position:position + size]) == len(
+            ARR[position:position + size]
+        )
+        position += size
+
+
+class TestChunkScalarEquivalence:
+    """The Hypothesis sweep: process_chunk ≡ process_many."""
+
+    @pytest.mark.parametrize("mode", ["aggregate", "trace"])
+    @pytest.mark.parametrize("name", registry.names())
+    @given(data=st.data())
+    @settings(max_examples=6, deadline=None)
+    def test_random_chunkings(self, name, mode, data):
+        sizes = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=M + 40),
+                min_size=1,
+                max_size=12,
+            )
+        )
+        sketch = build(name, mode)
+        ingest_chunked(sketch, sizes)
+        assert fingerprint(sketch) == scalar_reference(name, mode)
+
+    @pytest.mark.parametrize("size", [1, 3, M, M + 17, 10_000])
+    @pytest.mark.parametrize("name", registry.names())
+    def test_boundary_chunk_sizes(self, name, size):
+        sketch = build(name, "aggregate")
+        ingest_chunked(sketch, [size])
+        assert fingerprint(sketch) == scalar_reference(name, "aggregate")
+
+    @pytest.mark.parametrize("name", registry.names())
+    def test_process_stream_routes_chunked_sources(self, name):
+        chunked = build(name, "aggregate")
+        chunked.process_stream(ChunkedStream(ARR, chunk_size=37))
+        assert fingerprint(chunked) == scalar_reference(name, "aggregate")
+        as_array = build(name, "aggregate")
+        as_array.process_stream(ARR)
+        assert fingerprint(as_array) == scalar_reference(name, "aggregate")
+
+    def test_empty_chunk_is_a_noop(self):
+        sketch = build("count-min", "aggregate")
+        assert sketch.process_chunk(np.empty(0, dtype=np.int64)) == 0
+        assert sketch.items_processed == 0
+        assert sketch.report().stream_length == 0
+
+    def test_chunk_must_be_one_dimensional(self):
+        sketch = build("count-min", "aggregate")
+        with pytest.raises(ValueError, match="one-dimensional"):
+            sketch.process_chunk(np.zeros((2, 2), dtype=np.int64))
+
+    def test_chunked_answers_use_python_ints(self):
+        # np.int64 must never leak into summary keys / payloads.
+        sketch = build("misra-gries", "aggregate")
+        sketch.process_chunk(ARR)
+        estimates = sketch.query(AllEstimates()).values
+        assert all(type(item) is int for item in estimates)
+        json.dumps(sketch.to_state())  # JSON-safe payload
+
+    def test_listeners_force_the_scalar_path(self):
+        # A write listener needs one callback per write in stream
+        # order; chunked ingest must fall back and still deliver them.
+        events = []
+        scalar_events = []
+        chunked = build("count-min", "trace")
+        chunked.tracker.add_listener(
+            lambda t, cell, mutated: events.append((t, cell, mutated))
+        )
+        chunked.process_chunk(ARR[:50])
+        scalar = build("count-min", "trace")
+        scalar.tracker.add_listener(
+            lambda t, cell, mutated: scalar_events.append((t, cell, mutated))
+        )
+        scalar.process_many(ITEMS[:50])
+        assert events and events == scalar_events
+
+
+class TestBudgetChunkBoundaries:
+    """Freeze/degrade/raise cut over at the exact update index."""
+
+    @pytest.mark.parametrize("policy", ["freeze", "degrade"])
+    @pytest.mark.parametrize("name", ["count-min", "kmv", "misra-gries"])
+    @pytest.mark.parametrize("limit", [0, 1, 103, 10_000])
+    def test_policy_identical_to_scalar(self, name, policy, limit):
+        def run(chunked: bool):
+            sketch = registry.create(
+                name, n=N, m=M, epsilon=0.3, seed=9,
+                tracker=make_tracker(budget=WriteBudget(limit, policy)),
+            )
+            if chunked:
+                ingest_chunked(sketch, [40])  # limit=103 cuts mid-chunk
+            else:
+                sketch.process_many(ITEMS)
+            return fingerprint(sketch), sketch.tracker.budget_report()
+
+        assert run(chunked=True) == run(chunked=False)
+
+    def test_freeze_cuts_at_the_exact_update_index(self):
+        limit = 103  # not a multiple of the chunk size
+        sketch = registry.create(
+            "count-min", n=N, m=M, epsilon=0.3, seed=9,
+            tracker=make_tracker(budget=WriteBudget(limit, "freeze")),
+        )
+        ingest_chunked(sketch, [40])
+        report = sketch.tracker.budget_report()
+        # CountMin mutates on every update, so exactly `limit` updates
+        # landed and every later one was denied.
+        assert report.state_changes == limit
+        assert report.denied == M - limit
+        assert sketch.report().stream_length == M
+
+    def test_raise_aborts_at_the_same_write(self):
+        def run(chunked: bool):
+            sketch = registry.create(
+                "count-min", n=N, m=M, epsilon=0.3, seed=9,
+                tracker=make_tracker(budget=WriteBudget(57, "raise")),
+            )
+            with pytest.raises(WriteBudgetExceededError) as excinfo:
+                if chunked:
+                    ingest_chunked(sketch, [40])
+                else:
+                    sketch.process_many(ITEMS)
+            return str(excinfo.value), fingerprint(sketch)
+
+        assert run(chunked=True) == run(chunked=False)
+
+    def test_record_chunk_refuses_budget_overrun(self):
+        tracker = make_tracker(budget=WriteBudget(5, "freeze"))
+        with pytest.raises(ValueError, match="bulk_admit"):
+            tracker.record_chunk(10, 6, 6, 6)
+
+    def test_bulk_admit_bounds(self):
+        tracker = make_tracker(budget=WriteBudget(5, "freeze"))
+        assert tracker.bulk_admit(3) == 3
+        assert tracker.bulk_admit(100) == 5
+        tracker.record_chunk(5, 5, 5, 5)
+        assert tracker.bulk_admit(100) == 0
+        unlimited = make_tracker("aggregate")
+        assert unlimited.bulk_admit(7) == 7
+
+
+class TestChunkedSharding:
+    """Columnar routing matches scalar routing bit for bit."""
+
+    @pytest.mark.parametrize("partition", ["hash", "round-robin"])
+    @pytest.mark.parametrize("name", ["count-min", "misra-gries", "kmv"])
+    def test_serial_chunked_equals_serial_scalar(self, name, partition):
+        stream = zipf_stream(256, 4096, skew=1.2, seed=3)
+
+        def run(source):
+            runner = ShardedRunner.from_registry(
+                name, 4, n=256, m=4096, epsilon=0.3, seed=1,
+                partition=partition,
+            )
+            result = runner.run(source)
+            return (
+                json.dumps(result.merged.to_state(), sort_keys=True),
+                result.shard_reports,
+                result.shard_items,
+            )
+
+        assert run(stream) == run(stream.materialize())
+
+    def test_process_executor_ships_ndarray_chunks(self):
+        stream = zipf_stream(256, 4096, skew=1.2, seed=3)
+
+        def run(executor):
+            runner = ShardedRunner.from_registry(
+                "count-min", 2, n=256, m=4096, epsilon=0.3, seed=1,
+                executor=executor, max_workers=2,
+            )
+            result = runner.run(stream)
+            return (
+                json.dumps(result.merged.to_state(), sort_keys=True),
+                result.shard_reports,
+            )
+
+        assert run("process") == run("serial")
+
+    def test_routing_matches_shard_of(self):
+        runner = ShardedRunner.from_registry(
+            "count-min", 8, n=256, m=1024, epsilon=0.3, seed=4
+        )
+        chunk = _zipf_draws(256, 1024, 1.2, 8)
+        vectorized = runner._route.bucket_many(chunk, 8).tolist()
+        assert vectorized == [
+            runner.shard_of(int(item)) for item in chunk
+        ]
+
+    def test_chunk_size_rechunks_without_changing_results(self):
+        stream = zipf_stream(128, 2000, seed=6)
+        baseline = ShardedRunner.from_registry(
+            "count-min", 2, n=128, m=2000, seed=2
+        ).run(stream)
+        rechunked = ShardedRunner.from_registry(
+            "count-min", 2, n=128, m=2000, seed=2, chunk_size=111
+        ).run(stream)
+        assert json.dumps(
+            baseline.merged.to_state(), sort_keys=True
+        ) == json.dumps(rechunked.merged.to_state(), sort_keys=True)
+
+
+class TestEngineChunked:
+    def test_workload_runs_are_chunked_and_identical_to_scalar(self):
+        engine = Engine("count-min", n=128, m=3000, epsilon=0.3, seed=5)
+        chunked = engine.run(workload="zipf", chunk_size=256)
+        assert chunked.chunk_size == 256
+        workload_stream = engine.run(workload="zipf")
+        from repro.workloads import Workload
+
+        scalar = engine.run(
+            Workload("zipf", n=128, m=3000, seed=5).materialize()
+            .materialize(),  # plain list[int] → scalar ingest path
+        )
+        for report in (workload_stream, scalar):
+            assert [
+                (repr(q), repr(a)) for q, a in chunked.answers
+            ] == [(repr(q), repr(a)) for q, a in report.answers]
+            assert chunked.audit == report.audit
+
+    def test_chunk_size_validation(self):
+        engine = Engine("count-min", n=64, m=100, seed=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            engine.run([1, 2, 3], queries=(), chunk_size=0)
+
+    def test_plain_iterable_with_chunk_size_is_wrapped(self):
+        engine = Engine("count-min", n=64, m=100, seed=0)
+        report = engine.run(
+            iter([1, 2, 3] * 30), queries=(), chunk_size=7
+        )
+        assert report.items_processed == 90
+        assert report.chunk_size == 7
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize(
+        "name", ["count-min", "kmv", "count-min-morris", "misra-gries"]
+    )
+    def test_resume_matches_uninterrupted_run(self, name, tmp_path):
+        # count-min-morris exercises the coin-RNG snapshot through the
+        # scalar fallback; the others resume through chunk kernels.
+        stream = ChunkedStream(ARR, chunk_size=64)
+        uninterrupted = build(name, "aggregate")
+        uninterrupted.process_stream(stream)
+
+        interrupted = build(name, "aggregate")
+        consumed = 0
+        for chunk in stream.chunks():
+            interrupted.process_chunk(chunk)
+            consumed += len(chunk)
+            if consumed >= 137:  # stop mid-stream, off the chunk grid
+                break
+        path = tmp_path / "ckpt.json"
+        Checkpoint.save(path, interrupted)
+        assert Checkpoint.offset(path.read_text()) == consumed
+
+        resumed = Checkpoint.resume(path, stream)
+        assert resumed.items_processed == M
+        assert json.dumps(
+            resumed.to_state(), sort_keys=True
+        ) == json.dumps(uninterrupted.to_state(), sort_keys=True)
+
+    def test_resume_accepts_plain_iterables(self, tmp_path):
+        sketch = build("count-min", "aggregate")
+        sketch.process_many(ITEMS[:100])
+        path = tmp_path / "ckpt.json"
+        Checkpoint.save(path, sketch)
+        resumed = Checkpoint.resume(path, ITEMS)
+        reference = build("count-min", "aggregate")
+        reference.process_many(ITEMS)
+        assert json.dumps(
+            resumed.to_state(), sort_keys=True
+        ) == json.dumps(reference.to_state(), sort_keys=True)
+
+    def test_legacy_checkpoints_still_resume(self, tmp_path):
+        # Pre-offset checkpoints carry no stream_offset field; the
+        # recorded items_processed doubles as the offset.
+        sketch = build("count-min", "aggregate")
+        sketch.process_many(ITEMS[:50])
+        state = sketch.to_state()
+        assert "stream_offset" not in state
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(state) + "\n")
+        assert Checkpoint.offset(path.read_text()) == 50
+        resumed = Checkpoint.resume(path, ChunkedStream(ARR))
+        assert resumed.items_processed == M

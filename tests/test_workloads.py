@@ -177,8 +177,12 @@ class TestScenarioShapes:
     def test_trace_replay_validates_universe_and_path(self, tmp_path):
         path = tmp_path / "trace.txt"
         write_trace(path, [99])
+        # The replay stream is lazy (constant-memory chunked reads),
+        # so the universe check fires as the offending chunk is read.
         with pytest.raises(ValueError, match="universe"):
-            workloads.generate("trace-replay", n=10, seed=0, path=str(path))
+            workloads.generate(
+                "trace-replay", n=10, seed=0, path=str(path)
+            ).materialize()
         with pytest.raises(ValueError, match="path"):
             workloads.generate("trace-replay", n=10, seed=0)
 
