@@ -203,6 +203,12 @@ class Engine:
     max_workers:
         Process-pool size cap (``None``: one worker per shard, capped
         by the machine's cores).
+    coin_protocol:
+        ``"v1"`` (sequential RNG) or ``"v2"`` (indexed Philox coins,
+        the randomized families' default) — forwarded to every shard's
+        factory.  ``None`` keeps each sketch's default; a non-``None``
+        value on a coin-free sketch raises at construction (see
+        :func:`repro.registry.create`).
     """
 
     def __init__(
@@ -218,10 +224,18 @@ class Engine:
         batch_size: int = 1024,
         executor: str = "serial",
         max_workers: int | None = None,
+        coin_protocol: str | None = None,
     ) -> None:
         self.spec = registry.spec(sketch)
         if shards < 1:
             raise ValueError(f"need at least one shard: {shards}")
+        if coin_protocol is not None and (
+            sketch not in registry.COIN_PROTOCOL_AWARE
+        ):
+            raise ValueError(
+                f"{sketch!r} has no coin protocol; coin_protocol= "
+                f"applies to {sorted(registry.COIN_PROTOCOL_AWARE)}"
+            )
         if executor not in ("serial", "process"):
             raise ValueError(
                 f"unknown executor {executor!r}; "
@@ -252,6 +266,7 @@ class Engine:
         self.batch_size = batch_size
         self.executor = executor
         self.max_workers = max_workers
+        self.coin_protocol = coin_protocol
         self._merged: Sketch | None = None
 
     # ------------------------------------------------------------------
@@ -410,6 +425,7 @@ class Engine:
             budget=budget,
             budget_split=budget_split,
             chunk_size=chunk_size,
+            coin_protocol=self.coin_protocol,
         )
         if device is not None:
             for shard in runner.shards:

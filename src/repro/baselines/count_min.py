@@ -10,7 +10,6 @@ error ``<= e*m/width`` w.p. ``1 - e^{-depth}``.  Every update increments
 from __future__ import annotations
 
 import math
-import warnings
 from typing import Iterable
 
 import numpy as np
@@ -120,16 +119,6 @@ class CountMin(StreamAlgorithm):
         """Point queries for a candidate set (CountMin has no item list,
         so unlike the summary families the candidates are required)."""
         return {item: self.estimate(item) for item in items}
-
-    def estimates_for(self, items: set[int]) -> dict[int, float]:
-        """Deprecated alias of :meth:`estimates`."""
-        warnings.warn(
-            "CountMin.estimates_for() is deprecated; use "
-            "CountMin.estimates(items)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.estimates(items)
 
     # ------------------------------------------------------------------
     # Mergeable sketch protocol

@@ -187,6 +187,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         shards=args.shards,
         partition=args.partition,
         executor=args.executor,
+        coin_protocol=args.coin_protocol,
     )
     workload = workloads.Workload(
         args.workload,
@@ -379,6 +380,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace",
                      help="trace file for --workload trace-replay")
     run.add_argument("--shards", type=int, default=1)
+    run.add_argument("--coin-protocol", default=None,
+                     choices=("v1", "v2"), dest="coin_protocol",
+                     help="force the randomized families' coin protocol "
+                          "(v1: sequential RNG; v2: indexed Philox coins)")
     run.add_argument("--executor", default="serial",
                      choices=["serial", "process"])
     run.add_argument("--partition", default="hash",

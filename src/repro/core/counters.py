@@ -10,15 +10,28 @@ a ``(1+eps)``-approximation with probability ``1 - delta`` (Chebyshev),
 and a median over ``O(log 1/delta)`` copies upgrades the failure
 probability exponentially (the NY22 parameterization behind Thm 1.5).
 
-Three counter flavours share the :class:`ApproximateCounter` interface:
+Four counter flavours share the :class:`ApproximateCounter` interface:
 
 * :class:`ExactCounter` — writes on every update (the baseline).
-* :class:`MorrisCounter` — unit and weighted increments, few writes.
+* :class:`MorrisCounter` — unit and weighted increments, few writes;
+  coins come from a sequential ``random.Random`` (the v1 protocol).
+* :class:`SkipMorrisCounter` — the v2 protocol's unit counter: the
+  same distribution, but driven by index-addressable
+  :class:`~repro.hashing.coins.PhiloxCoins` draws via geometric
+  *skip-sampling* — instead of flipping one ``(1+a)^{-X}`` coin per
+  arrival, it draws how many arrivals the current level survives
+  (a geometric variate, by inversion from the coin at index ``X``)
+  and counts down, so a chunk kernel can absorb ``k`` arrivals in
+  ``O(levels climbed)`` work.
 * :class:`MedianMorrisCounter` — median of independent Morris copies.
 
 All of them store their registers in tracked cells so state changes are
 audited by the enclosing algorithm's
 :class:`~repro.state.tracker.StateTracker`.
+
+:func:`weighted_morris_step` is the v2 protocol's weighted-increment
+kernel, shared verbatim by the scalar and the chunked p-stable paths so
+their levels agree bit for bit.
 """
 
 from __future__ import annotations
@@ -27,9 +40,73 @@ import abc
 import math
 import random
 
+import numpy as np
+
+from repro.hashing.coins import PhiloxCoins
 from repro.state.algorithm import NotMergeableError
 from repro.state.registers import TrackedValue
 from repro.state.tracker import StateTracker
+
+#: Geometric thresholds are clipped here; beyond it a level is never
+#: left within any feasible stream.
+_MAX_THRESHOLD = 1 << 62
+
+
+def weighted_morris_step(
+    a: float,
+    levels: np.ndarray,
+    weights: np.ndarray,
+    uniforms: np.ndarray,
+) -> np.ndarray:
+    """Vectorized v2 weighted Morris increment.
+
+    For each position: weight ``w`` climbs ``d`` whole levels
+    deterministically (the largest ``d`` with
+    ``consumed(d) = gap * ((1+a)^d - 1)/a <= w``, found in closed form
+    with ``floor(log1p(a*w/gap)/log1p(a))`` plus one-step fix-ups for
+    float rounding), then the remainder flips the coin
+    ``u * gap_new < remainder`` for one final level — the same
+    distribution as :meth:`MorrisCounter._climbed_level`, but a pure
+    function of ``(level, weight, uniform)``.  Zero-weight positions
+    never change and consume no coin semantics.
+
+    Both the scalar v2 update and the chunk kernels call *this*
+    function, so chunked ≡ scalar holds bit for bit by construction.
+    """
+    levels = np.asarray(levels, dtype=np.int64)
+    w = np.asarray(weights, dtype=np.float64)
+    u = np.asarray(uniforms, dtype=np.float64)
+    la = math.log1p(a)
+    gap = np.power(1.0 + a, levels.astype(np.float64))
+    positive = w > 0.0
+    ratio = np.divide(a * w, gap, out=np.zeros_like(w), where=positive)
+    d = np.floor(np.log1p(ratio) / la)
+    d = np.where(positive, np.maximum(d, 0.0), 0.0)
+    # consumed(d) <= w < consumed(d+1) must hold exactly; the closed
+    # form can be off by one ulp-driven step in either direction.
+    for _ in range(2):
+        consumed = gap * np.expm1(d * la) / a
+        d = np.where((consumed > w) & (d > 0.0), d - 1.0, d)
+    for _ in range(2):
+        consumed_next = gap * np.expm1((d + 1.0) * la) / a
+        d = np.where(positive & (consumed_next <= w), d + 1.0, d)
+    remainder = w - gap * np.expm1(d * la) / a
+    new_levels = levels + d.astype(np.int64)
+    new_gap = np.power(1.0 + a, new_levels.astype(np.float64))
+    coin = positive & (remainder > 0.0) & (u * new_gap < remainder)
+    return new_levels + coin.astype(np.int64)
+
+
+def climbed_level_v2(a: float, level: int, weight: float, u: float) -> int:
+    """Scalar wrapper over :func:`weighted_morris_step` (merge path)."""
+    return int(
+        weighted_morris_step(
+            a,
+            np.array([level], dtype=np.int64),
+            np.array([float(weight)]),
+            np.array([float(u)]),
+        )[0]
+    )
 
 
 class ApproximateCounter(abc.ABC):
@@ -64,6 +141,21 @@ class ExactCounter(ApproximateCounter):
         if weight == 0:
             return
         self._cell.set(self._cell.value + weight)
+
+    @property
+    def cell_id(self) -> str:
+        return self._cell._cell_id
+
+    def absorb(self, count: int) -> range:
+        """Untracked bulk add of ``count`` unit increments.
+
+        The chunk-kernel counterpart of ``count`` ``add()`` calls:
+        every increment mutates an exact counter, so all 1-based
+        ordinals are returned for the caller to audit.
+        """
+        if count > 0:
+            self._cell.load(self._cell.value + count)
+        return range(1, count + 1)
 
     @property
     def estimate(self) -> float:
@@ -213,6 +305,131 @@ class MorrisCounter(ApproximateCounter):
     def load_level(self, level: int) -> None:
         """Restore a serialized level (untracked; checkpoint path)."""
         self._level.load(int(level))
+
+    def release(self) -> None:
+        self._level.release()
+
+
+class SkipMorrisCounter(ApproximateCounter):
+    """Unit Morris counter on the v2 coin protocol (skip-sampling).
+
+    The stored state is the level ``X`` (one tracked word) plus two
+    untracked shadows: ``since``, the arrivals absorbed at the current
+    level, and the geometric ``threshold`` at which the level is left.
+    Entering level ``X`` draws the threshold by inversion from the coin
+    at index ``X`` of the counter's :class:`PhiloxCoins` stream —
+    levels only increase, so each index is consumed at most once and
+    any path (scalar adds, bulk absorbs, merges, restores) that enters
+    a level sees the same threshold.  ``threshold`` is therefore
+    recomputable and never serialized; checkpoints carry only
+    ``(level, since)``.
+
+    Level 0 keeps v1's deterministic first step: the increment
+    probability is 1, so the threshold is 1 and no coin is spent.
+    """
+
+    __slots__ = ("a", "cell_id", "_coins", "_level", "_since", "_threshold")
+
+    def __init__(
+        self,
+        tracker: StateTracker,
+        a: float,
+        coins: PhiloxCoins,
+        cell_id: str | None = None,
+    ) -> None:
+        if a <= 0:
+            raise ValueError(f"Morris parameter a must be positive: {a}")
+        cell_id = cell_id or tracker.fresh_cell_id("morris")
+        self.a = a
+        self.cell_id = cell_id
+        self._coins = coins
+        self._level: TrackedValue[int] = TrackedValue(tracker, cell_id, 0)
+        self._since = 0
+        self._threshold = 1
+
+    def _geometric(self, level: int) -> int:
+        """Arrivals level ``level`` survives: Geometric((1+a)^-level)."""
+        if level <= 0:
+            return 1
+        u = self._coins.uniform(level)
+        p = (1.0 + self.a) ** (-level)
+        g = math.ceil(math.log1p(-u) / math.log1p(-p))
+        return min(max(1, int(g)), _MAX_THRESHOLD)
+
+    def add(self, weight: float = 1.0) -> None:
+        if weight != 1.0:
+            raise ValueError(
+                f"SkipMorrisCounter only supports unit increments: {weight}"
+            )
+        self._since += 1
+        if self._since >= self._threshold:
+            level = self._level.value + 1
+            if self._level.set(level):
+                self._since = 0
+                self._threshold = self._geometric(level)
+
+    def absorb(self, count: int) -> list[int]:
+        """Bulk-apply ``count`` unit arrivals (untracked; kernel path).
+
+        Returns the 1-based arrival ordinals at which the level
+        transitioned — exactly the arrivals a scalar :meth:`add` loop
+        would have written on — so the caller can charge the enclosing
+        chunk positions.  Work is ``O(levels climbed)``, not
+        ``O(count)``.
+        """
+        transitions: list[int] = []
+        consumed = 0
+        while True:
+            need = self._threshold - self._since
+            if count - consumed < need:
+                self._since += count - consumed
+                return transitions
+            consumed += need
+            level = self._level.value + 1
+            self._level.load(level)
+            transitions.append(consumed)
+            self._since = 0
+            self._threshold = self._geometric(level)
+
+    @property
+    def estimate(self) -> float:
+        level = self._level.value
+        return ((1.0 + self.a) ** level - 1.0) / self.a
+
+    @property
+    def level(self) -> int:
+        """Current stored level ``X`` (the only persisted word)."""
+        return self._level.value
+
+    @property
+    def since(self) -> int:
+        """Arrivals absorbed at the current level (untracked shadow)."""
+        return self._since
+
+    def merge_weight(self, weight: float, u: float) -> bool:
+        """Absorb a merged-in estimate via one weighted climb.
+
+        ``u`` comes from the enclosing sketch's dedicated merge stream
+        (the level-indexed stream stays single-consumer).  Entering a
+        new level redraws the threshold at that level's index; an
+        unchanged level keeps ``since``/``threshold`` as they are,
+        which is exact by geometric memorylessness.  Untracked, like
+        every merge.  Returns whether the level changed.
+        """
+        level = climbed_level_v2(self.a, self._level.value, weight, u)
+        if level == self._level.value:
+            return False
+        self._level.load(level)
+        self._since = 0
+        self._threshold = self._geometric(level)
+        return True
+
+    def restore(self, level: int, since: int) -> None:
+        """Load a checkpointed ``(level, since)`` pair (untracked)."""
+        level = int(level)
+        self._level.load(level)
+        self._threshold = self._geometric(level)
+        self._since = int(since)
 
     def release(self) -> None:
         self._level.release()

@@ -37,10 +37,13 @@ from __future__ import annotations
 import math
 import random
 
-from repro.core.counters import MorrisCounter
+import numpy as np
+
+from repro.core.counters import MorrisCounter, SkipMorrisCounter
 from repro.core.fp_pstable import PStableFpEstimator
+from repro.hashing.coins import PhiloxCoins
 from repro.query import Entropy, QueryKind, ScalarAnswer
-from repro.state.algorithm import StreamAlgorithm
+from repro.state.algorithm import ChunkAudit, StreamAlgorithm
 from repro.state.registers import TrackedDict
 from repro.state.tracker import StateTracker
 
@@ -132,6 +135,7 @@ class EntropyEstimator(StreamAlgorithm):
         num_rows: int | None = None,
         morris_a: float = 0.02,
         seed: int | None = None,
+        coin_protocol: str = "v2",
         tracker: StateTracker | None = None,
     ) -> None:
         if m < 2:
@@ -140,10 +144,19 @@ class EntropyEstimator(StreamAlgorithm):
             raise ValueError(f"epsilon must be in (0, 1]: {epsilon}")
         if backend not in ("pstable", "oracle"):
             raise ValueError(f"unknown backend: {backend!r}")
+        if coin_protocol not in ("v1", "v2"):
+            raise ValueError(
+                f"unknown coin protocol {coin_protocol!r}; "
+                f"choose 'v1' or 'v2'"
+            )
         super().__init__(tracker)
         self.m = m
         self.epsilon = epsilon
         self.backend_kind = backend
+        self.coin_protocol = coin_protocol
+        self._chunk_kernel_enabled = (
+            coin_protocol == "v2" and backend == "pstable"
+        )
         log_m = math.log2(m)
         if k is None:
             k = max(2, int(math.ceil(math.log2(1.0 / epsilon) + math.log2(max(2.0, log_m)))))
@@ -165,6 +178,7 @@ class EntropyEstimator(StreamAlgorithm):
                     morris_a=morris_a,
                     seed=base_seed + 7919 * i,
                     variate_seed=base_seed,
+                    coin_protocol=coin_protocol,
                     tracker=self.tracker,
                 )
                 for i, node in enumerate(self.nodes)
@@ -172,10 +186,19 @@ class EntropyEstimator(StreamAlgorithm):
         else:
             self._oracle = TrackedDict(self.tracker, "entropy-oracle")
         # A Morris counter supplies the stream length (G(1) = ln m and
-        # the log2(m) offset) with few writes.
-        self._length = MorrisCounter(
-            self.tracker, a=0.001, rng=random.Random(seed)
-        )
+        # the log2(m) offset) with few writes.  Under v2 it rides its
+        # own indexed coin stream so the chunk kernel can batch-absorb
+        # arrivals.
+        if coin_protocol == "v2":
+            self._length = SkipMorrisCounter(
+                self.tracker,
+                a=0.001,
+                coins=PhiloxCoins(seed, "entropy.len"),
+            )
+        else:
+            self._length = MorrisCounter(
+                self.tracker, a=0.001, rng=random.Random(seed)
+            )
 
     def _update(self, item: int) -> None:
         if self._oracle is not None:
@@ -184,6 +207,17 @@ class EntropyEstimator(StreamAlgorithm):
             for sketch in self._sketches:
                 sketch._update(item)
         self._length.add()
+
+    def _update_chunk(self, chunk: np.ndarray) -> None:
+        # Node sketches share one audit: a chunk position is dirty iff
+        # any sketch (or the length counter) mutated on that arrival,
+        # exactly as the scalar loop would have ticked it.
+        audit = ChunkAudit(len(chunk), self.tracker.needs_cell_ids)
+        for sketch in self._sketches:
+            sketch._absorb_chunk(chunk, audit)
+        for ordinal in self._length.absorb(len(chunk)):
+            audit.write(self._length.cell_id, True, ordinal - 1)
+        audit.commit(self.tracker, len(chunk))
 
     # ------------------------------------------------------------------
     # Moment access

@@ -105,6 +105,7 @@ class FpEstimator(StreamAlgorithm):
         offset_scale: float = 1.0,
         num_levels: int | None = None,
         seed: int | None = None,
+        coin_protocol: str = "v2",
         tracker: StateTracker | None = None,
         inner_kwargs: dict | None = None,
     ) -> None:
@@ -116,7 +117,13 @@ class FpEstimator(StreamAlgorithm):
             raise ValueError(f"epsilon must be in (0, 1]: {epsilon}")
         if backend not in ("sample-hold", "oracle"):
             raise ValueError(f"unknown backend: {backend!r}")
+        if coin_protocol not in ("v1", "v2"):
+            raise ValueError(
+                f"unknown coin protocol {coin_protocol!r}; "
+                f"choose 'v1' or 'v2'"
+            )
         super().__init__(tracker)
+        self.coin_protocol = coin_protocol
         self.n = n
         self.m = m
         self.p = p
@@ -170,6 +177,7 @@ class FpEstimator(StreamAlgorithm):
                             p=p,
                             epsilon=epsilon,
                             seed=self._rng.randrange(2**62),
+                            coin_protocol=coin_protocol,
                             tracker=self.tracker,
                             **inner_kwargs,
                         )

@@ -22,6 +22,19 @@ The sketch matrix is never stored: entry ``D[i, j]`` is regenerated on
 demand from a seed (:class:`~repro.hashing.pstable.DerandomizedStable`),
 standing in for the ``O(log(1/eps)/log log(1/eps))``-wise independent
 generation of [JW19] (DESIGN.md substitution note).
+
+Coin protocols: ``"v1"`` keeps per-row ``MorrisCounter`` objects fed by
+one sequential ``random.Random``.  ``"v2"`` (default) holds the levels
+as ``int64`` arrays and drives every weighted climb from an indexed
+Philox stream — update ``t`` row ``i`` consumes the coin at flat index
+``t * num_rows + i`` — through the shared
+:func:`~repro.core.counters.weighted_morris_step` kernel.  The chunk
+kernel exploits that the climb condition is *monotone decreasing in
+the level*: a screen computed against chunk-start levels is
+conservative, so the (increasingly rare, as gaps outgrow the variate
+magnitudes) flagged positions are settled row-vectorized while
+everything else is provably a no-op — bit-identical to the scalar v2
+loop by construction.
 """
 
 from __future__ import annotations
@@ -32,14 +45,19 @@ import statistics
 
 import numpy as np
 
-from repro.core.counters import MorrisCounter
+from repro.core.counters import (
+    MorrisCounter,
+    climbed_level_v2,
+    weighted_morris_step,
+)
+from repro.hashing.coins import PhiloxCoins
 from repro.hashing.pstable import (
     cms_transform,
     stable_abs_median,
     stable_log_abs_mean,
 )
 from repro.query import Moment, MomentAnswer, QueryKind
-from repro.state.algorithm import StreamAlgorithm
+from repro.state.algorithm import ChunkAudit, StreamAlgorithm
 from repro.state.tracker import StateTracker
 
 _HALF_PI = math.pi / 2.0
@@ -70,11 +88,15 @@ class PStableFpEstimator(StreamAlgorithm):
         sketches sharing a ``variate_seed`` evaluate *the same* random
         matrix at different ``p`` (common random numbers) — the entropy
         estimator relies on this to differentiate across ``p`` stably.
+    coin_protocol:
+        ``"v2"`` (default) for indexed Philox coins and the chunk
+        kernel; ``"v1"`` for the sequential-RNG legacy path.
     """
 
     name = "PStableFp"
     mergeable = True
     supports = frozenset({QueryKind.MOMENT})
+    _coin_protocol_aware = True
 
     def __init__(
         self,
@@ -84,12 +106,18 @@ class PStableFpEstimator(StreamAlgorithm):
         morris_a: float = 0.02,
         seed: int | None = None,
         variate_seed: int | None = None,
+        coin_protocol: str = "v2",
         tracker: StateTracker | None = None,
     ) -> None:
         if not 0.0 < p < 2.0:
             raise ValueError(f"p must be in (0, 2): {p}")
         if not 0 < epsilon <= 1:
             raise ValueError(f"epsilon must be in (0, 1]: {epsilon}")
+        if coin_protocol not in ("v1", "v2"):
+            raise ValueError(
+                f"unknown coin protocol {coin_protocol!r}; "
+                f"choose 'v1' or 'v2'"
+            )
         super().__init__(tracker)
         self.p = p
         self.epsilon = epsilon
@@ -99,16 +127,28 @@ class PStableFpEstimator(StreamAlgorithm):
         self.morris_a = morris_a
         self.seed = 0 if seed is None else seed
         self.variate_seed = self.seed if variate_seed is None else variate_seed
-        self._rng = random.Random(self.seed)
+        self.coin_protocol = coin_protocol
+        self._chunk_kernel_enabled = coin_protocol == "v2"
 
-        self._positive = [
-            MorrisCounter(self.tracker, a=morris_a, rng=self._rng)
-            for _ in range(num_rows)
-        ]
-        self._negative = [
-            MorrisCounter(self.tracker, a=morris_a, rng=self._rng)
-            for _ in range(num_rows)
-        ]
+        if coin_protocol == "v1":
+            self._rng = random.Random(self.seed)
+            self._positive = [
+                MorrisCounter(self.tracker, a=morris_a, rng=self._rng)
+                for _ in range(num_rows)
+            ]
+            self._negative = [
+                MorrisCounter(self.tracker, a=morris_a, rng=self._rng)
+                for _ in range(num_rows)
+            ]
+        else:
+            self._pos_levels = np.zeros(num_rows, dtype=np.int64)
+            self._neg_levels = np.zeros(num_rows, dtype=np.int64)
+            self._coins = PhiloxCoins(self.seed, "pstable.climb")
+            self._merge_coins = PhiloxCoins(self.seed, "pstable.merge")
+            self._merge_draws = 0
+            self._updates = 0
+            # Same space charge as the 2R tracked level registers of v1.
+            self.tracker.allocate(2 * num_rows)
         # Small cache of per-item variate columns: the matrix is
         # regenerated from the seed, never stored, so the cache is a
         # speed optimization only (reads are free in the cost model).
@@ -138,24 +178,143 @@ class PStableFpEstimator(StreamAlgorithm):
             self._variate_cache[item] = column
         return column
 
+    def _step_levels(
+        self, column: np.ndarray, uniforms: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Post-update (pos, neg) level arrays for one v2 arrival.
+
+        One coin per row drives whichever half the signed variate hits
+        (the other half sees weight 0 and never reads its coin).
+        """
+        pos_w = np.where(column >= 0.0, column, 0.0)
+        neg_w = np.where(column < 0.0, -column, 0.0)
+        a = self.morris_a
+        return (
+            weighted_morris_step(a, self._pos_levels, pos_w, uniforms),
+            weighted_morris_step(a, self._neg_levels, neg_w, uniforms),
+        )
+
     def _update(self, item: int) -> None:
         column = self._variates(item)
-        for row in range(self.num_rows):
-            value = column[row]
-            if value >= 0.0:
-                self._positive[row].add(value)
-            else:
-                self._negative[row].add(-value)
+        if self.coin_protocol == "v1":
+            for row in range(self.num_rows):
+                value = column[row]
+                if value >= 0.0:
+                    self._positive[row].add(value)
+                else:
+                    self._negative[row].add(-value)
+            return
+        t = self._updates
+        self._updates = t + 1
+        uniforms = self._coins.uniform_block(
+            t * self.num_rows, self.num_rows
+        )
+        new_pos, new_neg = self._step_levels(column, uniforms)
+        tracker = self.tracker
+        needs = tracker.needs_cell_ids
+        for prefix, levels, new in (
+            ("pstable.pos", self._pos_levels, new_pos),
+            ("pstable.neg", self._neg_levels, new_neg),
+        ):
+            for i in np.nonzero(new != levels)[0].tolist():
+                applied = (
+                    tracker.record_write(f"{prefix}[{i}]", True)
+                    if needs
+                    else tracker.count_write(True)
+                )
+                if applied:
+                    levels[i] = new[i]
+
+    def _update_chunk(self, chunk: np.ndarray) -> None:
+        audit = ChunkAudit(len(chunk), self.tracker.needs_cell_ids)
+        self._absorb_chunk(chunk, audit)
+        audit.commit(self.tracker, len(chunk))
+
+    #: Screening-block length: the no-op screen freezes its gaps at
+    #: block start, so blocks bound how stale the gaps can get.  Levels
+    #: climb fastest early in a stream — a whole-stream chunk screened
+    #: once against level-0 gaps flags *every* position — while per-
+    #: block refreshes let the screen tighten as the levels rise.
+    _SCREEN_BLOCK = 1024
+
+    def _absorb_chunk(
+        self, chunk: np.ndarray, audit: ChunkAudit, offset: int = 0
+    ) -> None:
+        """Absorb a chunk's arrivals, accounting into ``audit`` at
+        positions ``offset + i`` (shared with the entropy kernel)."""
+        block = self._SCREEN_BLOCK
+        for start in range(0, len(chunk), block):
+            self._absorb_block(
+                chunk[start:start + block], audit, offset + start
+            )
+
+    def _absorb_block(
+        self, chunk: np.ndarray, audit: ChunkAudit, offset: int
+    ) -> None:
+        """One screening block of the chunk kernel.
+
+        The screen against block-start gaps is conservative: the climb
+        condition ``(w >= gap) | (u * gap < w)`` is monotone decreasing
+        in the level, and levels only rise mid-block, so an unflagged
+        position stays a no-op for every row under any later levels.
+        """
+        n = len(chunk)
+        rows = self.num_rows
+        t0 = self._updates
+        self._updates = t0 + n
+        uniforms = self._coins.uniform_block(t0 * rows, n * rows).reshape(
+            n, rows
+        )
+        uniq, inverse = np.unique(chunk, return_inverse=True)
+        matrix = np.empty((len(uniq), rows))
+        for idx, item in enumerate(uniq.tolist()):
+            matrix[idx] = self._variates(int(item))
+        variates = matrix[inverse]
+        magnitudes = np.abs(variates)
+        a = self.morris_a
+        gap_pos = np.power(1.0 + a, self._pos_levels.astype(np.float64))
+        gap_neg = np.power(1.0 + a, self._neg_levels.astype(np.float64))
+        gaps = np.where(variates >= 0.0, gap_pos[None, :], gap_neg[None, :])
+        flagged = (
+            (magnitudes >= gaps) | (uniforms * gaps < magnitudes)
+        ).any(axis=1)
+        for local in np.nonzero(flagged)[0].tolist():
+            new_pos, new_neg = self._step_levels(
+                variates[local], uniforms[local]
+            )
+            position = offset + local
+            for prefix, levels, new in (
+                ("pstable.pos", self._pos_levels, new_pos),
+                ("pstable.neg", self._neg_levels, new_neg),
+            ):
+                changed = np.nonzero(new != levels)[0]
+                for i in changed.tolist():
+                    audit.write(f"{prefix}[{i}]", True, position)
+                levels[changed] = new[changed]
 
     # ------------------------------------------------------------------
     # Estimation
     # ------------------------------------------------------------------
+    def _level_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current (pos, neg) levels, protocol-independent."""
+        if self.coin_protocol == "v2":
+            return self._pos_levels, self._neg_levels
+        return (
+            np.array([c.level for c in self._positive], dtype=np.int64),
+            np.array([c.level for c in self._negative], dtype=np.int64),
+        )
+
     def coordinates(self) -> list[float]:
         """Signed sketch coordinates ``s_i = <D^{(i)}, f>`` (approx)."""
-        return [
-            self._positive[row].estimate - self._negative[row].estimate
-            for row in range(self.num_rows)
-        ]
+        if self.coin_protocol == "v1":
+            return [
+                self._positive[row].estimate - self._negative[row].estimate
+                for row in range(self.num_rows)
+            ]
+        a = self.morris_a
+        pos = (np.power(1.0 + a, self._pos_levels.astype(np.float64)) - 1.0) / a
+        neg = (np.power(1.0 + a, self._neg_levels.astype(np.float64)) - 1.0) / a
+        return [float(p) - float(q) for p, q in zip(pos, neg)]
 
     def lp_norm_estimate(self, estimator: str = "median") -> float:
         """``||f||_p`` estimate via the chosen estimator.
@@ -217,23 +376,47 @@ class PStableFpEstimator(StreamAlgorithm):
     # sharing a variate seed see the same matrix ``D``, so merging the
     # Morris counters row-wise merges the sketches.
     def _merge_same_type(self, other: "PStableFpEstimator") -> None:
-        if (other.p, other.num_rows, other.morris_a, other.variate_seed) != (
+        if (
+            other.p,
+            other.num_rows,
+            other.morris_a,
+            other.variate_seed,
+            other.coin_protocol,
+        ) != (
             self.p,
             self.num_rows,
             self.morris_a,
             self.variate_seed,
+            self.coin_protocol,
         ):
             raise ValueError(
                 f"incompatible p-stable sketches: "
                 f"p={self.p}/rows={self.num_rows}/a={self.morris_a}"
-                f"/variates={self.variate_seed} vs "
+                f"/variates={self.variate_seed}/{self.coin_protocol} vs "
                 f"p={other.p}/rows={other.num_rows}/a={other.morris_a}"
-                f"/variates={other.variate_seed}"
+                f"/variates={other.variate_seed}/{other.coin_protocol}"
             )
-        for mine, theirs in zip(self._positive, other._positive):
-            mine.merge_from(theirs)
-        for mine, theirs in zip(self._negative, other._negative):
-            mine.merge_from(theirs)
+        if self.coin_protocol == "v1":
+            for mine, theirs in zip(self._positive, other._positive):
+                mine.merge_from(theirs)
+            for mine, theirs in zip(self._negative, other._negative):
+                mine.merge_from(theirs)
+            return
+        a = self.morris_a
+        for levels, other_levels in (
+            (self._pos_levels, other._pos_levels),
+            (self._neg_levels, other._neg_levels),
+        ):
+            for i in range(self.num_rows):
+                weight = (
+                    math.pow(1.0 + a, int(other_levels[i])) - 1.0
+                ) / a
+                if weight > 0:
+                    u = self._merge_coins.uniform(self._merge_draws)
+                    self._merge_draws += 1
+                    levels[i] = climbed_level_v2(
+                        a, int(levels[i]), weight, u
+                    )
 
     def _config_state(self) -> dict:
         return {
@@ -243,15 +426,27 @@ class PStableFpEstimator(StreamAlgorithm):
             "morris_a": self.morris_a,
             "seed": self.seed,
             "variate_seed": self.variate_seed,
+            "coin_protocol": self.coin_protocol,
         }
 
     def _payload_state(self) -> dict:
-        return {
-            "positive": [counter.level for counter in self._positive],
-            "negative": [counter.level for counter in self._negative],
+        pos, neg = self._level_arrays()
+        payload = {
+            "positive": [int(level) for level in pos],
+            "negative": [int(level) for level in neg],
         }
+        if self.coin_protocol == "v2":
+            payload["updates"] = self._updates
+            payload["merge_draws"] = self._merge_draws
+        return payload
 
     def _load_payload(self, payload: dict) -> None:
+        if self.coin_protocol == "v2":
+            self._pos_levels = np.asarray(payload["positive"], dtype=np.int64)
+            self._neg_levels = np.asarray(payload["negative"], dtype=np.int64)
+            self._updates = int(payload.get("updates", 0))
+            self._merge_draws = int(payload.get("merge_draws", 0))
+            return
         for counter, level in zip(self._positive, payload["positive"]):
             counter.load_level(level)
         for counter, level in zip(self._negative, payload["negative"]):

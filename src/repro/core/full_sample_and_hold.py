@@ -28,8 +28,11 @@ import math
 import random
 import statistics
 
-from repro.core.counters import MorrisCounter
+import numpy as np
+
+from repro.core.counters import MorrisCounter, SkipMorrisCounter
 from repro.core.sample_and_hold import SampleAndHold, SampleAndHoldParams
+from repro.hashing.coins import PhiloxCoins
 from repro.hashing.subsample import NestedStreamSampler
 from repro.query import (
     AllEstimates,
@@ -38,7 +41,7 @@ from repro.query import (
     QueryKind,
     ScalarAnswer,
 )
-from repro.state.algorithm import StreamAlgorithm
+from repro.state.algorithm import ChunkAudit, StreamAlgorithm
 from repro.state.tracker import StateTracker
 
 
@@ -81,6 +84,7 @@ class FullSampleAndHold(StreamAlgorithm):
         level_rule: str = "max",
         seed: int | None = None,
         use_morris: bool = True,
+        coin_protocol: str = "v2",
         tracker: StateTracker | None = None,
         **param_overrides: float,
     ) -> None:
@@ -88,24 +92,46 @@ class FullSampleAndHold(StreamAlgorithm):
             raise ValueError(f"repetitions must be >= 1: {repetitions}")
         if level_rule not in ("max", "shallowest", "min-length"):
             raise ValueError(f"unknown level_rule: {level_rule!r}")
+        if coin_protocol not in ("v1", "v2"):
+            raise ValueError(
+                f"unknown coin protocol {coin_protocol!r}; "
+                f"choose 'v1' or 'v2'"
+            )
         super().__init__(tracker)
         self.n = n
         self.m = m
         self.p = p
         self.epsilon = epsilon
         self.level_rule = level_rule
+        self.seed = 0 if seed is None else seed
+        self.coin_protocol = coin_protocol
+        self._chunk_kernel_enabled = coin_protocol == "v2"
         if repetitions % 2 == 0:
             repetitions += 1
         self.repetitions = repetitions
         if num_levels is None:
             num_levels = min(24, max(1, int(math.ceil(math.log2(max(2, m)))) + 1))
         self.num_levels = num_levels
+        self._t = 0  # v2 arrival clock (level-coin index of the next arrival)
 
-        self._rng = random.Random(seed)
-        self._samplers = [
-            NestedStreamSampler(num_levels, random.Random(self._rng.randrange(2**62)))
-            for _ in range(repetitions)
-        ]
+        if coin_protocol == "v1":
+            self._rng = random.Random(seed)
+            self._samplers = [
+                NestedStreamSampler(num_levels, random.Random(self._rng.randrange(2**62)))
+                for _ in range(repetitions)
+            ]
+            self._level_coins = None
+        else:
+            self._rng = None
+            self._samplers = None
+            # One indexed level-draw stream per repetition: arrival t's
+            # survival depth for copy r is a pure function of coin
+            # (r, t), which is what lets the chunk kernel split the
+            # chunk into per-level substreams up front.
+            self._level_coins = [
+                PhiloxCoins(self.seed, f"fsh.lvl[{r}]")
+                for r in range(repetitions)
+            ]
         # Instance (r, x) processes the level-x substream of copy r.
         self._instances: list[list[SampleAndHold]] = []
         for r in range(repetitions):
@@ -115,27 +141,73 @@ class FullSampleAndHold(StreamAlgorithm):
                 params = SampleAndHoldParams.from_problem(
                     n=n, m=expected_m, p=p, epsilon=epsilon, **param_overrides
                 )
-                row.append(
-                    SampleAndHold(
+                if coin_protocol == "v1":
+                    instance = SampleAndHold(
                         params,
                         rng=random.Random(self._rng.randrange(2**62)),
                         use_morris=use_morris,
                         tracker=self.tracker,
                     )
-                )
+                else:
+                    instance = SampleAndHold(
+                        params,
+                        seed=self.seed,
+                        use_morris=use_morris,
+                        coin_protocol="v2",
+                        stream_label=f"fsh[{r}][{x}]",
+                        tracker=self.tracker,
+                    )
+                row.append(instance)
             self._instances.append(row)
         # Morris counters tracking each level's substream length m_x
         # (line 4); the paper only needs a 2-approximation, so a coarse
         # growth parameter keeps these counters nearly write-free.
-        self._length_counters = [
-            MorrisCounter(self.tracker, a=0.05, rng=self._rng)
-            for _ in range(num_levels)
-        ]
+        if coin_protocol == "v1":
+            self._length_counters = [
+                MorrisCounter(self.tracker, a=0.05, rng=self._rng)
+                for _ in range(num_levels)
+            ]
+        else:
+            self._length_counters = [
+                SkipMorrisCounter(
+                    self.tracker,
+                    a=0.05,
+                    coins=PhiloxCoins(self.seed, f"fsh.len[{x}]"),
+                )
+                for x in range(num_levels)
+            ]
 
     # ------------------------------------------------------------------
     # Stream processing
     # ------------------------------------------------------------------
+    def _deepest_level(self, u: float) -> int:
+        """Deepest surviving level for one v2 level coin.
+
+        Exact-arithmetic twin of ``NestedStreamSampler.draw_level``:
+        ``floor(1 - log2(u))`` equals ``1 - e`` for ``u = f * 2^e``
+        with ``f in [0.5, 1)``, plus one exactly on powers of two —
+        ``frexp`` keeps scalar and vectorized draws bit-identical
+        where a log2 round-trip could disagree in the last ulp.
+        """
+        if u <= 0.0:
+            return self.num_levels
+        fraction, exponent = math.frexp(u)
+        deepest = 1 - exponent + (1 if fraction == 0.5 else 0)
+        return max(1, min(self.num_levels, deepest))
+
     def _update(self, item: int) -> None:
+        if self._level_coins is not None:
+            idx = self._t
+            self._t = idx + 1
+            for r, coins in enumerate(self._level_coins):
+                deepest = self._deepest_level(coins.uniform(idx))
+                row = self._instances[r]
+                for x in range(deepest):
+                    row[x]._update(item)
+                if r == 0:
+                    for x in range(deepest):
+                        self._length_counters[x].add()
+            return
         for r, sampler in enumerate(self._samplers):
             deepest = sampler.draw_level()
             row = self._instances[r]
@@ -147,6 +219,71 @@ class FullSampleAndHold(StreamAlgorithm):
                 # 2-approximation Algorithm 2 line 4 asks for).
                 for x in range(deepest):
                     self._length_counters[x].add()
+
+    def _update_chunk(self, chunk: np.ndarray) -> None:
+        """Vectorized grid dispatch: split the chunk into per-level
+        substreams from the indexed level coins, screen each instance's
+        substream with its own chunk flags, then settle every flagged
+        event in exact scalar order (position, repetition, level) so
+        allocation/eviction interleaving — and thus peak words —
+        matches the scalar loop."""
+        n = len(chunk)
+        audit = ChunkAudit(n, self.tracker.needs_cell_ids)
+        t0 = self._t
+        self._t = t0 + n
+        events: list[tuple[int, int, int, SampleAndHold, int, int, float]] = []
+        deepest_first = None
+        for r, coins in enumerate(self._level_coins):
+            u = coins.uniform_block(t0, n)
+            fraction, exponent = np.frexp(u)
+            deepest = (1 - exponent + (fraction == 0.5)).astype(np.int64)
+            deepest = np.where(
+                u <= 0.0,
+                np.int64(self.num_levels),
+                np.clip(deepest, 1, self.num_levels),
+            )
+            if r == 0:
+                deepest_first = deepest
+            row = self._instances[r]
+            for x in range(self.num_levels):
+                positions = np.nonzero(deepest > x)[0]
+                if len(positions) == 0:
+                    break  # levels are nested: deeper ones are empty too
+                instance = row[x]
+                sub = chunk[positions]
+                sub_t0 = instance._t
+                uniforms, flagged = instance._chunk_flags(sub)
+                instance._t = sub_t0 + len(sub)
+                for local in np.nonzero(flagged)[0].tolist():
+                    events.append(
+                        (
+                            int(positions[local]),
+                            r,
+                            x,
+                            instance,
+                            int(sub[local]),
+                            sub_t0 + local,
+                            float(uniforms[local]),
+                        )
+                    )
+        # Substream length counters (first copy only): batch-absorb each
+        # level's arrivals, mapping transition ordinals back to chunk
+        # positions.  No allocation churn, so ordering vs. the instance
+        # events below cannot affect peak words.
+        for x in range(self.num_levels):
+            positions = np.nonzero(deepest_first > x)[0]
+            if len(positions) == 0:
+                break
+            counter = self._length_counters[x]
+            for ordinal in counter.absorb(len(positions)):
+                audit.write(counter.cell_id, True, int(positions[ordinal - 1]))
+        # A position occurs at most once per (r, x) substream, so the
+        # (position, r, x) prefix is unique and the sort never compares
+        # the instance element.
+        events.sort()
+        for _position, _r, _x, instance, item, idx, u_sample in events:
+            instance._step_absorb(item, idx, u_sample, _position, audit)
+        audit.commit(self.tracker, n)
 
     # ------------------------------------------------------------------
     # Queries

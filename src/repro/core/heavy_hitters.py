@@ -58,6 +58,7 @@ class HeavyHitters(StreamAlgorithm):
         epsilon: float,
         repetitions: int = 3,
         seed: int | None = None,
+        coin_protocol: str = "v2",
         tracker: StateTracker | None = None,
         **fp_kwargs,
     ) -> None:
@@ -66,6 +67,7 @@ class HeavyHitters(StreamAlgorithm):
         self.m = m
         self.p = p
         self.epsilon = epsilon
+        self.coin_protocol = coin_protocol
         self._fp = FpEstimator(
             n=n,
             m=m,
@@ -73,6 +75,7 @@ class HeavyHitters(StreamAlgorithm):
             epsilon=epsilon,
             repetitions=repetitions,
             seed=seed,
+            coin_protocol=coin_protocol,
             tracker=self.tracker,
             **fp_kwargs,
         )

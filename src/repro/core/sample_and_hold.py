@@ -33,7 +33,15 @@ import math
 import random
 from dataclasses import dataclass
 
-from repro.core.counters import ApproximateCounter, ExactCounter, MorrisCounter
+import numpy as np
+
+from repro.core.counters import (
+    ApproximateCounter,
+    ExactCounter,
+    MorrisCounter,
+    SkipMorrisCounter,
+)
+from repro.hashing.coins import PhiloxCoins
 from repro.query import (
     AllEstimates,
     MapAnswer,
@@ -41,7 +49,7 @@ from repro.query import (
     QueryKind,
     ScalarAnswer,
 )
-from repro.state.algorithm import StreamAlgorithm
+from repro.state.algorithm import ChunkAudit, StreamAlgorithm
 from repro.state.registers import TrackedArray
 from repro.state.tracker import StateTracker
 
@@ -150,10 +158,22 @@ class SampleAndHold(StreamAlgorithm):
         Resolved sizes/probabilities (see :class:`SampleAndHoldParams`).
     rng:
         Randomness for sampling, slot choice, and Morris coin flips;
-        overrides ``seed``.
+        passing one forces ``coin_protocol="v1"``.
     seed:
-        Seed for the default RNG when ``rng`` is not given; runs with
-        equal seeds are reproducible.
+        Seed for the coin streams (v2) or the default RNG (v1); runs
+        with equal seeds are reproducible.
+    coin_protocol:
+        ``"v2"`` (default) draws every coin from an index-addressable
+        Philox stream — arrival ``t`` owns the sampling/slot coins at
+        index ``t``, prune ``j`` owns budget coin ``j``, and the
+        ``i``-th held counter rides its own geometric-skip stream — so
+        the chunk kernel can screen a whole chunk against the sampling
+        coins at once and settle only the interesting arrivals.
+        ``"v1"`` is the sequential-RNG legacy path.
+    stream_label:
+        Namespace prefix of the v2 coin streams; composite algorithms
+        embedding many instances (full sample-and-hold) give each a
+        distinct label so their streams stay independent.
     use_morris:
         When False, hold *exact* counters instead of Morris counters —
         the ablation of experiment A1 (accuracy up, state changes up).
@@ -174,15 +194,50 @@ class SampleAndHold(StreamAlgorithm):
         use_morris: bool = True,
         eviction: str = "age-bucketed",
         seed: int | None = None,
+        coin_protocol: str | None = None,
+        stream_label: str = "sh",
         tracker: StateTracker | None = None,
     ) -> None:
         if eviction not in ("age-bucketed", "global"):
             raise ValueError(f"unknown eviction policy: {eviction!r}")
+        if coin_protocol is None:
+            # An explicit rng is inherently sequential: it implies v1.
+            coin_protocol = "v1" if rng is not None else "v2"
+        if coin_protocol not in ("v1", "v2"):
+            raise ValueError(
+                f"unknown coin protocol {coin_protocol!r}; "
+                f"choose 'v1' or 'v2'"
+            )
+        if coin_protocol == "v2" and rng is not None:
+            raise ValueError(
+                "coin_protocol='v2' draws from indexed Philox streams; "
+                "an explicit rng= requires coin_protocol='v1'"
+            )
         super().__init__(tracker)
         self.params = params
         self.use_morris = use_morris
         self.eviction = eviction
-        self._rng = rng if rng is not None else random.Random(seed)
+        self.seed = 0 if seed is None else seed
+        self.coin_protocol = coin_protocol
+        self.stream_label = stream_label
+        self._chunk_kernel_enabled = coin_protocol == "v2"
+        if coin_protocol == "v1":
+            self._rng = rng if rng is not None else random.Random(seed)
+            self._coins_sample = None
+            self._coins_slot = None
+            self._coins_budget = None
+        else:
+            self._rng = None
+            self._coins_sample = PhiloxCoins(
+                self.seed, f"{stream_label}.sample"
+            )
+            self._coins_slot = PhiloxCoins(self.seed, f"{stream_label}.slot")
+            self._coins_budget = PhiloxCoins(
+                self.seed, f"{stream_label}.budget"
+            )
+        self._t = 0  # v2 arrival clock (coin index of the next arrival)
+        self._created = 0  # held counters ever opened (stream ordinals)
+        self._budget_draws = 0
         self._budget = self._draw_budget()
         # The reservoir is provisioned for the largest possible budget so
         # that budget re-draws never outgrow the array.
@@ -199,6 +254,11 @@ class SampleAndHold(StreamAlgorithm):
     # Algorithm 1 main loop
     # ------------------------------------------------------------------
     def _update(self, item: int) -> None:
+        if self._coins_sample is not None:
+            idx = self._t
+            self._t = idx + 1
+            self._step(item, idx, self._coins_sample.uniform(idx))
+            return
         held = self._held.get(item)
         if held is not None:
             # Line 10-11: update the (Morris) counter.
@@ -217,25 +277,66 @@ class SampleAndHold(StreamAlgorithm):
             self._reservoir[slot] = item
             self._reservoir_members[item] = slot
 
-    def _create_counter(self, item: int) -> None:
-        """Open an approximate counter for ``item`` (lines 13, 19-21)."""
-        if self.use_morris:
-            counter: ApproximateCounter = MorrisCounter(
+    def _step(self, item: int, idx: int, u_sample: float) -> None:
+        """One v2 arrival: the same branch structure as the v1 loop,
+        with every coin read from its indexed stream."""
+        held = self._held.get(item)
+        if held is not None:
+            held.counter.add()
+            return
+        if item in self._reservoir_members:
+            self._create_counter(item)
+            return
+        if u_sample < self.params.sample_probability:
+            u = self._coins_slot.uniform(idx)
+            slot = min(int(u * self._budget), self._budget - 1)
+            evicted = self._reservoir[slot]
+            if evicted is not None and self._reservoir_members.get(evicted) == slot:
+                del self._reservoir_members[evicted]
+            self._reservoir[slot] = item
+            self._reservoir_members[item] = slot
+
+    def _new_counter(self) -> ApproximateCounter:
+        """A fresh held counter on the configured coin protocol."""
+        if not self.use_morris:
+            counter: ApproximateCounter = ExactCounter(self.tracker)
+        elif self._coins_sample is None:
+            counter = MorrisCounter(
                 self.tracker, a=self.params.counter_a, rng=self._rng
             )
         else:
-            counter = ExactCounter(self.tracker)
+            counter = SkipMorrisCounter(
+                self.tracker,
+                a=self.params.counter_a,
+                coins=PhiloxCoins(
+                    self.seed, f"{self.stream_label}.ctr{self._created}"
+                ),
+            )
+        self._created += 1
+        return counter
+
+    def _create_counter(self, item: int) -> None:
+        """Open an approximate counter for ``item`` (lines 13, 19-21)."""
+        counter = self._new_counter()
         counter.add()  # the triggering occurrence counts
         # Two bookkeeping words: the held item id and its creation time.
         self.tracker.allocate(2)
-        self._held[item] = _HeldCounter(counter, self.tracker.timestep)
+        created_at = (
+            self.tracker.timestep if self._coins_sample is None else self._t
+        )
+        self._held[item] = _HeldCounter(counter, created_at)
         if len(self._held) >= self._budget:
-            self._prune_counters()
+            self._prune_counters(created_at)
 
     # ------------------------------------------------------------------
     # Counter maintenance (lines 19-21): dyadic age groups
     # ------------------------------------------------------------------
-    def _prune_counters(self) -> None:
+    def _prune_counters(
+        self,
+        now: int,
+        audit: ChunkAudit | None = None,
+        position: int = 0,
+    ) -> None:
         """Halve each dyadic age group, keeping the largest estimates.
 
         Counters created between ``t - 2^{z+1}`` and ``t - 2^z`` ago are
@@ -245,7 +346,6 @@ class SampleAndHold(StreamAlgorithm):
         ``eviction="global"`` all counters are compared together
         (the classical rule; kept for the A2 ablation).
         """
-        now = self.tracker.timestep
         groups: dict[int, list[int]] = {}
         for item, held in self._held.items():
             if self.eviction == "global":
@@ -258,22 +358,127 @@ class SampleAndHold(StreamAlgorithm):
         for members in groups.values():
             members.sort(key=lambda it: self._held[it].counter.estimate)
             for item in members[: len(members) // 2]:
-                self._evict(item)
+                self._evict(item, audit, position)
         # Lemma 2.1: re-randomize the budget after each maintenance.
         self._budget = self._draw_budget()
         self._prunes += 1
 
-    def _evict(self, item: int) -> None:
+    def _evict(
+        self,
+        item: int,
+        audit: ChunkAudit | None = None,
+        position: int = 0,
+    ) -> None:
         held = self._held.pop(item)
         held.counter.release()
         self.tracker.free(2)
-        self.tracker.mark_dirty()
+        if audit is None:
+            self.tracker.mark_dirty()
+        else:
+            audit.mark(position)
 
     def _draw_budget(self) -> int:
         """Algorithm 1 line 7/20: ``k ~ Uni([budget_low, budget_high])``."""
-        return self._rng.randint(
-            self.params.budget_low, self.params.budget_high
-        )
+        low, high = self.params.budget_low, self.params.budget_high
+        if self._coins_budget is None:
+            return self._rng.randint(low, high)
+        u = self._coins_budget.uniform(self._budget_draws)
+        self._budget_draws += 1
+        span = high - low + 1
+        return low + min(int(u * span), span - 1)
+
+    # ------------------------------------------------------------------
+    # Chunk kernel (v2 only)
+    # ------------------------------------------------------------------
+    def _update_chunk(self, chunk: np.ndarray) -> None:
+        audit = ChunkAudit(len(chunk), self.tracker.needs_cell_ids)
+        self._absorb_chunk(chunk, range(len(chunk)), audit)
+        audit.commit(self.tracker, len(chunk))
+
+    def _chunk_flags(
+        self, items: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sampling coins and the conservative settle mask for ``items``
+        arriving at clock ``self._t``.
+
+        An arrival needs scalar settlement iff its item could touch
+        state: it is already held or reservoir-resident, its sampling
+        coin hits, or it equals an item whose coin hits in this chunk
+        (that item may enter the reservoir and then be held on a later
+        occurrence).  Everything unflagged is a provable no-op — the
+        sampling coin misses and no lookup matches — so skipping it
+        leaves state and audit exactly as the scalar loop would.
+        """
+        uniforms = self._coins_sample.uniform_block(self._t, len(items))
+        hits = uniforms < self.params.sample_probability
+        watch = [np.asarray(items[hits], dtype=np.int64)]
+        if self._held:
+            watch.append(
+                np.fromiter(
+                    self._held.keys(), dtype=np.int64, count=len(self._held)
+                )
+            )
+        if self._reservoir_members:
+            watch.append(
+                np.fromiter(
+                    self._reservoir_members.keys(),
+                    dtype=np.int64,
+                    count=len(self._reservoir_members),
+                )
+            )
+        flagged = hits | np.isin(items, np.concatenate(watch))
+        return uniforms, flagged
+
+    def _absorb_chunk(self, items, positions, audit: ChunkAudit) -> None:
+        """Settle a chunk's flagged arrivals in stream order,
+        accounting into ``audit`` at the given positions."""
+        t0 = self._t
+        uniforms, flagged = self._chunk_flags(items)
+        self._t = t0 + len(items)
+        for i in np.nonzero(flagged)[0].tolist():
+            self._step_absorb(
+                int(items[i]),
+                t0 + i,
+                float(uniforms[i]),
+                positions[i],
+                audit,
+            )
+
+    def _step_absorb(
+        self,
+        item: int,
+        idx: int,
+        u_sample: float,
+        position: int,
+        audit: ChunkAudit,
+    ) -> None:
+        """The v2 arrival step with audit-side accounting: identical
+        state transitions to :meth:`_step`, but writes land in the
+        chunk audit and registers are stored untracked."""
+        held = self._held.get(item)
+        if held is not None:
+            for _ in held.counter.absorb(1):
+                audit.write(held.counter.cell_id, True, position)
+            return
+        if item in self._reservoir_members:
+            counter = self._new_counter()
+            for _ in counter.absorb(1):
+                audit.write(counter.cell_id, True, position)
+            self.tracker.allocate(2)
+            created_at = idx + 1
+            self._held[item] = _HeldCounter(counter, created_at)
+            if len(self._held) >= self._budget:
+                self._prune_counters(created_at, audit, position)
+            return
+        if u_sample < self.params.sample_probability:
+            u = self._coins_slot.uniform(idx)
+            slot = min(int(u * self._budget), self._budget - 1)
+            evicted = self._reservoir[slot]
+            if evicted is not None and self._reservoir_members.get(evicted) == slot:
+                del self._reservoir_members[evicted]
+            audit.write(f"q[{slot}]", item != evicted, position)
+            self._reservoir.store_at(slot, item)
+            self._reservoir_members[item] = slot
 
     # ------------------------------------------------------------------
     # Queries

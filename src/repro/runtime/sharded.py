@@ -243,6 +243,7 @@ class ShardedRunner:
         budget: WriteBudget | int | None = None,
         budget_split: str = "even",
         chunk_size: int | None = None,
+        coin_protocol: str | None = None,
     ) -> "ShardedRunner":
         """Runner whose shards come from :mod:`repro.registry`.
 
@@ -253,7 +254,10 @@ class ShardedRunner:
         switches the shards to budget backends, with the global limit
         divided per ``budget_split`` (``"even"`` — shard limits sum to
         the global limit — or ``"replicate"`` — every shard gets the
-        full limit).
+        full limit).  ``coin_protocol`` forces the randomized
+        families' coin protocol (see :func:`repro.registry.create`);
+        shards share the sketch ``seed``, so all shards run the same
+        protocol.
         """
         budgets: tuple[WriteBudget | None, ...]
         if budget is not None:
@@ -270,6 +274,7 @@ class ShardedRunner:
                 epsilon=epsilon,
                 seed=seed,
                 tracker=make_tracker(tracking, budget=budgets[index]),
+                coin_protocol=coin_protocol,
             ),
             num_shards=num_shards,
             partition=partition,

@@ -81,6 +81,56 @@ class NotSerializableError(TypeError):
     """Raised when a sketch does not implement the state hooks."""
 
 
+class ChunkAudit:
+    """Per-chunk write accounting for vectorized kernels.
+
+    A kernel that settles individual positions (sample-and-hold
+    admissions, reservoir acceptances, Morris transitions) records each
+    write attempt here instead of on the tracker; at the end of the
+    chunk the accumulated counts feed one
+    :meth:`~repro.state.tracker.TrackerBackend.record_chunk` call.  The
+    per-position ``dirty`` mask makes ``state_changes`` exact: a chunk
+    position with at least one mutating write (or structural mutation)
+    is exactly an update a scalar run would have ticked with
+    ``X_t = 1``.
+
+    ``cells`` is populated only when the backend needs per-cell labels
+    (the trace backend's wear histogram).
+    """
+
+    __slots__ = ("dirty", "writes", "attempts", "cells")
+
+    def __init__(self, length: int, needs_cell_ids: bool) -> None:
+        self.dirty = np.zeros(length, dtype=bool)
+        self.writes = 0
+        self.attempts = 0
+        self.cells: dict[str, int] | None = {} if needs_cell_ids else None
+
+    def write(self, cell_id: str, mutated: bool, position: int) -> None:
+        """One write attempt against ``cell_id`` at chunk ``position``."""
+        self.attempts += 1
+        if mutated:
+            self.writes += 1
+            self.dirty[position] = True
+            cells = self.cells
+            if cells is not None:
+                cells[cell_id] = cells.get(cell_id, 0) + 1
+
+    def mark(self, position: int) -> None:
+        """Structural mutation (no single-cell identity) at ``position``."""
+        self.dirty[position] = True
+
+    def commit(self, tracker, updates: int) -> None:
+        """Flush the chunk's accounting in one ``record_chunk`` call."""
+        tracker.record_chunk(
+            updates,
+            int(self.dirty.sum()),
+            self.writes,
+            self.attempts,
+            self.cells,
+        )
+
+
 class Sketch(abc.ABC):
     """Abstract insertion-only streaming algorithm over universe ``[n]``.
 
@@ -100,6 +150,18 @@ class Sketch(abc.ABC):
     #: kind → implementing function, resolved once per subclass from
     #: :attr:`supports` (see ``__init_subclass__``).
     _query_handlers: ClassVar[dict[QueryKind, Any]] = {}
+
+    #: Instance-level kernel gate.  Families whose ``_update_chunk``
+    #: only supports some configurations (the randomized families'
+    #: kernels need the v2 coin protocol) set this False on instances
+    #: that must take the scalar fallback.
+    _chunk_kernel_enabled: bool = True
+
+    #: Classes taking a ``coin_protocol`` constructor argument set
+    #: this True; :meth:`from_state` then pins snapshots that predate
+    #: the flag to the v1 sequential-coin protocol they were ingested
+    #: under.
+    _coin_protocol_aware: ClassVar[bool] = False
 
     def __init_subclass__(cls, **kwargs: Any) -> None:
         super().__init_subclass__(**kwargs)
@@ -219,6 +281,7 @@ class Sketch(abc.ABC):
         tracker = self.tracker
         if (
             type(self)._update_chunk is Sketch._update_chunk
+            or not self._chunk_kernel_enabled
             or tracker.has_listeners
         ):
             return self.process_many(chunk.tolist())
@@ -416,7 +479,13 @@ class Sketch(abc.ABC):
         own_tracker = tracker
         if own_tracker is None and state.get("audit") is not None:
             own_tracker = tracker_from_state(state["audit"])
-        instance = cls(tracker=own_tracker, **state["config"])
+        config = dict(state["config"])
+        if cls._coin_protocol_aware and "coin_protocol" not in config:
+            # Snapshots from before the v2 coin protocol were ingested
+            # under sequential coins; restoring them as v2 would splice
+            # two incompatible coin sequences into one run.
+            config["coin_protocol"] = "v1"
+        instance = cls(tracker=own_tracker, **config)
         instance._load_payload(state["payload"])
         instance._items_processed = int(state.get("items_processed", 0))
         rng_state = state.get("rng")

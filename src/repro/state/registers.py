@@ -164,6 +164,15 @@ class TrackedArray(Generic[T]):
         for index, delta in zip(indices, deltas):
             cells[index] += delta
 
+    def store_at(self, index: int, value: T) -> None:
+        """Overwrite one cell without touching the audit.
+
+        The single-cell counterpart of :meth:`load`, for chunk kernels
+        that settle individual positions after bulk accounting
+        (reservoir slots, sample-and-hold admissions).
+        """
+        self._cells[index] = value
+
     def release(self) -> None:
         """Free the whole array."""
         self._tracker.free(len(self._cells))

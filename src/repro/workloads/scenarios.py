@@ -16,6 +16,10 @@ cover the dynamics the static laws miss:
   a fresh item, so naive algorithms change state every step) followed
   by a skewed tail: the adversarial shape for enforced write budgets,
   which it exhausts as early as possible.
+* ``adversarial`` — the Section 1.4 pseudo-heavy counterexample
+  (:func:`repro.streams.adversarial.amplified_counterexample`):
+  concentrated pseudo-heavy bursts followed by a trickled true heavy
+  hitter, the stream that defeats global-eviction counter maintenance.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import random
 
 import numpy as np
 
+from repro.streams.adversarial import amplified_counterexample
 from repro.streams.chunked import ChunkedStream
 from repro.streams.generators import (
     bursty_stream,
@@ -160,6 +165,45 @@ def _budget_stress(
     return ChunkedStream(prefix)
 
 
+def _adversarial(
+    n: int,
+    m: int,
+    seed: int,
+    num_pseudo: int,
+    pseudo_frequency: int,
+    trickle_gap: int,
+) -> ChunkedStream:
+    """Section 1.4 counterexample sized to the ``m`` hint.
+
+    Phase 1 (``num_pseudo * pseudo_frequency`` updates) plants the
+    concentrated pseudo-heavy bursts; the rest of the stream trickles
+    the single true heavy hitter (item 0) one occurrence every
+    ``trickle_gap`` updates, so its final frequency is the remaining
+    budget divided by the gap.  ``n`` is ignored — the construction
+    allocates fresh light items as it goes, and all sketches here
+    accept arbitrary integer items.
+    """
+    del n
+    phase1 = num_pseudo * pseudo_frequency
+    heavy_frequency = (m - phase1) // trickle_gap
+    if heavy_frequency <= pseudo_frequency:
+        raise ValueError(
+            f"m={m} too short for the counterexample: the trickled "
+            f"heavy hitter gets {max(0, heavy_frequency)} occurrences "
+            f"but must dominate pseudo_frequency={pseudo_frequency}; "
+            f"need m >= "
+            f"{phase1 + (pseudo_frequency + 1) * trickle_gap}"
+        )
+    instance = amplified_counterexample(
+        num_pseudo=num_pseudo,
+        pseudo_frequency=pseudo_frequency,
+        heavy_frequency=heavy_frequency,
+        trickle_gap=trickle_gap,
+        seed=seed,
+    )
+    return ChunkedStream(np.asarray(instance.stream[:m], dtype=np.int64))
+
+
 def _trace_replay(n: int, m: int, seed: int, path: str) -> ChunkedStream:
     """Replay an external trace file, truncated to at most ``m`` items
     (``m=0`` replays the whole trace).
@@ -244,6 +288,15 @@ register_scenario(
     "skewed tail",
     churn_fraction=0.5,
     skew=1.2,
+)
+register_scenario(
+    "adversarial",
+    _adversarial,
+    "Section 1.4 pseudo-heavy counterexample: concentrated bursts, "
+    "then a trickled true heavy hitter",
+    num_pseudo=60,
+    pseudo_frequency=60,
+    trickle_gap=100,
 )
 register_scenario(
     "trace-replay",

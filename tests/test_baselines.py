@@ -121,12 +121,10 @@ class TestCountMin:
         result = algo.estimates({1, 2, 3})
         assert result[1] >= 2 and result[2] >= 1
 
-    def test_estimates_for_is_deprecated_alias(self):
-        algo = CountMin(width=64, depth=3, seed=10)
-        algo.process_stream([1, 1, 2])
-        with pytest.deprecated_call():
-            result = algo.estimates_for({1, 2, 3})
-        assert result == algo.estimates({1, 2, 3})
+    def test_estimates_for_is_gone(self):
+        # Removed after a four-PR deprecation cycle; the replacement is
+        # estimates(items).
+        assert not hasattr(CountMin(width=64, depth=3), "estimates_for")
 
     def test_invalid_dims_raise(self):
         with pytest.raises(ValueError):

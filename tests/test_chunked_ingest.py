@@ -58,10 +58,20 @@ N, M = 64, 240
 ARR = _zipf_draws(N, M, 1.1, 5)
 ITEMS = ARR.tolist()
 
+#: The five randomized families the v2 coin protocol vectorizes.
+RANDOMIZED = (
+    "count-min-morris",
+    "entropy",
+    "pstable-fp",
+    "reservoir",
+    "sample-and-hold",
+)
 
-def build(name: str, mode: str):
+
+def build(name: str, mode: str, coin_protocol: str | None = None):
     return registry.create(
-        name, n=N, m=M, epsilon=0.3, seed=9, tracker=make_tracker(mode)
+        name, n=N, m=M, epsilon=0.3, seed=9, tracker=make_tracker(mode),
+        coin_protocol=coin_protocol,
     )
 
 
@@ -84,10 +94,12 @@ def fingerprint(sketch) -> tuple:
 _SCALAR_REFERENCE: dict = {}
 
 
-def scalar_reference(name: str, mode: str) -> tuple:
-    key = (name, mode)
+def scalar_reference(
+    name: str, mode: str, coin_protocol: str | None = None
+) -> tuple:
+    key = (name, mode, coin_protocol)
     if key not in _SCALAR_REFERENCE:
-        sketch = build(name, mode)
+        sketch = build(name, mode, coin_protocol)
         sketch.process_many(ITEMS)
         _SCALAR_REFERENCE[key] = fingerprint(sketch)
     return _SCALAR_REFERENCE[key]
@@ -177,11 +189,68 @@ class TestChunkScalarEquivalence:
         assert events and events == scalar_events
 
 
+class TestRandomizedFamiliesV2:
+    """The tentpole contract: under the v2 coin protocol every coin is
+    a pure function of its global update index, so the vectorized
+    chunk kernels must reproduce the scalar v2 run bit for bit —
+    payloads, audits, per-cell wear, answers."""
+
+    @pytest.mark.parametrize("mode", ["aggregate", "trace"])
+    @pytest.mark.parametrize("name", RANDOMIZED)
+    @given(data=st.data())
+    @settings(max_examples=6, deadline=None)
+    def test_chunked_equals_scalar_bit_for_bit(self, name, mode, data):
+        sizes = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=M + 40),
+                min_size=1,
+                max_size=12,
+            )
+        )
+        sketch = build(name, mode, coin_protocol="v2")
+        ingest_chunked(sketch, sizes)
+        assert fingerprint(sketch) == scalar_reference(name, mode, "v2")
+
+    @pytest.mark.parametrize("name", RANDOMIZED)
+    def test_v2_is_the_default(self, name):
+        sketch = build(name, "aggregate")
+        assert sketch.coin_protocol == "v2"
+        sketch.process_many(ITEMS)
+        assert fingerprint(sketch) == scalar_reference(
+            name, "aggregate", "v2"
+        )
+
+    @pytest.mark.parametrize("name", RANDOMIZED)
+    def test_v1_draws_a_different_sequence(self, name):
+        # The protocols share no randomness source, so on a stream
+        # this size their write counts must diverge (equal counts
+        # would mean the v2 switch silently did nothing).
+        v1 = build(name, "trace", coin_protocol="v1")
+        v1.process_many(ITEMS)
+        v2 = build(name, "trace", coin_protocol="v2")
+        v2.process_many(ITEMS)
+        assert fingerprint(v1) != fingerprint(v2)
+
+    @pytest.mark.parametrize("name", RANDOMIZED)
+    def test_v1_has_no_chunk_kernel(self, name):
+        # v1 must keep its sequential draw order, so chunked ingest
+        # falls back to the scalar loop — and still matches it.
+        sketch = build(name, "aggregate", coin_protocol="v1")
+        ingest_chunked(sketch, [37])
+        assert fingerprint(sketch) == scalar_reference(
+            name, "aggregate", "v1"
+        )
+
+
 class TestBudgetChunkBoundaries:
     """Freeze/degrade/raise cut over at the exact update index."""
 
     @pytest.mark.parametrize("policy", ["freeze", "degrade"])
-    @pytest.mark.parametrize("name", ["count-min", "kmv", "misra-gries"])
+    @pytest.mark.parametrize(
+        "name",
+        ["count-min", "kmv", "misra-gries",
+         "count-min-morris", "pstable-fp", "reservoir"],
+    )
     @pytest.mark.parametrize("limit", [0, 1, 103, 10_000])
     def test_policy_identical_to_scalar(self, name, policy, limit):
         def run(chunked: bool):
@@ -336,11 +405,13 @@ class TestEngineChunked:
 
 class TestCheckpointResume:
     @pytest.mark.parametrize(
-        "name", ["count-min", "kmv", "count-min-morris", "misra-gries"]
+        "name",
+        ["count-min", "kmv", "count-min-morris", "misra-gries",
+         "pstable-fp"],
     )
     def test_resume_matches_uninterrupted_run(self, name, tmp_path):
-        # count-min-morris exercises the coin-RNG snapshot through the
-        # scalar fallback; the others resume through chunk kernels.
+        # count-min-morris and pstable-fp exercise the v2 coin
+        # protocol's index-addressable resume through chunk kernels.
         stream = ChunkedStream(ARR, chunk_size=64)
         uninterrupted = build(name, "aggregate")
         uninterrupted.process_stream(stream)

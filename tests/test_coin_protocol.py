@@ -1,0 +1,230 @@
+"""Coin-protocol contract tests: golden fixtures and plumbing.
+
+Two things are frozen against committed JSON (``tests/data/golden_v1.json``):
+
+* **v1 run fingerprints** for the five randomized families.  v1 draws
+  its coins from a shared sequential ``random.Random``, so any change
+  to construction order, draw order, or seeding silently corrupts
+  every pre-v2 snapshot on restore.  These fingerprints pin the exact
+  sequences.
+* **Raw v2 Philox draws.**  Under v2 every coin is a pure function of
+  ``(seed, stream label, index)``; the sampled values must never
+  change, or v2 snapshots (which store no RNG state at all) break.
+
+Regenerate — only after an *intentional* protocol change — with::
+
+    PYTHONPATH=src python -c \
+        "import tests.test_coin_protocol as t; t.regenerate()"
+
+The rest of the module covers the ``coin_protocol`` plumbing through
+the registry, the sharded runtime, the Engine, and legacy-snapshot
+restore.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import registry
+from repro.api import Engine
+from repro.hashing.coins import PhiloxCoins
+from repro.query import (
+    AllEstimates,
+    Distinct,
+    Entropy,
+    HeavyHitters,
+    Moment,
+    PointQuery,
+    QueryKind,
+)
+from repro.runtime.sharded import ShardedRunner
+from repro.state.tracker import make_tracker
+from repro.streams.generators import _zipf_draws
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_v1.json"
+
+N, M = 64, 240
+ARR = _zipf_draws(N, M, 1.1, 5)
+
+#: The five randomized families (the coin-protocol-aware composites —
+#: heavy-hitters, adaptive — ride on these).
+FAMILIES = (
+    "count-min-morris",
+    "entropy",
+    "pstable-fp",
+    "reservoir",
+    "sample-and-hold",
+)
+
+_QUERY_FOR_KIND = {
+    QueryKind.POINT: lambda: PointQuery(1),
+    QueryKind.ALL_ESTIMATES: AllEstimates,
+    QueryKind.HEAVY_HITTERS: HeavyHitters,
+    QueryKind.MOMENT: Moment,
+    QueryKind.DISTINCT: Distinct,
+    QueryKind.ENTROPY: Entropy,
+}
+
+
+def _family_fingerprint(name: str) -> dict:
+    """JSON-stable observables of one v1 run on the pinned stream."""
+    sketch = registry.create(
+        name, n=N, m=M, epsilon=0.3, seed=9,
+        tracker=make_tracker("trace"), coin_protocol="v1",
+    )
+    sketch.process_many(ARR.tolist())
+    report = sketch.report()
+    answers = {
+        str(kind): repr(sketch.query(_QUERY_FOR_KIND[kind]()))
+        for kind in sorted(sketch.supports, key=str)
+    }
+    try:
+        payload = json.dumps(sketch.to_state(), sort_keys=True)
+        payload_sha = hashlib.sha256(payload.encode()).hexdigest()
+    except TypeError:  # family without serialization hooks
+        payload_sha = None
+    return {
+        "state_changes": report.state_changes,
+        "total_writes": report.total_writes,
+        "total_write_attempts": report.total_write_attempts,
+        "peak_words": report.peak_words,
+        "cell_writes_sha": hashlib.sha256(
+            json.dumps(
+                sorted(report.cell_writes.items()), sort_keys=True
+            ).encode()
+        ).hexdigest(),
+        "answers": answers,
+        "payload_sha": payload_sha,
+    }
+
+
+def _philox_samples() -> dict:
+    """Raw v2 coin draws: pure functions of (seed, label, index)."""
+    coins = PhiloxCoins(9, "golden")
+    other = PhiloxCoins(9, "golden.other")
+    return {
+        "block_0_8": [repr(u) for u in coins.uniform_block(0, 8)],
+        "index_1000": repr(coins.uniform(1000)),
+        "index_2**40": repr(coins.uniform(2**40)),
+        "other_label_0_4": [repr(u) for u in other.uniform_block(0, 4)],
+    }
+
+
+def _compute_golden() -> dict:
+    return {
+        "philox": _philox_samples(),
+        "v1": {name: _family_fingerprint(name) for name in FAMILIES},
+    }
+
+
+def regenerate() -> None:  # pragma: no cover - manual tool
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(_compute_golden(), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {GOLDEN_PATH}")
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenFixtures:
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_v1_sequences_are_frozen(self, golden, name):
+        assert _family_fingerprint(name) == golden["v1"][name]
+
+    def test_philox_draws_are_frozen(self, golden):
+        assert _philox_samples() == golden["philox"]
+
+    def test_philox_block_matches_single_draws(self):
+        coins = PhiloxCoins(9, "golden")
+        block = coins.uniform_block(123, 40)
+        assert [coins.uniform(123 + i) for i in range(40)] == list(block)
+
+
+class TestProtocolPlumbing:
+    def test_registry_rejects_coin_free_families(self):
+        with pytest.raises(ValueError, match="no coin protocol"):
+            registry.create("count-min", coin_protocol="v2")
+
+    def test_registry_aware_set_matches_class_capability(self):
+        for name in registry.COIN_PROTOCOL_AWARE:
+            sketch = registry.create(
+                name, n=N, m=M, epsilon=0.5, seed=1, coin_protocol="v1"
+            )
+            assert sketch.coin_protocol == "v1"
+
+    def test_engine_rejects_coin_free_families(self):
+        with pytest.raises(ValueError, match="no coin protocol"):
+            Engine("count-min", coin_protocol="v2")
+
+    def test_engine_forwards_protocol_to_shards(self):
+        def run(proto):
+            engine = Engine(
+                "pstable-fp", n=N, m=M, epsilon=0.5, seed=4,
+                shards=2, coin_protocol=proto,
+            )
+            report = engine.run(ARR.copy(), queries=[Moment()])
+            return report.audit, repr(report.answers)
+
+        assert run("v1") != run("v2")
+        assert run("v2") == run("v2")  # deterministic end to end
+
+    def test_sharded_runner_forwards_protocol(self):
+        runner = ShardedRunner.from_registry(
+            "pstable-fp", 2, n=N, m=M, seed=3, coin_protocol="v1"
+        )
+        assert all(s.coin_protocol == "v1" for s in runner.shards)
+
+    def test_composites_forward_protocol(self):
+        for name in ("heavy-hitters", "adaptive-sample-and-hold"):
+            sketch = registry.create(
+                name, n=N, m=M, epsilon=0.8, seed=2, coin_protocol="v1"
+            )
+            assert sketch.coin_protocol == "v1"
+
+
+class TestLegacySnapshots:
+    # reservoir is coin-protocol aware but has no serialization
+    # hooks, so only the two serializable families restore snapshots.
+    @pytest.mark.parametrize("name", ["count-min-morris", "pstable-fp"])
+    def test_pre_v2_snapshots_restore_as_v1(self, name):
+        # Snapshots written before the protocol switch carry no
+        # "coin_protocol" config key; splicing their sequential-RNG
+        # history onto v2 coins would corrupt the run, so restore
+        # must pin them to v1.
+        sketch = registry.create(
+            name, n=N, m=M, epsilon=0.3, seed=9, coin_protocol="v1"
+        )
+        sketch.process_many(ARR[:100].tolist())
+        state = sketch.to_state()
+        assert state["config"]["coin_protocol"] == "v1"
+        legacy = json.loads(json.dumps(state))
+        del legacy["config"]["coin_protocol"]
+        restored = type(sketch).from_state(legacy)
+        assert restored.coin_protocol == "v1"
+        restored.process_many(ARR[100:].tolist())
+        sketch.process_many(ARR[100:].tolist())
+        assert json.dumps(
+            restored.to_state()["payload"], sort_keys=True
+        ) == json.dumps(sketch.to_state()["payload"], sort_keys=True)
+
+    @pytest.mark.parametrize("name", ["count-min-morris", "pstable-fp"])
+    def test_v2_snapshots_round_trip(self, name):
+        sketch = registry.create(
+            name, n=N, m=M, epsilon=0.3, seed=9, coin_protocol="v2"
+        )
+        sketch.process_many(ARR[:100].tolist())
+        restored = type(sketch).from_state(
+            json.loads(json.dumps(sketch.to_state()))
+        )
+        assert restored.coin_protocol == "v2"
+        restored.process_many(ARR[100:].tolist())
+        sketch.process_many(ARR[100:].tolist())
+        assert json.dumps(
+            restored.to_state(), sort_keys=True
+        ) == json.dumps(sketch.to_state(), sort_keys=True)

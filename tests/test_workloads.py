@@ -12,6 +12,7 @@ from repro.streams import write_trace
 from repro.workloads import Workload
 
 BUILTIN = (
+    "adversarial",
     "budget-stress",
     "bursty",
     "permutation",
@@ -50,8 +51,12 @@ class TestRegistry:
         assert len(calm) == len(stormy) == 512
         assert calm != stormy
 
+    # trace-replay needs a trace file; adversarial allocates fresh
+    # item ids beyond ``n`` and needs a long stream (dedicated class
+    # below).
     @pytest.mark.parametrize(
-        "name", [n for n in BUILTIN if n != "trace-replay"]
+        "name",
+        [n for n in BUILTIN if n not in ("trace-replay", "adversarial")],
     )
     def test_every_synthetic_scenario_is_reproducible(self, name):
         first = workloads.generate(name, n=128, m=600, seed=11)
@@ -59,6 +64,32 @@ class TestRegistry:
         assert first == second
         assert len(first) == 600
         assert all(0 <= item < 128 for item in first)
+
+
+class TestAdversarialScenario:
+    """The Section 1.4 counterexample wired as a named workload."""
+
+    def test_reproducible_and_sized_to_m(self):
+        first = workloads.generate("adversarial", n=128, m=12_000, seed=3)
+        second = workloads.generate("adversarial", n=128, m=12_000, seed=3)
+        assert first == second
+        assert len(first) == 12_000
+
+    def test_trickled_heavy_hitter_dominates(self):
+        from collections import Counter
+
+        stream = workloads.generate("adversarial", n=128, m=12_000, seed=3)
+        counts = Counter(int(item) for item in stream)
+        # Default knobs: 60 pseudo-heavy items at 60 occurrences each;
+        # item 0 trickles one occurrence per 100 updates over the
+        # remaining (12000 - 3600) budget.
+        assert counts[0] == (12_000 - 60 * 60) // 100 == 84
+        assert max(counts.values()) == counts[0]
+        assert sum(1 for c in counts.values() if c == 60) >= 60
+
+    def test_too_short_m_rejected_with_hint(self):
+        with pytest.raises(ValueError, match="need m >="):
+            workloads.generate("adversarial", n=128, m=600, seed=3)
 
 
 class TestWorkloadSpec:
