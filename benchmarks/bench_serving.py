@@ -1,0 +1,287 @@
+"""Live serving: online queries/sec at a fixed ingest rate.
+
+The serving plane's promise is that interleaving queries with ingest
+costs neither correctness nor much throughput: answers come from
+periodic merged snapshots (cadence ``snapshot_every``), so a query
+never re-scans the stream, and the snapshot a query hits is
+bit-identical to a fresh batch run over the same stream prefix.
+
+This benchmark drives :func:`repro.serve.generate_load` — a fixed
+append size with a fixed number of point/scalar queries interleaved
+after every append — over representative families and records ingest
+items/sec, queries/sec, and the staleness distribution the query mix
+observed.  Alongside the timings it re-checks the consistency
+contract unconditionally: a mid-stream snapshot's serialized state
+must equal a fresh batch run over the same prefix, bit for bit.
+
+A second section measures the cost of freshness: the same load with
+``max_staleness=0`` (every query forces a head snapshot) against the
+default cadence-stale answers, reporting the queries/sec ratio.
+
+Setting ``REPRO_BENCH_QUICK=1`` shrinks the stream (used by the
+scheduled CI benchmark job); the ``BENCH_serving.json`` trend file is
+committed to the repo so the trajectory is visible in-tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.runtime.sharded import ShardedRunner
+from repro.serve import LiveEngine, generate_load
+from repro.streams import zipf_stream
+
+#: Families the serving loop is measured on: array-backed point
+#: estimates, exact dict baseline, and a scalar (distinct) estimator.
+SKETCHES = ("count-min", "exact", "kmv")
+
+
+def _quick(m: int, floor: int = 20_000) -> int:
+    """Shrink a stream length when REPRO_BENCH_QUICK is set."""
+    if os.environ.get("REPRO_BENCH_QUICK"):
+        return max(floor, m // 10)
+    return m
+
+
+def _snapshot_matches_batch(
+    name: str,
+    stream,
+    cut: int,
+    n: int,
+    epsilon: float,
+    seed: int,
+    snapshot_every: int,
+) -> bool:
+    """Mid-stream snapshot ≡ fresh batch run over the same prefix."""
+    live = LiveEngine(
+        name,
+        n=n,
+        m=len(stream),
+        epsilon=epsilon,
+        seed=seed,
+        snapshot_every=snapshot_every,
+    )
+    # Deliberately awkward append sizes: the cadence must not care.
+    live.append(stream[: cut // 3])
+    live.append(stream[cut // 3 : cut + 17])
+    snapshot = live.snapshot()
+    assert snapshot.update_index == cut
+    batch = ShardedRunner.from_registry(
+        name, 1, n=n, m=len(stream), epsilon=epsilon, seed=seed
+    )
+    batch.ingest(stream[:cut])
+    return json.dumps(
+        snapshot.sketch.to_state(), sort_keys=True
+    ) == json.dumps(batch.merge().to_state(), sort_keys=True)
+
+
+def run_serving(
+    m: int = 200_000,
+    n: int = 4096,
+    epsilon: float = 0.1,
+    skew: float = 1.2,
+    seed: int = 0,
+    snapshot_every: int = 8192,
+    append_size: int = 2048,
+    queries_per_append: int = 16,
+    sketches: tuple[str, ...] = SKETCHES,
+) -> dict:
+    """Measure the serving loop on each family over one Zipf stream.
+
+    Every family sees the identical stream and the identical load
+    shape (append ``append_size`` items, answer ``queries_per_append``
+    queries, repeat), so the rows are comparable.  The consistency
+    column is checked on a fresh engine at the cadence cut nearest the
+    stream's midpoint.
+    """
+    stream = zipf_stream(n, m, skew=skew, seed=seed)
+    items = stream.materialize()
+    cut = (m // 2 // snapshot_every) * snapshot_every or snapshot_every
+    results: dict[str, dict] = {}
+    consistent = True
+    for name in sketches:
+        matches = _snapshot_matches_batch(
+            name, items, cut, n, epsilon, seed, snapshot_every
+        )
+        consistent = consistent and matches
+
+        engine = LiveEngine(
+            name,
+            n=n,
+            m=m,
+            epsilon=epsilon,
+            seed=seed,
+            snapshot_every=snapshot_every,
+        )
+        report = generate_load(
+            engine,
+            items,
+            append_size=append_size,
+            queries_per_append=queries_per_append,
+            seed=seed,
+        )
+        results[name] = {
+            "items": report.items,
+            "queries": report.queries,
+            "items_per_sec": report.items_per_s,
+            "queries_per_sec": report.queries_per_s,
+            "snapshots": report.snapshots,
+            "mean_staleness": report.mean_staleness,
+            "max_staleness": report.max_staleness,
+            "query_mix": report.query_mix,
+            "snapshot_matches_batch": matches,
+        }
+    return {
+        "benchmark": "serving",
+        "stream": {"n": n, "m": m, "skew": skew, "seed": seed},
+        "snapshot_every": snapshot_every,
+        "append_size": append_size,
+        "queries_per_append": queries_per_append,
+        "consistency_cut": cut,
+        "results": results,
+        "snapshots_match_batch": consistent,
+    }
+
+
+def run_freshness_cost(
+    m: int = 100_000,
+    n: int = 4096,
+    epsilon: float = 0.1,
+    skew: float = 1.2,
+    seed: int = 0,
+    snapshot_every: int = 8192,
+    append_size: int = 2048,
+    queries_per_append: int = 8,
+    sketch: str = "count-min",
+) -> dict:
+    """Cadence-stale answers vs forced-fresh (``max_staleness=0``).
+
+    Both arms run the identical load over the identical stream; the
+    fresh arm pays a head snapshot (copy + merge) per append batch, so
+    its queries/sec bounds the price of exactness the cadence design
+    avoids.
+    """
+    stream = zipf_stream(n, m, skew=skew, seed=seed)
+    items = stream.materialize()
+
+    def arm(max_staleness):
+        engine = LiveEngine(
+            sketch,
+            n=n,
+            m=m,
+            epsilon=epsilon,
+            seed=seed,
+            snapshot_every=snapshot_every,
+        )
+        return generate_load(
+            engine,
+            items,
+            append_size=append_size,
+            queries_per_append=queries_per_append,
+            max_staleness=max_staleness,
+            seed=seed,
+        )
+
+    stale = arm(None)
+    fresh = arm(0)
+    return {
+        "benchmark": "serving-freshness-cost",
+        "sketch": sketch,
+        "stream": {"n": n, "m": m, "skew": skew, "seed": seed},
+        "snapshot_every": snapshot_every,
+        "stale_queries_per_sec": stale.queries_per_s,
+        "fresh_queries_per_sec": fresh.queries_per_s,
+        "stale_over_fresh": (
+            stale.queries_per_s / fresh.queries_per_s
+            if fresh.queries_per_s
+            else float("inf")
+        ),
+        "stale_mean_staleness": stale.mean_staleness,
+        "fresh_max_staleness": fresh.max_staleness,
+    }
+
+
+def format_serving(payload: dict) -> str:
+    """Render the serving measurements as an aligned text table."""
+    lines = [
+        f"Live serving — ingest + online queries "
+        f"(zipf, cadence={payload['snapshot_every']}, "
+        f"{payload['queries_per_append']} queries per "
+        f"{payload['append_size']}-item append)",
+        f"{'sketch':>12}{'ingest it/s':>14}{'queries/s':>12}"
+        f"{'snapshots':>11}{'mean stale':>12}{'consistent':>12}",
+    ]
+    for name, row in payload["results"].items():
+        lines.append(
+            f"{name:>12}{row['items_per_sec']:>14.0f}"
+            f"{row['queries_per_sec']:>12.0f}{row['snapshots']:>11}"
+            f"{row['mean_staleness']:>12.0f}"
+            f"{str(row['snapshot_matches_batch']):>12}"
+        )
+    lines.append(
+        f"snapshot == fresh batch over same prefix: "
+        f"{payload['snapshots_match_batch']} "
+        f"(checked at update {payload['consistency_cut']})"
+    )
+    return "\n".join(lines)
+
+
+def format_freshness_cost(payload: dict) -> str:
+    """Render the freshness-cost comparison as aligned text."""
+    return "\n".join([
+        f"Freshness cost — cadence-stale vs max_staleness=0 "
+        f"({payload['sketch']}, cadence={payload['snapshot_every']})",
+        f"{'stale q/s':>12}{'fresh q/s':>12}{'stale/fresh':>13}"
+        f"{'mean stale':>12}",
+        f"{payload['stale_queries_per_sec']:>12.0f}"
+        f"{payload['fresh_queries_per_sec']:>12.0f}"
+        f"{payload['stale_over_fresh']:>13.2f}"
+        f"{payload['stale_mean_staleness']:>12.0f}",
+    ])
+
+
+def test_serving(save_result):
+    payload = run_serving(m=_quick(200_000))
+    payload["freshness"] = run_freshness_cost(
+        m=_quick(100_000, floor=20_000)
+    )
+    save_result("BENCH_serving_table", format_serving(payload))
+    save_result(
+        "BENCH_serving_freshness_table",
+        format_freshness_cost(payload["freshness"]),
+    )
+    results_path = (
+        __import__("pathlib").Path(__file__).parent
+        / "results"
+        / "BENCH_serving.json"
+    )
+    results_path.write_text(json.dumps(payload, indent=2) + "\n")
+    # The consistency contract is unconditional: a mid-stream snapshot
+    # answers from exactly the state a fresh batch run over the same
+    # prefix would hold — in quick mode too.
+    assert payload["snapshots_match_batch"], payload
+    for name, row in payload["results"].items():
+        assert row["snapshot_matches_batch"], (name, row)
+        # The load generator must have exercised both planes.
+        assert row["queries"] > 0 and row["items"] > 0, (name, row)
+        # Staleness is bounded by the cadence plus one append batch.
+        assert row["max_staleness"] < (
+            payload["snapshot_every"] + payload["append_size"]
+        ), (name, row)
+    # Freshness semantics are structural: the forced-fresh arm must
+    # observe zero staleness, the cadence arm real staleness.  The
+    # rate ratio is recorded for the trend file but only loosely
+    # bounded — on cheap-to-copy families the two arms sit within
+    # run-to-run jitter of each other, so a >= 1.0 gate would flake.
+    assert payload["freshness"]["fresh_max_staleness"] == 0, payload
+    assert payload["freshness"]["stale_mean_staleness"] > 0, payload
+    if not os.environ.get("REPRO_BENCH_QUICK"):
+        assert payload["freshness"]["stale_over_fresh"] >= 0.5, payload
+
+
+if __name__ == "__main__":
+    payload = run_serving()
+    print(format_serving(payload))
+    print()
+    print(format_freshness_cost(run_freshness_cost()))

@@ -118,7 +118,37 @@ def main() -> None:
         stream, queries=[], nvm="pcm",
     )
     print("FullSampleAndHold priced on PCM:")
-    print(f"  {priced.nvm.summary()}")
+    print(f"  {priced.nvm.summary()}\n")
+
+    # --- live serving: queries while the stream is still arriving ----
+    # Engine.live() turns the same configuration into a LiveEngine:
+    # append chunks as they arrive, query any time.  Answers come from
+    # periodic merged snapshots (here every 16384 updates) and carry
+    # their staleness; a subscribed StateChangesCollector samples the
+    # paper's state-changes-over-time curve at each cadence boundary,
+    # no matter how raggedly the stream is fed.
+    from repro.query import PointQuery
+    from repro.serve import StateChangesCollector
+
+    live = Engine("count-min", n=N, m=M, epsilon=0.1, seed=7).live(
+        snapshot_every=1 << 14
+    )
+    curve = live.subscribe(StateChangesCollector())
+    hot = stream[0]
+    print("CountMin served live (cadence 16384):")
+    for start in range(0, M, 30_000):  # ragged appends, like a feed
+        live.append(stream[start:start + 30_000])
+        mid = live.query(PointQuery(hot))
+        print(f"  head={live.head:>6}: f[{hot}] ~ {mid.answer.value:.0f} "
+              f"({mid.updates_behind} updates behind)")
+    live.finish()
+    points = ", ".join(
+        f"{index // 1024}k:{value}" for index, value in curve.series[:4]
+    )
+    print(f"  state-changes curve ({len(curve)} samples): {points}, ...")
+    exact = live.query(PointQuery(hot), refresh=True)
+    print(f"  fresh answer at head: f[{hot}] ~ {exact.answer.value:.0f} "
+          f"(0 updates behind)")
 
 
 if __name__ == "__main__":

@@ -471,6 +471,49 @@ class Engine:
         )
 
     # ------------------------------------------------------------------
+    # Live serving
+    # ------------------------------------------------------------------
+    def live(
+        self,
+        *,
+        snapshot_every: int | None = None,
+        tracking: str = "aggregate",
+        budget: WriteBudget | int | None = None,
+        budget_split: str = "even",
+        chunk_size: int | None = None,
+    ):
+        """A :class:`~repro.serve.LiveEngine` with this engine's config.
+
+        The live engine shares the sketch/sizing/seed/shard/partition
+        configuration, so a mid-stream snapshot it serves is
+        bit-identical to what :meth:`run` would report over the same
+        stream prefix.  The executor is always serial — live ingest is
+        in-process by construction.  ``snapshot_every=None`` keeps the
+        serving default cadence.
+        """
+        from repro.serve.engine import DEFAULT_SNAPSHOT_EVERY, LiveEngine
+
+        return LiveEngine(
+            self.sketch_name,
+            n=self.n,
+            m=self.m,
+            epsilon=self.epsilon,
+            seed=self.seed,
+            shards=self.shards,
+            partition=self.partition,
+            snapshot_every=(
+                DEFAULT_SNAPSHOT_EVERY
+                if snapshot_every is None
+                else snapshot_every
+            ),
+            tracking=tracking,
+            budget=budget,
+            budget_split=budget_split,
+            chunk_size=chunk_size,
+            coin_protocol=self.coin_protocol,
+        )
+
+    # ------------------------------------------------------------------
     # Post-run queries
     # ------------------------------------------------------------------
     @property

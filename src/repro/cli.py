@@ -1,6 +1,6 @@
 """Command-line interface: audit algorithms and reproduce experiments.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro audit --algorithm heavy-hitters --workload zipf \
         --n 4096 --m 65536            # run one algorithm, print audit
@@ -8,6 +8,8 @@ Five subcommands::
         --shards 4 --executor process # scenario x sketch x shards
     python -m repro shard --sketch count-min --shards 1,2,4,8 \
         --epsilon 0.1                 # sharded vs single-instance runs
+    python -m repro serve --algorithm count-min --port 7391 \
+        --snapshot-every 1024         # live JSON-lines serving socket
     python -m repro table1            # regenerate Table 1
     python -m repro reproduce --quick # run the main experiment suite
 
@@ -294,11 +296,65 @@ def _cmd_shard(args: argparse.Namespace) -> int:
             executor=args.executor,
             workload_params=_workload_params(args),
             chunk_size=args.chunk_size,
+            coin_protocol=args.coin_protocol,
         )
     except (ValueError, OSError) as error:
         # e.g. trace-replay without --trace, or an unreadable file.
         raise SystemExit(str(error)) from None
     print(format_shard_scaling(rows, args.sketch, args.partition))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the live serving engine behind the JSON-lines socket."""
+    from repro.serve import LiveEngine, LiveSession
+    from repro.serve.server import serve as serve_forever
+    from repro.state import WriteBudget as _WriteBudget
+
+    budget = None
+    if args.budget is not None:
+        if args.budget < 0:
+            raise SystemExit(f"--budget must be >= 0: {args.budget}")
+        budget = _WriteBudget(args.budget, args.budget_policy)
+    try:
+        engine = LiveEngine(
+            args.algorithm,
+            n=args.n,
+            m=args.m,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            shards=args.shards,
+            partition=args.partition,
+            snapshot_every=args.snapshot_every,
+            tracking=args.tracking,
+            budget=budget,
+            coin_protocol=args.coin_protocol,
+        )
+    except KeyError:
+        raise SystemExit(
+            f"unknown algorithm {args.algorithm!r}; "
+            f"choose from {registry.names()}"
+        ) from None
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+    def ready(address: tuple[str, int]) -> None:
+        host, port = address
+        print(
+            f"serving {args.algorithm} on {host}:{port} "
+            f"(snapshot_every={args.snapshot_every}, "
+            f"verbs: {', '.join(LiveSession.verbs())})",
+            flush=True,
+        )
+
+    try:
+        serve_forever(engine, host=args.host, port=args.port, ready=ready)
+    except OSError as error:  # e.g. port already bound
+        raise SystemExit(str(error)) from None
+    except KeyboardInterrupt:
+        pass
+    print(f"shutdown: head={engine.head} "
+          f"state_changes={engine.snapshot().report.state_changes}")
     return 0
 
 
@@ -441,7 +497,45 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--chunk-size", type=int, default=None,
                        help="items per columnar ingest chunk (default: "
                             "the stream's own chunking)")
+    shard.add_argument("--coin-protocol", default=None,
+                       choices=("v1", "v2"), dest="coin_protocol",
+                       help="force the randomized families' coin protocol "
+                            "(v1: sequential RNG; v2: indexed Philox coins)")
     shard.set_defaults(func=_cmd_shard)
+
+    serve = sub.add_parser(
+        "serve",
+        help="live serving: JSON-lines socket over a LiveEngine",
+    )
+    serve.add_argument("--algorithm", default="count-min")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0: pick an ephemeral port and "
+                            "print it)")
+    serve.add_argument("--shards", type=int, default=1)
+    serve.add_argument("--partition", default="hash",
+                       choices=["hash", "round-robin"])
+    serve.add_argument("--snapshot-every", type=int, default=8192,
+                       dest="snapshot_every",
+                       help="snapshot cadence in updates (collector "
+                            "sampling interval)")
+    serve.add_argument("--n", type=int, default=4096)
+    serve.add_argument("--m", type=int, default=65536)
+    serve.add_argument("--epsilon", type=float, default=0.5)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--tracking", default="aggregate",
+                       choices=list(TRACKING_MODES),
+                       help="state-accounting backend for the live run")
+    serve.add_argument("--budget", type=int, default=None,
+                       help="cap on state changes (enforced by the "
+                            "budget backend)")
+    serve.add_argument("--budget-policy", default="raise",
+                       choices=list(BUDGET_POLICIES),
+                       help="what happens past the budget")
+    serve.add_argument("--coin-protocol", default=None,
+                       choices=("v1", "v2"), dest="coin_protocol",
+                       help="force the randomized families' coin protocol")
+    serve.set_defaults(func=_cmd_serve)
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")
     table1.add_argument("--n", type=int, default=2**14)

@@ -124,6 +124,7 @@ def shard_scaling(
     executor: str = "serial",
     workload_params: dict | None = None,
     chunk_size: int | None = None,
+    coin_protocol: str | None = None,
 ) -> list[ShardScalingRow]:
     """Compare shard counts against the single-instance baseline.
 
@@ -133,6 +134,9 @@ def shard_scaling(
     partition/merge pipeline alone.  ``executor="process"`` runs the
     multi-shard rows on the process pool; results are bit-identical to
     serial by construction, making this sweep a live equivalence audit.
+    ``coin_protocol`` pins the randomized families' coin protocol for
+    every row (including the baseline), so shard-scaling sweeps can
+    compare v1 against v2 like ``repro run`` does.
     """
     spec = workloads.scenario_spec(workload)
     params = dict(workload_params or {})
@@ -155,6 +159,7 @@ def shard_scaling(
             shards=num_shards,
             partition=partition,
             executor=executor if num_shards > 1 else "serial",
+            coin_protocol=coin_protocol,
         )
 
     kind = _scoring_kind(registry.spec(sketch).supports)

@@ -60,6 +60,7 @@ Two executors decide *where* the per-shard ingest runs:
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
@@ -467,6 +468,64 @@ class ShardedRunner:
     # ------------------------------------------------------------------
     # Reduce
     # ------------------------------------------------------------------
+    @staticmethod
+    def _copy_shard(shard: Sketch) -> Sketch:
+        """An exact private copy of a shard (payload, audit, RNG).
+
+        Serializable families round-trip through
+        ``to_state``/``from_state`` — the exactness contract the
+        checkpoint and process-executor tests already pin down, which
+        also drops any attached write listeners (a snapshot must not
+        replay wear callbacks).  Families without the state hooks are
+        deep-copied instead; both routes leave the original untouched.
+        """
+        if type(shard)._config_state is not Sketch._config_state:
+            return type(shard).from_state(shard.to_state())
+        return copy.deepcopy(shard)
+
+    def merged_snapshot(self) -> Sketch:
+        """Reduce *copies* of the shards; the shards stay ingestable.
+
+        Unlike :meth:`merge`, which absorbs the shards destructively
+        and ends the runner's ingest phase, this builds the identical
+        merge-tree over exact per-shard copies and returns the root —
+        so callers can interleave snapshots with further
+        :meth:`ingest` calls and take as many snapshots as they like.
+        The returned sketch (payload, answers, and combined audit via
+        its tracker) is bit-identical to what :meth:`merge` would have
+        returned at this point in the stream, and — because routing
+        and per-shard ingest are deterministic — to a fresh batch run
+        over the same stream prefix.
+
+        This is the primitive the live serving engine
+        (:class:`repro.serve.LiveEngine`) answers queries through.
+
+        Under the process executor the first snapshot triggers the
+        pending pool dispatch, after which the runner cannot ingest
+        again (the executor is one-shot); snapshot-while-ingesting is
+        a serial-executor workflow.
+        """
+        if self._merged is not None:
+            # The destructive reduce folded every shard tracker into
+            # the root; copying the shards now would double-count.
+            raise RuntimeError(
+                "runner is already merged; snapshots must be taken "
+                "before merge()"
+            )
+        self._execute()
+        for shard in range(self.num_shards):
+            self._flush(shard)
+        copies = [self._copy_shard(shard) for shard in self._shards]
+        level = copies
+        while len(level) > 1:
+            merged_level = []
+            for i in range(0, len(level) - 1, 2):
+                merged_level.append(level[i].merge(level[i + 1]))
+            if len(level) % 2:
+                merged_level.append(level[-1])
+            level = merged_level
+        return level[0]
+
     def merge(self) -> Sketch:
         """Reduce the shards with a binary merge tree; returns the root.
 

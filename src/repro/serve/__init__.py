@@ -1,0 +1,50 @@
+"""Serving plane: long-lived engines, online queries, subscriptions.
+
+The batch pipeline (:class:`~repro.api.Engine`) ingests to completion
+and then answers; this package is the live counterpart —
+:class:`LiveEngine` interleaves appends with snapshot-consistent,
+staleness-tagged queries, :mod:`collectors <repro.serve.collectors>`
+turn standing queries into sampled time series (the paper's
+state-changes-over-time curve is the built-in
+:class:`StateChangesCollector`), :mod:`server <repro.serve.server>`
+exposes it all over a JSON-lines socket (``repro serve``), and
+:mod:`loadgen <repro.serve.loadgen>` measures queries/sec under a
+configurable ingest rate.  See the "Serving plane" section of
+``docs/ARCHITECTURE.md``.
+"""
+
+from repro.serve.collectors import (
+    AuditCollector,
+    Collector,
+    QueryCollector,
+    StateChangesCollector,
+)
+from repro.serve.engine import (
+    DEFAULT_SNAPSHOT_EVERY,
+    LiveAnswer,
+    LiveEngine,
+    LiveSnapshot,
+)
+from repro.serve.loadgen import (
+    LoadReport,
+    default_query_mix,
+    generate_load,
+)
+from repro.serve.server import LiveServer, LiveSession, serve
+
+__all__ = [
+    "AuditCollector",
+    "Collector",
+    "DEFAULT_SNAPSHOT_EVERY",
+    "LiveAnswer",
+    "LiveEngine",
+    "LiveServer",
+    "LiveSession",
+    "LiveSnapshot",
+    "LoadReport",
+    "QueryCollector",
+    "StateChangesCollector",
+    "default_query_mix",
+    "generate_load",
+    "serve",
+]

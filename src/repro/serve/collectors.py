@@ -1,0 +1,135 @@
+"""Collectors: online query subscriptions sampled on the snapshot cadence.
+
+Batch runs answer queries once, at the end; the paper's central
+object — the state-change counter ``sum_t X_t`` — is a *time series*,
+and production monitoring asks time-series questions ("how many heavy
+hitters now?", "how fast is the wear budget draining?").  A collector
+is a standing subscription registered on a
+:class:`~repro.serve.engine.LiveEngine`: every time the engine takes a
+cadence snapshot (every ``snapshot_every`` updates, plus the final
+partial snapshot at :meth:`~repro.serve.engine.LiveEngine.finish`),
+each registered collector observes the immutable
+:class:`~repro.serve.engine.LiveSnapshot` and appends one sample to
+its series.  Because cadence snapshots land at exact multiples of
+``snapshot_every`` regardless of how the appends were sized, two runs
+of the same stream produce identical series — the subscription API is
+as reproducible as the batch one.
+
+Three collectors cover the common shapes:
+
+* :class:`QueryCollector` — any typed query from :mod:`repro.query`,
+  answered against every snapshot; the sample value is the query's
+  :class:`~repro.query.Answer`.
+* :class:`StateChangesCollector` — the paper's state-changes-over-time
+  curve, read straight off the snapshot audit.  No query needed: the
+  cost model is tracked by the substrate, so the flagship plot of the
+  paper falls out of the subscription API directly.
+* :class:`AuditCollector` — the full
+  :class:`~repro.state.report.StateChangeReport` per sample, for
+  callers charting several audit fields at once.
+
+Subclass :class:`Collector` and override :meth:`Collector.observe` for
+anything else; samples are ``(update_index, value)`` pairs in
+:attr:`Collector.series`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.query import Answer, Query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.engine import LiveSnapshot
+
+
+class Collector:
+    """Base subscription: one sample per cadence snapshot.
+
+    Subclasses override :meth:`observe` to turn a snapshot into a
+    sample value; the base class owns the series bookkeeping and
+    guarantees at most one sample per update index (the final
+    :meth:`~repro.serve.engine.LiveEngine.finish` snapshot can
+    coincide with a cadence boundary).
+    """
+
+    #: Short registry-style name; the socket server's ``subscribe``
+    #: verb resolves collectors by it.
+    name = "collector"
+
+    def __init__(self) -> None:
+        self.series: list[tuple[int, Any]] = []
+
+    def on_snapshot(self, snapshot: "LiveSnapshot") -> None:
+        """Record one sample for ``snapshot`` (deduplicated by index)."""
+        if self.series and self.series[-1][0] == snapshot.update_index:
+            return
+        self.series.append((snapshot.update_index, self.observe(snapshot)))
+
+    def observe(self, snapshot: "LiveSnapshot") -> Any:
+        """Turn one snapshot into this collector's sample value."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Series access
+    # ------------------------------------------------------------------
+    def indexes(self) -> list[int]:
+        """Update indexes the series was sampled at (ascending)."""
+        return [index for index, _ in self.series]
+
+    def values(self) -> list[Any]:
+        """Sample values, aligned with :meth:`indexes`."""
+        return [value for _, value in self.series]
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+
+class QueryCollector(Collector):
+    """A typed query answered against every snapshot.
+
+    The sample value is the :class:`~repro.query.Answer` the merged
+    snapshot returned, so heterogeneous answers (scalar, moment, map)
+    keep their types; :meth:`scalar_values` unwraps the common
+    scalar case.
+    """
+
+    name = "query"
+
+    def __init__(self, query: Query) -> None:
+        super().__init__()
+        self.query = query
+
+    def observe(self, snapshot: "LiveSnapshot") -> Answer:
+        return snapshot.sketch.query(self.query)
+
+    def scalar_values(self) -> list[float]:
+        """The ``.value`` of every sampled answer (scalar kinds only)."""
+        return [answer.value for _, answer in self.series]
+
+
+class StateChangesCollector(Collector):
+    """The paper's curve: cumulative ``sum_t X_t`` sampled over time.
+
+    Values are monotone non-decreasing by construction (state changes
+    only accumulate); plot ``indexes()`` against ``values()`` for the
+    state-changes-vs-stream-position figure.
+    """
+
+    name = "state-changes"
+
+    def observe(self, snapshot: "LiveSnapshot") -> int:
+        return snapshot.report.state_changes
+
+
+class AuditCollector(Collector):
+    """The full state-change report per sample.
+
+    For callers tracking several audit fields (writes, peak words,
+    state-change fraction) off one subscription.
+    """
+
+    name = "audit"
+
+    def observe(self, snapshot: "LiveSnapshot"):
+        return snapshot.report

@@ -1,0 +1,406 @@
+"""The live serving engine: concurrent ingest + online queries.
+
+Everything before this module was ``Engine.run()`` — ingest a stream
+to completion, then query.  :class:`LiveEngine` is the long-lived
+counterpart: it owns a serial :class:`~repro.runtime.sharded.
+ShardedRunner` and accepts interleaved :meth:`LiveEngine.append` and
+:meth:`LiveEngine.query` calls, answering queries from periodic
+non-destructive merged snapshots
+(:meth:`~repro.runtime.sharded.ShardedRunner.merged_snapshot`) so a
+query never observes a half-applied append.
+
+**Snapshot cadence.**  Appends are split at exact multiples of
+``snapshot_every``: whenever the global update index crosses a
+boundary, the engine merges copies of the shards into a fresh
+:class:`LiveSnapshot` and notifies every subscribed collector
+(:mod:`repro.serve.collectors`).  Because the cut points are
+update-index-aligned — the same chunk-offset arithmetic the checkpoint
+machinery uses — the snapshot taken at index ``k`` is bit-identical to
+a fresh batch run over the first ``k`` updates, regardless of how the
+appends were sized (``tests/test_live_engine.py`` asserts this for
+all 16 families under both coin protocols).
+
+**Staleness.**  Queries are answered from the newest snapshot and
+tagged with how far it trails the head: a :class:`LiveAnswer` carries
+the snapshot's update index, the head index, and the difference
+(``updates_behind``).  ``max_staleness=`` bounds the lag per query
+(the engine refreshes first when the bound would be violated), and
+``refresh=True`` forces an exact-head answer.
+
+The engine is thread-safe — one lock serializes appends and snapshot
+refreshes, while queries against an existing snapshot only read an
+immutable object — which is what lets the socket front end
+(:mod:`repro.serve.server`) serve appends and queries from concurrent
+connections.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro import registry
+from repro.query import Answer, Query, QueryKind
+from repro.runtime.sharded import ShardedRunner
+from repro.serve.collectors import Collector, QueryCollector
+from repro.state.algorithm import Sketch
+from repro.state.budget import WriteBudget
+from repro.state.report import StateChangeReport
+from repro.state.tracker import TRACKING_MODES
+from repro.streams.chunked import as_chunk
+
+#: Default snapshot cadence, aligned with the columnar chunk default.
+DEFAULT_SNAPSHOT_EVERY = 8192
+
+
+@dataclass(frozen=True)
+class LiveSnapshot:
+    """One consistent cut of the live run.
+
+    Attributes
+    ----------
+    sketch:
+        The merged copy — query it like a batch run's merged sketch;
+        it is immutable as far as the engine is concerned (later
+        appends go to the live shards, never to a snapshot).
+    update_index:
+        Stream position of the cut: the snapshot summarizes exactly
+        the first ``update_index`` updates.
+    report:
+        The combined state-change audit at the cut.
+    """
+
+    sketch: Sketch
+    update_index: int
+    report: StateChangeReport
+
+    def answer(self, query: Query) -> Answer:
+        """Answer a typed query against this cut."""
+        return self.sketch.query(query)
+
+
+@dataclass(frozen=True)
+class LiveAnswer:
+    """A query answer tagged with its staleness metadata.
+
+    ``answer`` came from the snapshot taken at ``snapshot_index``;
+    the engine had ingested ``head`` updates when the query ran, so
+    the answer trails the stream by ``updates_behind`` updates
+    (0 = exact).
+    """
+
+    answer: Answer
+    snapshot_index: int
+    head: int
+
+    @property
+    def updates_behind(self) -> int:
+        """How many ingested updates the answering snapshot missed."""
+        return self.head - self.snapshot_index
+
+    @property
+    def kind(self) -> QueryKind:
+        """The answered query kind (delegates to the answer)."""
+        return self.answer.kind
+
+
+class LiveEngine:
+    """Long-lived engine: interleaved appends and snapshot-consistent
+    queries over a sharded sketch.
+
+    Parameters mirror :class:`~repro.api.Engine` where they overlap —
+    one ``seed`` drives the shard factories and the partitioner, so a
+    live run is exactly as reproducible as a batch one.
+
+    Parameters
+    ----------
+    sketch:
+        Registry name (see :func:`repro.registry.names`).
+    n, m, epsilon, seed:
+        Sizing hints and the randomness seed, forwarded to every
+        shard's factory.
+    shards, partition:
+        Ingestion sharding; ``K > 1`` requires a mergeable family
+        (snapshots merge shard copies).  The executor is always
+        serial — a live engine ingests in-process; the process
+        executor's one-shot pool cannot interleave with queries.
+    snapshot_every:
+        The snapshot cadence in updates.  Appends are split at exact
+        multiples, each boundary produces a fresh snapshot and one
+        collector sample.
+    tracking, budget, budget_split:
+        Accounting backend / enforced write budget per
+        :meth:`~repro.runtime.sharded.ShardedRunner.from_registry`;
+        a live run's budget semantics (freeze/degrade/raise) are
+        identical to a batch run's over the same updates.
+    chunk_size:
+        Columnar routing chunk size (``None``: the stream's own).
+    coin_protocol:
+        Coin protocol override for the randomized families.
+    """
+
+    def __init__(
+        self,
+        sketch: str,
+        *,
+        n: int = 4096,
+        m: int = 65536,
+        epsilon: float = 0.5,
+        seed: int = 0,
+        shards: int = 1,
+        partition: str = "hash",
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        tracking: str = "aggregate",
+        budget: WriteBudget | int | None = None,
+        budget_split: str = "even",
+        chunk_size: int | None = None,
+        coin_protocol: str | None = None,
+    ) -> None:
+        self.spec = registry.spec(sketch)  # raises on unknown names
+        if snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1: {snapshot_every}"
+            )
+        if shards > 1 and not self.spec.mergeable:
+            raise ValueError(
+                f"{sketch!r} is not mergeable and cannot be sharded; "
+                f"mergeable sketches: {registry.mergeable_names()}"
+            )
+        if tracking not in TRACKING_MODES:
+            raise ValueError(
+                f"unknown tracking mode {tracking!r}; "
+                f"choose from {TRACKING_MODES}"
+            )
+        if budget is not None:
+            if tracking == "trace":
+                raise ValueError(
+                    "a write budget runs on the 'budget' backend; "
+                    "drop tracking= or pass tracking='budget'"
+                )
+            tracking = "budget"
+        self.sketch_name = sketch
+        self.n = n
+        self.seed = seed
+        self.shards = shards
+        self.partition = partition
+        self.snapshot_every = snapshot_every
+        self.tracking = tracking
+        self._runner = ShardedRunner.from_registry(
+            sketch,
+            shards,
+            n=n,
+            m=m,
+            epsilon=epsilon,
+            seed=seed,
+            partition=partition,
+            executor="serial",
+            tracking=tracking,
+            budget=budget,
+            budget_split=budget_split,
+            chunk_size=chunk_size,
+            coin_protocol=coin_protocol,
+        )
+        self._lock = threading.RLock()
+        self._ingested = 0
+        self._snapshot: LiveSnapshot | None = None
+        self._collectors: list[Collector] = []
+        self._snapshots_taken = 0
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    @property
+    def head(self) -> int:
+        """Updates ingested so far (the stream position)."""
+        return self._ingested
+
+    @property
+    def snapshot_index(self) -> int:
+        """Stream position of the newest snapshot (0 before any)."""
+        snapshot = self._snapshot
+        return 0 if snapshot is None else snapshot.update_index
+
+    @property
+    def updates_behind(self) -> int:
+        """How far the newest snapshot trails the head."""
+        return self._ingested - self.snapshot_index
+
+    @property
+    def snapshots_taken(self) -> int:
+        """Merged snapshots built so far (cadence + forced)."""
+        return self._snapshots_taken
+
+    @property
+    def collectors(self) -> tuple[Collector, ...]:
+        """The registered subscriptions."""
+        return tuple(self._collectors)
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    def subscribe(self, collector: Collector) -> Collector:
+        """Register a collector; it samples every snapshot from now on.
+
+        Returns the collector for chaining
+        (``series = engine.subscribe(StateChangesCollector()).series``).
+        """
+        with self._lock:
+            self._collectors.append(collector)
+        return collector
+
+    def subscribe_query(self, query: Query) -> QueryCollector:
+        """Shorthand: subscribe a :class:`QueryCollector` for ``query``."""
+        collector = QueryCollector(query)
+        self.subscribe(collector)
+        return collector
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def append(self, items: Iterable[int] | np.ndarray) -> int:
+        """Ingest a batch of updates; returns the number consumed.
+
+        The batch is routed through the sharded columnar data plane,
+        split at snapshot-cadence boundaries: crossing a boundary
+        refreshes the snapshot at exactly that update index and
+        notifies the collectors, so the cut points — and therefore
+        every collector series — are independent of how callers size
+        their appends.
+        """
+        chunks = getattr(items, "chunks", None)
+        if chunks is not None:
+            pieces: Iterable[np.ndarray] = chunks()
+        elif isinstance(items, np.ndarray):
+            pieces = (items,)
+        else:
+            pieces = (np.asarray(list(items), dtype=np.int64),)
+        count = 0
+        with self._lock:
+            for piece in pieces:
+                piece = as_chunk(piece)
+                position = 0
+                while position < len(piece):
+                    boundary = self.snapshot_every - (
+                        self._ingested % self.snapshot_every
+                    )
+                    take = min(len(piece) - position, boundary)
+                    segment = piece[position:position + take]
+                    ingested = self._runner.ingest(segment)
+                    self._ingested += ingested
+                    count += ingested
+                    position += take
+                    if self._ingested % self.snapshot_every == 0:
+                        self._refresh_snapshot(notify=True)
+        return count
+
+    def finish(self) -> LiveSnapshot:
+        """Take a final head snapshot and give collectors their last
+        sample (a partial interval, unless the head sits exactly on a
+        cadence boundary — collectors deduplicate that case).
+
+        The engine stays usable: further appends and queries continue
+        from the same state.
+        """
+        with self._lock:
+            return self._refresh_snapshot(notify=True)
+
+    # ------------------------------------------------------------------
+    # Snapshots + queries
+    # ------------------------------------------------------------------
+    def _refresh_snapshot(self, notify: bool = False) -> LiveSnapshot:
+        merged = self._runner.merged_snapshot()
+        snapshot = LiveSnapshot(
+            sketch=merged,
+            update_index=self._ingested,
+            report=merged.report(),
+        )
+        self._snapshot = snapshot
+        self._snapshots_taken += 1
+        if notify:
+            for collector in self._collectors:
+                collector.on_snapshot(snapshot)
+        return snapshot
+
+    def snapshot(self, refresh: bool = False) -> LiveSnapshot:
+        """The newest consistent cut (``refresh=True``: cut at head).
+
+        The first call on a pristine engine materializes the empty
+        snapshot at index 0.  Forced refreshes update what queries
+        answer from but do **not** feed collector series — those
+        sample on the cadence only, so forcing a snapshot never skews
+        a subscription's time axis.
+        """
+        with self._lock:
+            snapshot = self._snapshot
+            if snapshot is None or (
+                refresh and snapshot.update_index < self._ingested
+            ):
+                snapshot = self._refresh_snapshot()
+            return snapshot
+
+    def query(
+        self,
+        query: Query,
+        *,
+        refresh: bool = False,
+        max_staleness: int | None = None,
+    ) -> LiveAnswer:
+        """Answer a typed query from the newest snapshot.
+
+        ``max_staleness=k`` guarantees the answer trails the head by
+        at most ``k`` updates, refreshing the snapshot first if the
+        standing one is older; ``refresh=True`` is ``max_staleness=0``.
+        The default answers from whatever snapshot exists — never
+        slower than a dict lookup plus the family's query cost.
+        """
+        if max_staleness is not None and max_staleness < 0:
+            raise ValueError(
+                f"max_staleness must be >= 0: {max_staleness}"
+            )
+        with self._lock:
+            snapshot = self._snapshot
+            head = self._ingested
+            stale = (
+                snapshot is None
+                or refresh
+                and snapshot.update_index < head
+                or max_staleness is not None
+                and head - snapshot.update_index > max_staleness
+            )
+            if stale:
+                snapshot = self._refresh_snapshot()
+        return LiveAnswer(
+            answer=snapshot.answer(query),
+            snapshot_index=snapshot.update_index,
+            head=head,
+        )
+
+    def queries(
+        self, qs: Sequence[Query], **kwargs
+    ) -> tuple[LiveAnswer, ...]:
+        """Answer several queries against one consistent snapshot."""
+        with self._lock:
+            answers = tuple(self.query(q, **kwargs) for q in qs)
+        return answers
+
+    # ------------------------------------------------------------------
+    # Capabilities
+    # ------------------------------------------------------------------
+    @property
+    def supports(self) -> frozenset[QueryKind]:
+        """Query kinds the configured sketch declares."""
+        return self.spec.supports
+
+    def summary(self) -> str:
+        """One-line human-readable serving status."""
+        return (
+            f"{self.sketch_name}: head={self._ingested} "
+            f"snapshot@{self.snapshot_index} "
+            f"(behind={self.updates_behind}, "
+            f"cadence={self.snapshot_every}) "
+            f"shards={self.shards} ({self.partition}) "
+            f"collectors={len(self._collectors)}"
+        )

@@ -102,6 +102,105 @@ class TestShardedRunner:
             ShardedRunner(lambda i: tracker_shared, num_shards=2)
 
 
+class TestMergedSnapshot:
+    def test_snapshot_leaves_shards_ingestable(self):
+        stream = zipf_stream(N, 8192, seed=11)
+        runner = ShardedRunner.from_registry(
+            "count-min", 4, n=N, epsilon=0.1, seed=11
+        )
+        runner.ingest(stream[:4096])
+        snapshot = runner.merged_snapshot()
+        assert snapshot.items_processed == 4096
+        # The runner keeps ingesting; the snapshot does not move.
+        runner.ingest(stream[4096:])
+        assert snapshot.items_processed == 4096
+        assert sum(runner.shard_items) == 8192
+
+    def test_snapshot_is_bit_identical_to_merge(self):
+        import json
+
+        stream = zipf_stream(N, 8192, seed=12)
+        runner = ShardedRunner.from_registry(
+            "count-min", 4, n=N, epsilon=0.1, seed=12
+        )
+        runner.ingest(stream)
+        snapshot = runner.merged_snapshot()
+        merged = runner.merge()
+        assert json.dumps(
+            snapshot.to_state(), sort_keys=True
+        ) == json.dumps(merged.to_state(), sort_keys=True)
+
+    def test_snapshot_matches_fresh_batch_over_prefix(self):
+        import json
+
+        stream = zipf_stream(N, 8192, seed=13)
+        live = ShardedRunner.from_registry(
+            "misra-gries", 2, n=N, epsilon=0.4, seed=13
+        )
+        live.ingest(stream[:3000])
+        snapshot = live.merged_snapshot()
+        batch = ShardedRunner.from_registry(
+            "misra-gries", 2, n=N, epsilon=0.4, seed=13
+        )
+        batch.ingest(stream[:3000])
+        assert json.dumps(
+            snapshot.to_state(), sort_keys=True
+        ) == json.dumps(batch.merge().to_state(), sort_keys=True)
+
+    def test_repeated_snapshots_are_independent(self):
+        stream = zipf_stream(N, 4096, seed=14)
+        runner = ShardedRunner.from_registry("exact", 2, n=N, seed=14)
+        runner.ingest(stream[:2048])
+        first = runner.merged_snapshot()
+        second = runner.merged_snapshot()
+        assert first is not second
+        assert first.report().state_changes == second.report().state_changes
+        runner.ingest(stream[2048:])
+        third = runner.merged_snapshot()
+        assert third.report().state_changes > first.report().state_changes
+
+    def test_snapshot_does_not_disturb_shard_audits(self):
+        stream = zipf_stream(N, 4096, seed=15)
+        runner = ShardedRunner.from_registry("count-min", 4, n=N, seed=15)
+        runner.ingest(stream)
+        before = [r.state_changes for r in runner.shard_reports()]
+        runner.merged_snapshot()
+        after = [r.state_changes for r in runner.shard_reports()]
+        assert before == after
+
+    def test_snapshot_after_merge_rejected(self):
+        runner = ShardedRunner.from_registry("count-min", 2, seed=16)
+        runner.ingest([1, 2, 3])
+        runner.merge()
+        with pytest.raises(RuntimeError, match="already merged"):
+            runner.merged_snapshot()
+
+    def test_non_serializable_family_snapshots_via_deepcopy(self):
+        stream = zipf_stream(N, 2048, seed=17)
+        runner = ShardedRunner.from_registry(
+            "reservoir", 1, n=N, epsilon=0.5, seed=17
+        )
+        runner.ingest(stream[:1024])
+        snapshot = runner.merged_snapshot()
+        held = list(snapshot.sample)
+        runner.ingest(stream[1024:])
+        # The copy froze the sample at the cut; the live shard moved on.
+        assert list(snapshot.sample) == held
+        assert snapshot.items_processed == 1024
+
+    def test_process_executor_snapshot_then_ingest_rejected(self):
+        stream = zipf_stream(N, 2048, seed=18)
+        runner = ShardedRunner.from_registry(
+            "count-min", 2, n=N, seed=18, executor="process",
+            max_workers=2,
+        )
+        runner.ingest(stream)
+        snapshot = runner.merged_snapshot()  # triggers the one-shot pool
+        assert snapshot.items_processed == 2048
+        with pytest.raises(RuntimeError, match="already executed"):
+            runner.ingest(stream)
+
+
 class TestCheckpoint:
     def test_file_round_trip(self, tmp_path):
         stream = zipf_stream(512, 4096, skew=1.2, seed=9)
