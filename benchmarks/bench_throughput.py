@@ -32,6 +32,17 @@ with the machine — the >= 2x assertion applies on hosts with at least
 as many cores as shards (a single-core container cannot parallelize
 CPU-bound work, so there the bench asserts only bounded overhead).
 
+The parallel-pipeline section runs the same chunked stream through all
+four execution modes — serial, thread pool, barrier process pool
+(``pipeline_depth=0``), and the pipelined shared-memory pool — and
+asserts the four-way bit-identity (merged state, per-shard audits,
+point-query answers) unconditionally.  Because the barrier pool's
+``ingest()`` only routes and its ``merge()`` runs the workers, the two
+phases are separable, and the pipelined executor's routing/ingest
+overlap becomes measurable: on multi-core hosts its end-to-end wall
+time must beat route + barrier-worker time.  The results are committed
+as ``benchmarks/results/BENCH_parallel_pipeline.json``.
+
 Setting ``REPRO_BENCH_QUICK=1`` shrinks the stream sizes (used by the
 scheduled CI benchmark job, which uploads the ``BENCH_*.json`` results
 as artifacts so the perf trajectory accumulates).
@@ -528,6 +539,129 @@ def format_sharded_throughput(payload: dict) -> str:
     ])
 
 
+def run_parallel_pipeline(
+    m: int = 1_000_000,
+    n: int = 4096,
+    shards: int = 4,
+    epsilon: float = 0.1,
+    skew: float = 1.1,
+    seed: int = 0,
+    sketch: str = "count-min",
+    chunk_size: int = 8192,
+) -> dict:
+    """Pipelined vs barrier vs thread vs serial on one chunked stream.
+
+    Every mode routes the identical ``int64`` stream with the identical
+    partitioner, so merged states, per-shard audits, and query answers
+    must agree bit for bit — that equivalence is recorded (and asserted
+    unconditionally by the test).  The timing side separates *route*
+    wall time from *worker* wall time on the barrier pool — its
+    ``ingest()`` only routes and buffers, the pool runs at ``merge()``
+    — which makes the pipelined executor's overlap directly
+    measurable: with real cores its end-to-end wall time must beat
+    route + barrier-worker time, because routing and worker ingest
+    happen concurrently instead of back to back.
+    """
+    import numpy as np
+
+    from repro.query import PointQuery
+    from repro.runtime.parallel import available_cpus
+    from repro.streams.chunked import ChunkedStream
+
+    arr = np.asarray(zipf_stream(n, m, skew=skew, seed=seed),
+                     dtype=np.int64)
+    top_items = [int(v) for v in np.bincount(arr).argsort()[-20:]]
+
+    modes = {
+        "serial": ("serial", {}),
+        "thread": ("thread", {}),
+        "barrier": ("process", {"pipeline_depth": 0}),
+        "pipelined": ("process", {}),
+    }
+    results = {}
+    for mode, (executor, kw) in modes.items():
+        runner = ShardedRunner.from_registry(
+            sketch, shards, n=n, m=m, epsilon=epsilon, seed=seed,
+            executor=executor, chunk_size=chunk_size, **kw,
+        )
+        start = time.perf_counter()
+        runner.ingest(ChunkedStream(arr))
+        ingest_seconds = time.perf_counter() - start
+        reports = runner.shard_reports()  # triggers deferred dispatch
+        merged = runner.merge()
+        total_seconds = time.perf_counter() - start
+        results[mode] = {
+            "state": json.dumps(merged.to_state(), sort_keys=True),
+            "reports": reports,
+            "answers": [merged.query(PointQuery(i)) for i in top_items],
+            "audit": merged.report(),
+            "ingest_seconds": ingest_seconds,
+            "total_seconds": total_seconds,
+        }
+
+    serial = results["serial"]
+    identical = {
+        mode: (
+            row["state"] == serial["state"]
+            and row["reports"] == serial["reports"]
+            and row["answers"] == serial["answers"]
+            and row["audit"] == serial["audit"]
+        )
+        for mode, row in results.items()
+    }
+    # The barrier pool's phases: ingest() = pure routing, merge() =
+    # pool dispatch + restore + reduce.
+    route_seconds = results["barrier"]["ingest_seconds"]
+    barrier_worker_seconds = (
+        results["barrier"]["total_seconds"] - route_seconds
+    )
+    return {
+        "benchmark": "parallel-pipeline",
+        "stream": {"n": n, "m": m, "skew": skew, "seed": seed},
+        "sketch": sketch,
+        "shards": shards,
+        "chunk_size": chunk_size,
+        "cpu_count": os.cpu_count() or 1,
+        "available_cpus": available_cpus(),
+        "items_per_sec": {
+            mode: m / row["total_seconds"]
+            for mode, row in results.items()
+        },
+        "total_seconds": {
+            mode: row["total_seconds"] for mode, row in results.items()
+        },
+        "route_seconds": route_seconds,
+        "barrier_worker_seconds": barrier_worker_seconds,
+        "pipelined_total_seconds": results["pipelined"]["total_seconds"],
+        "pipelined_overlap_vs_barrier": (
+            (route_seconds + barrier_worker_seconds)
+            / results["pipelined"]["total_seconds"]
+        ),
+        "identical": identical,
+    }
+
+
+def format_parallel_pipeline(payload: dict) -> str:
+    """Render the pipelined-vs-barrier comparison as aligned text."""
+    lines = [
+        f"Parallel pipeline — {payload['sketch']}, "
+        f"{payload['shards']} shards, "
+        f"{payload['available_cpus']} usable cpus "
+        f"(route {payload['route_seconds']:.3f}s + barrier workers "
+        f"{payload['barrier_worker_seconds']:.3f}s; pipelined total "
+        f"{payload['pipelined_total_seconds']:.3f}s, overlap gain "
+        f"{payload['pipelined_overlap_vs_barrier']:.2f}x)",
+        f"{'mode':>10}{'items/s':>14}{'total s':>10}{'identical':>11}",
+    ]
+    for mode, rate in payload["items_per_sec"].items():
+        lines.append(
+            f"{mode:>10}{rate:>14.0f}"
+            f"{payload['total_seconds'][mode]:>10.3f}"
+            f"{str(payload['identical'][mode]):>11}"
+        )
+    return "\n".join(lines)
+
+
 def test_backend_throughput(save_result):
     payload = run_backend_throughput(m=_quick(50_000))
     save_result(
@@ -645,6 +779,37 @@ def test_sharded_executor_throughput(save_result):
         assert payload["process_speedup"] > 0.5, payload
 
 
+def test_parallel_pipeline(save_result):
+    payload = run_parallel_pipeline(m=_quick(1_000_000, floor=200_000),
+                                    shards=4)
+    save_result(
+        "BENCH_parallel_pipeline_table", format_parallel_pipeline(payload)
+    )
+    results_path = (
+        __import__("pathlib").Path(__file__).parent
+        / "results"
+        / "BENCH_parallel_pipeline.json"
+    )
+    results_path.write_text(json.dumps(payload, indent=2) + "\n")
+    # The executor contract is unconditional in every mode: identical
+    # merged state, per-shard audits, and point-query answers.
+    for mode, same in payload["identical"].items():
+        assert same, (mode, payload)
+    # Overlap: with real cores the pipelined executor's end-to-end
+    # wall time must beat route + barrier-worker time (routing and
+    # worker ingest run concurrently, not back to back).  Single-core
+    # containers and quick mode cannot parallelize CPU-bound work, so
+    # there the bench only bounds the pipelining overhead.
+    quick = bool(os.environ.get("REPRO_BENCH_QUICK"))
+    if payload["available_cpus"] >= 2 and not quick:
+        assert payload["pipelined_overlap_vs_barrier"] > 1.0, payload
+    else:
+        serial_total = payload["total_seconds"]["serial"]
+        assert payload["pipelined_total_seconds"] < 4 * serial_total, (
+            payload
+        )
+
+
 if __name__ == "__main__":
     print(format_throughput(run_throughput()))
     print()
@@ -655,3 +820,5 @@ if __name__ == "__main__":
     print(format_randomized_throughput(run_randomized_throughput()))
     print()
     print(format_sharded_throughput(run_sharded_throughput()))
+    print()
+    print(format_parallel_pipeline(run_parallel_pipeline()))

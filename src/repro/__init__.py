@@ -46,7 +46,12 @@ from repro.core.support_recovery import SparseSupportRecovery
 # the algorithm class exported here); only the collision-free
 # capability enum and the typed error are re-exported.
 from repro.query import QueryKind, UnsupportedQueryError
-from repro.runtime import Checkpoint, ShardedRunner, ShardedRunResult
+from repro.runtime import (
+    Checkpoint,
+    ShardedRunner,
+    ShardedRunResult,
+    ShardIngestError,
+)
 from repro.state import (
     AggregateBackend,
     BudgetBackend,
@@ -104,6 +109,7 @@ __all__ = [
     "RunReport",
     "SampleAndHold",
     "SampleAndHoldParams",
+    "ShardIngestError",
     "ShardedRunResult",
     "ShardedRunner",
     "Sketch",

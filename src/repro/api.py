@@ -17,9 +17,10 @@ protocol (:mod:`repro.query`)::
     report.wall_time_s                      # ingest + reduce wall time
 
 ``shards=K`` switches ingestion to the sharded runtime transparently;
-answers still come from one merged sketch, and ``executor="process"``
-additionally fans the shards out over a ``multiprocessing`` pool with
-bit-identical results.  One ``seed`` drives the registry factory
+answers still come from one merged sketch, and ``executor="thread"``
+or ``executor="process"`` additionally fans the shards out over a
+thread pool or the pipelined shared-memory ``multiprocessing`` pool,
+with bit-identical results.  One ``seed`` drives the registry factory
 (sketch randomness), the shard partitioner, and the stream-independent
 RNGs, so two engines built with the same arguments produce identical
 reports end to end.
@@ -71,6 +72,10 @@ from repro.query import (
     QueryKind,
     UnsupportedQueryError,
 )
+from repro.runtime.parallel import (
+    DEFAULT_PIPELINE_DEPTH,
+    resolve_start_method,
+)
 from repro.runtime.sharded import ShardedRunner
 from repro.state.algorithm import Sketch
 from repro.state.budget import BudgetReport, WriteBudget
@@ -114,7 +119,8 @@ class RunReport:
     skew:
         Max-over-mean shard load (1.0 = perfectly balanced).
     executor:
-        ``"serial"`` or ``"process"`` — where shard ingest ran.
+        ``"serial"``, ``"thread"``, or ``"process"`` — where shard
+        ingest ran.
     workload:
         Spec string of the named workload that generated the stream
         (``None`` when the caller passed an explicit stream).
@@ -197,12 +203,24 @@ class Engine:
     batch_size:
         Items buffered per shard before a ``process_many`` flush.
     executor:
-        ``"serial"`` (default) or ``"process"`` — whether shard ingest
-        runs in-process or on a ``multiprocessing`` pool.  Results are
-        bit-identical; only the wall-clock changes.
+        ``"serial"`` (default), ``"thread"`` (deferred thread pool
+        over the live shards — no serialization round trip), or
+        ``"process"`` (the pipelined shared-memory pool when
+        ``pipeline_depth > 0``, the historical barrier pool at
+        ``pipeline_depth=0``).  Results are bit-identical; only the
+        wall-clock changes.
     max_workers:
-        Process-pool size cap (``None``: one worker per shard, capped
-        by the machine's cores).
+        Pool size cap (``None``: one worker per shard, capped by the
+        CPUs the process may run on).
+    pipeline_depth:
+        Ring-buffer slots per shard for the pipelined process
+        executor — how far routing may run ahead of worker ingest
+        before back-pressure blocks; ``0`` selects the barrier pool.
+    start_method:
+        Explicit ``multiprocessing`` start-method override (``"fork"``
+        / ``"forkserver"`` / ``"spawn"``); ``None`` applies the
+        thread-safety policy of
+        :func:`~repro.runtime.parallel.resolve_start_method`.
     coin_protocol:
         ``"v1"`` (sequential RNG) or ``"v2"`` (indexed Philox coins,
         the randomized families' default) — forwarded to every shard's
@@ -225,6 +243,8 @@ class Engine:
         executor: str = "serial",
         max_workers: int | None = None,
         coin_protocol: str | None = None,
+        pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+        start_method: str | None = None,
     ) -> None:
         self.spec = registry.spec(sketch)
         if shards < 1:
@@ -236,21 +256,30 @@ class Engine:
                 f"{sketch!r} has no coin protocol; coin_protocol= "
                 f"applies to {sorted(registry.COIN_PROTOCOL_AWARE)}"
             )
-        if executor not in ("serial", "process"):
+        if executor not in ("serial", "thread", "process"):
             raise ValueError(
                 f"unknown executor {executor!r}; "
-                f"choose from ('serial', 'process')"
+                f"choose from ('serial', 'thread', 'process')"
             )
         if executor == "process" and (
             self.spec.cls._config_state is Sketch._config_state
         ):
             # Fail at construction, not deep inside run(): the process
             # executor round-trips shards through to_state/from_state,
-            # which this family does not implement.
+            # which this family does not implement.  (The thread
+            # executor works on the live objects and has no such
+            # requirement.)
             raise ValueError(
                 f"{sketch!r} does not support state serialization and "
-                f"cannot use the process executor; use executor='serial'"
+                f"cannot use the process executor; use "
+                f"executor='serial' or executor='thread'"
             )
+        if pipeline_depth < 0:
+            raise ValueError(
+                f"pipeline_depth must be >= 0: {pipeline_depth}"
+            )
+        if start_method is not None:
+            resolve_start_method(start_method)  # validate eagerly
         if shards > 1 and not self.spec.mergeable:
             raise ValueError(
                 f"{sketch!r} is not mergeable and cannot be sharded; "
@@ -267,6 +296,8 @@ class Engine:
         self.executor = executor
         self.max_workers = max_workers
         self.coin_protocol = coin_protocol
+        self.pipeline_depth = pipeline_depth
+        self.start_method = start_method
         self._merged: Sketch | None = None
 
     # ------------------------------------------------------------------
@@ -381,7 +412,8 @@ class Engine:
             if self.executor != "serial":
                 raise ValueError(
                     "nvm= attaches write listeners, which cannot cross "
-                    "a process pool; use executor='serial'"
+                    "a process pool and are not safe under concurrent "
+                    "shard threads; use executor='serial'"
                 )
             tracking = "trace"
             device = NVMDevice(
@@ -426,6 +458,8 @@ class Engine:
             budget_split=budget_split,
             chunk_size=chunk_size,
             coin_protocol=self.coin_protocol,
+            pipeline_depth=self.pipeline_depth,
+            start_method=self.start_method,
         )
         if device is not None:
             for shard in runner.shards:

@@ -36,6 +36,7 @@ from typing import Sequence
 from repro import registry, workloads
 from repro.api import Engine
 from repro.nvm import NVM_PRESETS
+from repro.runtime.parallel import DEFAULT_PIPELINE_DEPTH
 from repro.query import (
     AllEstimates,
     Distinct,
@@ -190,6 +191,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         partition=args.partition,
         executor=args.executor,
         coin_protocol=args.coin_protocol,
+        pipeline_depth=args.pipeline_depth,
+        start_method=args.start_method,
     )
     workload = workloads.Workload(
         args.workload,
@@ -297,6 +300,7 @@ def _cmd_shard(args: argparse.Namespace) -> int:
             workload_params=_workload_params(args),
             chunk_size=args.chunk_size,
             coin_protocol=args.coin_protocol,
+            pipeline_depth=args.pipeline_depth,
         )
     except (ValueError, OSError) as error:
         # e.g. trace-replay without --trace, or an unreadable file.
@@ -441,7 +445,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="force the randomized families' coin protocol "
                           "(v1: sequential RNG; v2: indexed Philox coins)")
     run.add_argument("--executor", default="serial",
-                     choices=["serial", "process"])
+                     choices=["serial", "thread", "process"])
+    run.add_argument("--pipeline-depth", type=int,
+                     default=DEFAULT_PIPELINE_DEPTH, dest="pipeline_depth",
+                     help="ring-buffer slots per shard for the pipelined "
+                          "process executor (0: barrier pool)")
+    run.add_argument("--start-method", default=None, dest="start_method",
+                     choices=["fork", "forkserver", "spawn"],
+                     help="multiprocessing start method (default: fork "
+                          "when single-threaded, else forkserver/spawn)")
     run.add_argument("--partition", default="hash",
                      choices=["hash", "round-robin"])
     run.add_argument("--n", type=int, default=4096)
@@ -484,7 +496,12 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--partition", default="hash",
                        choices=["hash", "round-robin"])
     shard.add_argument("--executor", default="serial",
-                       choices=["serial", "process"])
+                       choices=["serial", "thread", "process"])
+    shard.add_argument("--pipeline-depth", type=int,
+                       default=DEFAULT_PIPELINE_DEPTH,
+                       dest="pipeline_depth",
+                       help="ring-buffer slots per shard for the "
+                            "pipelined process executor (0: barrier pool)")
     shard.add_argument("--workload", default="zipf",
                        help="registered workload scenario name")
     shard.add_argument("--trace",

@@ -1,21 +1,39 @@
 """Distributed-ingestion runtime built on the mergeable sketch protocol.
 
 * :mod:`repro.runtime.sharded` — :class:`ShardedRunner`: partition a
-  stream over ``K`` sketch shards, batch-ingest (serially or on a
+  stream over ``K`` sketch shards, batch-ingest (serially, on a thread
+  pool via ``executor="thread"``, or on the pipelined shared-memory
   process pool via ``executor="process"``), merge-reduce.
-* :mod:`repro.runtime.parallel` — the process-pool shard executor
-  (worker entry point + pool plumbing).
+* :mod:`repro.runtime.parallel` — the shard executors: the zero-copy
+  :class:`PipelinedShardPool`, the barrier pool
+  (:func:`run_shard_tasks`), and the shared sizing/start-method
+  policy.  Worker failures carry shard context as
+  :class:`ShardIngestError`.
 * :mod:`repro.runtime.checkpoint` — :class:`Checkpoint`: JSON
   round-trips of sketch state (estimates + RNG position + audit).
 """
 
 from repro.runtime.checkpoint import Checkpoint
-from repro.runtime.parallel import run_shard_tasks
+from repro.runtime.parallel import (
+    DEFAULT_PIPELINE_DEPTH,
+    PipelinedShardPool,
+    ShardIngestError,
+    available_cpus,
+    resolve_start_method,
+    resolve_workers,
+    run_shard_tasks,
+)
 from repro.runtime.sharded import ShardedRunner, ShardedRunResult
 
 __all__ = [
     "Checkpoint",
+    "DEFAULT_PIPELINE_DEPTH",
+    "PipelinedShardPool",
+    "ShardIngestError",
     "ShardedRunner",
     "ShardedRunResult",
+    "available_cpus",
+    "resolve_start_method",
+    "resolve_workers",
     "run_shard_tasks",
 ]

@@ -45,22 +45,40 @@ chunk, boolean-mask splits, shard-side
 assignment and results bit-identical to the per-item route.  An
 optional ``chunk_size`` re-chunks the stream at ingest time.
 
-Two executors decide *where* the per-shard ingest runs:
+Three executors decide *where* the per-shard ingest runs:
 
 * ``"serial"`` — shards are ingested in-process as the stream is
   routed (the historical behaviour).
-* ``"process"`` — routed items are buffered per shard, shipped to a
-  ``multiprocessing`` pool (:mod:`repro.runtime.parallel`) via the
-  ``to_state``/``from_state`` serialization (chunk-routed shards ship
-  one pickled ``int64`` ndarray, not a list of Python ints), ingested
-  in workers, and restored for the same binary merge-tree reduce.
-  Results — merged payload, answers, and the full audit — are
+* ``"thread"`` — routed items are buffered per shard and ingested by
+  a thread pool over the live shard objects at the first observation.
+  No serialization round trip at all (non-serializable families can
+  use it), and the numpy-dominated ``process_chunk`` kernels release
+  the GIL for much of their work — on free-threaded builds the
+  overlap is full.
+* ``"process"`` — the default ``pipeline_depth > 0`` runs the
+  zero-copy pipelined pool (:class:`~repro.runtime.parallel.
+  PipelinedShardPool`): persistent workers are rebuilt once from each
+  shard's empty snapshot, the router writes partitioned ``int64``
+  chunks straight into per-shard shared-memory ring buffers *while*
+  workers ingest earlier chunks, and at end-of-stream the ingested
+  states stream back incrementally for restoration.
+  ``pipeline_depth=0`` keeps the historical barrier pool: routed
+  items are buffered per shard, shipped as one pickled payload each to
+  a ``pool.map``, and restored after a full barrier.  Either way the
+  results — merged payload, answers, and the full audit — are
   bit-identical to serial mode; only the wall-clock changes.
+
+A worker failure aborts the run with its shard context
+(:class:`~repro.runtime.parallel.ShardIngestError`; ``policy="raise"``
+budget aborts keep their ``WriteBudgetExceededError`` type with the
+context chained), and the runner then refuses to merge or observe the
+partial results.
 """
 
 from __future__ import annotations
 
 import copy
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
@@ -68,19 +86,32 @@ import numpy as np
 
 from repro import registry
 from repro.hashing.prime_field import KWiseHash
-from repro.runtime.parallel import run_shard_tasks
+from repro.runtime.parallel import (
+    DEFAULT_PIPELINE_DEPTH,
+    PipelinedShardPool,
+    ShardIngestError,
+    reraise_shard_error,
+    resolve_start_method,
+    resolve_workers,
+    run_shard_tasks,
+    wrap_shard_error,
+)
 from repro.state.algorithm import NotMergeableError, Sketch
 from repro.state.budget import BudgetReport, WriteBudget
 from repro.state.report import StateChangeReport
 from repro.state.tracker import BudgetBackend, make_tracker
-from repro.streams.chunked import ChunkedStream, as_chunk
+from repro.streams.chunked import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkedStream,
+    as_chunk,
+)
 
 #: Builds the shard with the given index; shards must be mutually
 #: merge-compatible (same type, same hash seeds, separate trackers).
 ShardFactory = Callable[[int], Sketch]
 
 _PARTITIONS = ("hash", "round-robin")
-_EXECUTORS = ("serial", "process")
+_EXECUTORS = ("serial", "thread", "process")
 
 
 def _load_skew(shard_items: tuple[int, ...] | list[int]) -> float:
@@ -160,14 +191,26 @@ class ShardedRunner:
         (serial executor only; the process executor ships each shard's
         full buffer in one task).
     executor:
-        ``"serial"`` (default) ingests in-process; ``"process"``
-        defers ingestion until the first observation (reports, merge,
-        or :meth:`run`) and fans the buffered shards out to a process
-        pool.  Requires a serializable sketch; results are
-        bit-identical to serial mode.
+        ``"serial"`` (default) ingests in-process; ``"thread"``
+        buffers routed work and ingests the live shards on a thread
+        pool at the first observation (reports, merge, or
+        :meth:`run`); ``"process"`` runs the pipelined shared-memory
+        pool (``pipeline_depth > 0``, workers ingest concurrently with
+        routing) or the historical barrier pool (``pipeline_depth=0``).
+        The process executor requires a serializable sketch; every
+        executor is bit-identical to serial mode.
     max_workers:
-        Process-pool size cap (``None``: one worker per shard, capped
-        by the machine's cores).
+        Pool size cap (``None``: one worker per shard, capped by the
+        CPUs the process may run on).
+    pipeline_depth:
+        Ring-buffer slots per shard for the pipelined process
+        executor — how far routing may run ahead of ingest before
+        back-pressure blocks.  ``0`` selects the barrier pool.
+    start_method:
+        Explicit ``multiprocessing`` start-method override
+        (``"fork"``/``"forkserver"``/``"spawn"``); ``None`` applies
+        the thread-safety policy of
+        :func:`~repro.runtime.parallel.resolve_start_method`.
     """
 
     def __init__(
@@ -180,6 +223,8 @@ class ShardedRunner:
         executor: str = "serial",
         max_workers: int | None = None,
         chunk_size: int | None = None,
+        pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+        start_method: str | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"need at least one shard: {num_shards}")
@@ -195,12 +240,20 @@ class ShardedRunner:
             raise ValueError(f"batch_size must be >= 1: {batch_size}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
+        if pipeline_depth < 0:
+            raise ValueError(
+                f"pipeline_depth must be >= 0: {pipeline_depth}"
+            )
+        if start_method is not None:
+            resolve_start_method(start_method)  # validate eagerly
         self.num_shards = num_shards
         self.partition = partition
         self.executor = executor
         self.max_workers = max_workers
         self.batch_size = batch_size
         self.chunk_size = chunk_size
+        self.pipeline_depth = pipeline_depth
+        self.start_method = start_method
         self._shards: list[Sketch] = [factory(i) for i in range(num_shards)]
         trackers = {id(shard.tracker) for shard in self._shards}
         if len(trackers) != num_shards:
@@ -225,7 +278,9 @@ class ShardedRunner:
         self._merged: Sketch | None = None
         self._premerge_reports: tuple[StateChangeReport, ...] = ()
         self._premerge_budgets: tuple[BudgetReport | None, ...] = ()
-        self._dispatched = False  # process executor ran its pool
+        self._dispatched = False  # pool/thread executor ran its work
+        self._pipeline: PipelinedShardPool | None = None
+        self._failed: BaseException | None = None
 
     @classmethod
     def from_registry(
@@ -245,6 +300,8 @@ class ShardedRunner:
         budget_split: str = "even",
         chunk_size: int | None = None,
         coin_protocol: str | None = None,
+        pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+        start_method: str | None = None,
     ) -> "ShardedRunner":
         """Runner whose shards come from :mod:`repro.registry`.
 
@@ -284,6 +341,8 @@ class ShardedRunner:
             executor=executor,
             max_workers=max_workers,
             chunk_size=chunk_size,
+            pipeline_depth=pipeline_depth,
+            start_method=start_method,
         )
 
     # ------------------------------------------------------------------
@@ -307,6 +366,11 @@ class ShardedRunner:
             self._cursor = (shard + 1) % self.num_shards
         return shard
 
+    @property
+    def _pipelined(self) -> bool:
+        """Whether this runner streams work into the pipelined pool."""
+        return self.executor == "process" and self.pipeline_depth > 0
+
     def ingest(self, stream: Iterable[int]) -> int:
         """Route ``stream`` to the shards; returns items consumed.
 
@@ -316,11 +380,15 @@ class ShardedRunner:
         boolean-mask split per shard, and shard-side ingest through
         :meth:`~repro.state.algorithm.Sketch.process_chunk`
         (bit-identical to the scalar route).  Other iterables keep the
-        historical per-item path: under the serial executor items are
-        buffered per shard and flushed through ``process_many`` in
-        ``batch_size`` chunks; under the process executor routing only
-        buffers, and the buffered work runs on the pool at the first
-        observation (reports, merge, or :meth:`run`).
+        historical per-item path, batched at ``batch_size`` items.
+
+        Where the routed work goes depends on the executor: serial
+        ingests as it routes; the pipelined process executor writes
+        each routed part into the shard's shared-memory ring (workers
+        ingest concurrently — the overlap is the point); the thread
+        and barrier-process executors only buffer, and the buffered
+        work runs at the first observation (reports, merge, or
+        :meth:`run`).
         """
         self._check_ingestable()
         chunks = getattr(stream, "chunks", None)
@@ -332,7 +400,7 @@ class ShardedRunner:
             )
         buffers = self._buffers
         count = 0
-        if self.executor == "process":
+        if self.executor in ("thread", "process") and not self._pipelined:
             shard_items = self._shard_items
             for item in stream:
                 shard = self._next_shard(item)
@@ -353,15 +421,32 @@ class ShardedRunner:
         return count
 
     def _check_ingestable(self) -> None:
+        self._check_not_failed()
         if self._merged is not None:
             raise RuntimeError(
                 "runner is already merged; create a new ShardedRunner"
             )
-        if self.executor == "process" and self._dispatched:
+        if self.executor != "serial" and self._dispatched:
             raise RuntimeError(
-                "process-executor runner has already executed; "
-                "create a new ShardedRunner"
+                f"{self.executor}-executor runner has already executed; "
+                f"create a new ShardedRunner"
             )
+
+    def _check_not_failed(self) -> None:
+        if self._failed is not None:
+            raise RuntimeError(
+                "a shard ingest failed; partial results cannot be "
+                "merged, observed, or extended — create a new "
+                "ShardedRunner"
+            ) from self._failed
+
+    def _fail(self, error: BaseException) -> None:
+        """Latch a worker failure: the run's partial results are dead."""
+        self._failed = error
+        self._dispatched = True
+        if self._pipeline is not None:
+            self._pipeline.close()
+            self._pipeline = None
 
     def _ingest_chunks(self, chunks: Iterator[np.ndarray]) -> int:
         """Columnar routing: split each chunk across the shards with
@@ -393,9 +478,16 @@ class ShardedRunner:
         return count
 
     def _deliver_chunk(self, shard: int, part: np.ndarray) -> None:
-        if self.executor == "process":
+        if self._pipelined:
             # Any scalar-buffered items precede this chunk in stream
-            # order; freeze them into the chunk queue first.
+            # order; submit them first, then stream the chunk into the
+            # shard's shared-memory ring while its worker ingests.
+            self._flush(shard)
+            self._shard_items[shard] += len(part)
+            self._pool_submit(shard, part)
+        elif self.executor in ("thread", "process"):
+            # Deferred executors: freeze any scalar-buffered items (they
+            # precede this chunk in stream order) into the chunk queue.
             pending = self._buffers[shard]
             if pending:
                 self._chunk_buffers[shard].append(
@@ -411,20 +503,51 @@ class ShardedRunner:
 
     def _flush(self, shard: int) -> None:
         buffer = self._buffers[shard]
-        if buffer:
-            self._shard_items[shard] += self._shards[shard].process_many(
-                buffer
-            )
+        if not buffer:
+            return
+        if self._pipelined and not self._dispatched:
+            part = np.asarray(buffer, dtype=np.int64)
             buffer.clear()
+            self._shard_items[shard] += len(part)
+            self._pool_submit(shard, part)
+            return
+        self._shard_items[shard] += self._shards[shard].process_many(
+            buffer
+        )
+        buffer.clear()
+
+    def _pool_submit(self, shard: int, part: np.ndarray) -> None:
+        """Hand one routed part to the pipelined pool (started lazily).
+
+        The pool launches at the first routed part — workers rebuild
+        from each shard's *empty* snapshot and then ingest everything,
+        exactly like the barrier path, but concurrently with routing.
+        Any failure (a worker fault surfacing through back-pressure, a
+        non-serializable shard at pool start) latches the runner as
+        failed before propagating.
+        """
+        try:
+            if self._pipeline is None:
+                self._pipeline = PipelinedShardPool(
+                    [(i, s.to_state()) for i, s in enumerate(self._shards)],
+                    slot_items=self.chunk_size or DEFAULT_CHUNK_SIZE,
+                    depth=self.pipeline_depth,
+                    max_workers=self.max_workers,
+                    start_method=self.start_method,
+                )
+            self._pipeline.submit(shard, part)
+        except BaseException as error:
+            self._fail(error)
+            raise
 
     def _shard_payload(self, index: int):
         """A shard's buffered work in stream order, or None when empty.
 
         Chunk-routed shards ship one concatenated ``int64`` ndarray
-        (the pickle of an array, not a list of Python ints) that
-        workers ingest via ``process_chunk``; purely scalar-routed
+        (the pickle of an array, not a list of Python ints) that the
+        executor ingests via ``process_chunk``; purely scalar-routed
         shards keep the historical ``list[int]`` payload and the
-        ``process_many`` worker path.
+        ``process_many`` path.
         """
         chunked = self._chunk_buffers[index]
         scalar = self._buffers[index]
@@ -440,18 +563,89 @@ class ShardedRunner:
         return list(scalar) if scalar else None
 
     def _execute(self) -> None:
-        """Run buffered shard work on the process pool (at most once).
+        """Run any deferred/pipelined shard work (at most once).
 
-        Each non-empty shard becomes one task: its empty ``to_state``
-        snapshot plus its routed items.  Workers ingest and return the
-        loaded snapshot, which replaces the local shard — payload and
-        audit exactly as if the parent had ingested it serially.
+        Pipelined process runs: signal end-of-stream and restore the
+        ingested states incrementally as workers report (a fast
+        worker's ``from_state`` restoration overlaps a slow worker's
+        tail).  Barrier process runs: each non-empty shard becomes one
+        ``(index, empty_state, payload)`` task for ``pool.map``.
+        Thread runs: a thread pool ingests the buffered payloads into
+        the *live* shard objects — no serialization round trip at all.
         Shards that received no items keep their local (empty)
-        instances, matching serial mode bit for bit.
+        instances in every mode, matching serial bit for bit.  Any
+        failure latches the runner: partial results are never merged.
         """
-        if self.executor != "process" or self._dispatched:
+        if self.executor == "serial" or self._dispatched:
             return
         self._dispatched = True
+        try:
+            if self.executor == "thread":
+                self._execute_threads()
+            elif self._pipelined:
+                self._drain_pipeline()
+            else:
+                self._execute_barrier()
+        except BaseException as error:
+            self._fail(error)
+            raise
+        self._buffers = [[] for _ in range(self.num_shards)]
+        self._chunk_buffers = [[] for _ in range(self.num_shards)]
+
+    def _execute_threads(self) -> None:
+        """Ingest buffered payloads on a thread pool over live shards.
+
+        The numpy-dominated ``process_chunk`` kernels release the GIL
+        for much of their work, so chunk-routed shards genuinely
+        overlap; scalar payloads serialize on the GIL but still get
+        the deferred-execution semantics.  Worker errors carry shard
+        context exactly like the process executors.
+        """
+        payloads = [
+            (index, payload)
+            for index in range(self.num_shards)
+            if (payload := self._shard_payload(index)) is not None
+        ]
+        if not payloads:
+            return
+
+        def ingest_live(index: int, payload) -> None:
+            shard = self._shards[index]
+            try:
+                if isinstance(payload, np.ndarray):
+                    shard.process_chunk(payload)
+                else:
+                    shard.process_many(payload)
+            except Exception as error:
+                raise wrap_shard_error(index, shard, error) from error
+
+        workers = resolve_workers(len(payloads), self.max_workers)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(ingest_live, index, payload)
+                for index, payload in payloads
+            ]
+            try:
+                for future in futures:
+                    future.result()
+            except ShardIngestError as error:
+                reraise_shard_error(error)
+
+    def _drain_pipeline(self) -> None:
+        """Finish the pipelined pool, restoring states as they arrive."""
+        pool = self._pipeline
+        if pool is None:  # nothing was ever routed
+            return
+        self._pipeline = None
+        try:
+            for index, state in pool.finish():
+                sketch_cls = registry.sketch_class(state["algorithm"])
+                self._shards[index] = sketch_cls.from_state(state)
+        finally:
+            pool.close()
+
+    def _execute_barrier(self) -> None:
+        """Historical route-then-run pool (``pipeline_depth=0``)."""
         tasks = []
         for index in range(self.num_shards):
             payload = self._shard_payload(index)
@@ -459,11 +653,11 @@ class ShardedRunner:
                 tasks.append(
                     (index, self._shards[index].to_state(), payload)
                 )
-        for index, state in run_shard_tasks(tasks, self.max_workers):
+        for index, state in run_shard_tasks(
+            tasks, self.max_workers, start_method=self.start_method
+        ):
             sketch_cls = registry.sketch_class(state["algorithm"])
             self._shards[index] = sketch_cls.from_state(state)
-        self._buffers = [[] for _ in range(self.num_shards)]
-        self._chunk_buffers = [[] for _ in range(self.num_shards)]
 
     # ------------------------------------------------------------------
     # Reduce
@@ -500,11 +694,13 @@ class ShardedRunner:
         This is the primitive the live serving engine
         (:class:`repro.serve.LiveEngine`) answers queries through.
 
-        Under the process executor the first snapshot triggers the
-        pending pool dispatch, after which the runner cannot ingest
-        again (the executor is one-shot); snapshot-while-ingesting is
-        a serial-executor workflow.
+        Under the thread and process executors the first snapshot
+        triggers the pending dispatch (or finishes the pipelined
+        pool), after which the runner cannot ingest again (those
+        executors are one-shot); snapshot-while-ingesting is a
+        serial-executor workflow.
         """
+        self._check_not_failed()
         if self._merged is not None:
             # The destructive reduce folded every shard tracker into
             # the root; copying the shards now would double-count.
@@ -534,6 +730,7 @@ class ShardedRunner:
         tree shape halves the number of summaries per round, matching
         how a distributed reduce would combine partial sketches.
         """
+        self._check_not_failed()
         if self._merged is None:
             self._execute()
             # Snapshot the per-shard audits first: the reduce folds
@@ -562,6 +759,7 @@ class ShardedRunner:
     @property
     def shards(self) -> tuple[Sketch, ...]:
         """The live shards (pre-merge); triggers any pending pool work."""
+        self._check_not_failed()
         self._execute()
         return tuple(self._shards)
 
@@ -577,6 +775,7 @@ class ShardedRunner:
         before the reduce — the live trackers have been folded into
         the merge root by then and would double-count.
         """
+        self._check_not_failed()
         if self._merged is not None:
             return self._premerge_reports
         self._execute()
@@ -595,6 +794,7 @@ class ShardedRunner:
         Like :meth:`shard_reports`, answers come from the pre-merge
         snapshot once the shards have been reduced.
         """
+        self._check_not_failed()
         if self._merged is not None:
             return self._premerge_budgets
         self._execute()

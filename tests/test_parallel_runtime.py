@@ -97,21 +97,33 @@ class TestProcessExecutorBehaviour:
             runner.ingest([4])
 
     def test_non_serializable_sketch_rejected(self):
-        # heavy-hitters is serial-only: it has no state hooks, so the
-        # process executor must fail with the typed error (on a single
-        # shard; multi-shard already fails the mergeability check).
+        # heavy-hitters cannot use the process executor: it has no
+        # state hooks, so the pool must fail with the typed error (on
+        # a single shard; multi-shard already fails the mergeability
+        # check).  The pipelined pool snapshots shards at the first
+        # routed part, so the error may surface during ingest() rather
+        # than at merge().
         runner = ShardedRunner.from_registry(
             "heavy-hitters", 1, n=64, m=256, executor="process"
         )
-        runner.ingest([1, 2, 3])
         with pytest.raises(NotSerializableError):
+            runner.ingest([1, 2, 3])
             runner.merge()
+
+    def test_non_serializable_sketch_fine_on_thread_executor(self):
+        # The thread executor ingests the live objects — no state
+        # round trip — so serial-only families parallelize under it.
+        runner = ShardedRunner.from_registry(
+            "heavy-hitters", 1, n=64, m=256, executor="thread"
+        )
+        runner.ingest([1, 2, 2, 3])
+        assert runner.merge().items_processed == 4
 
     def test_unknown_executor_rejected(self):
         with pytest.raises(ValueError):
-            ShardedRunner.from_registry("count-min", 2, executor="thread")
+            ShardedRunner.from_registry("count-min", 2, executor="gpu")
         with pytest.raises(ValueError):
-            Engine("count-min", executor="thread")
+            Engine("count-min", executor="gpu")
 
     def test_engine_rejects_non_serializable_process_at_construction(self):
         with pytest.raises(ValueError, match="serialization"):
