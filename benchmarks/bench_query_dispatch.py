@@ -18,17 +18,32 @@ The asserted bound: the *dispatch* layer (protocol vs hook) adds less
 than 5% even on the cheapest query.  The full typed envelope relative
 to the raw computation is reported alongside for honesty — it is the
 price of returning typed answers at all, not of the dispatch.
+
+The second section measures the **batch query plane**: ``query_many``
+over a :class:`~repro.query.MultiPointQuery` against the equivalent
+scalar ``query()`` loop, per family, plus the live serving read path
+(``LiveEngine.query_batch`` vs a scalar ``LiveEngine.query`` loop).
+Bit-identity between batch and scalar answers — and between the
+off-lock serving path and an under-the-lock read at equal staleness —
+is asserted **unconditionally**, quick mode included; the throughput
+gate (geometric-mean speedup >= 5x over the vectorized-kernel
+families) runs at full size only.  The measurements land in
+``benchmarks/results/BENCH_query_throughput.json`` (committed
+in-tree as a trend file).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 import pathlib
+import time
 import timeit
 
 from repro import registry
-from repro.query import AllEstimates, PointQuery
+from repro.query import AllEstimates, MultiPointQuery, PointQuery
+from repro.serve import LiveEngine
 from repro.streams import zipf_stream
 
 
@@ -120,6 +135,208 @@ def run_dispatch_bench(
     }
 
 
+#: Families measured by the batch-vs-scalar section.  The *gated*
+#: subset carries the >= 5x geomean bound: their batch kernels replace
+#: per-item Python hashing (CountMin/CountSketch/CountMin-Morris) or a
+#: full estimate-map rebuild per item (the sample-and-hold surfaces)
+#: with one vectorized/amortized pass.  The dict-backed summaries are
+#: measured and reported but not gated — their scalar path is already
+#: a dict lookup, so batching only sheds the dispatch envelope.
+BATCH_GATED = (
+    "count-min",
+    "count-sketch",
+    "count-min-morris",
+    "heavy-hitters",
+    "adaptive-sample-and-hold",
+)
+BATCH_REPORTED = ("misra-gries", "space-saving", "sample-and-hold")
+
+
+def _batch_pair_us(
+    scalar,
+    batch,
+    scalar_count: int,
+    batch_count: int,
+    repeats: int = 7,
+    scalar_number: int = 10,
+    batch_number: int = 10,
+) -> tuple[float, float]:
+    """Best-of-``repeats`` mean microseconds per *item* for the scalar
+    loop and the batch call, rounds interleaved like `_paired_us`.
+
+    The two arms may cover different item counts and loop numbers —
+    the scalar loop is timed over a calibrated subset on families
+    whose per-item query rebuilds the whole estimate map (per-item
+    cost is flat in the count, while a full-batch scalar arm would
+    take minutes) — so each arm normalizes by its own totals.
+    """
+    scalar_timer = timeit.Timer(scalar)
+    batch_timer = timeit.Timer(batch)
+    best_scalar = best_batch = float("inf")
+    for _ in range(repeats):
+        best_scalar = min(
+            best_scalar, scalar_timer.timeit(scalar_number)
+        )
+        best_batch = min(best_batch, batch_timer.timeit(batch_number))
+    return (
+        best_scalar * 1e6 / (scalar_number * scalar_count),
+        best_batch * 1e6 / (batch_number * batch_count),
+    )
+
+
+def _arm_sizing(per_call_us: float, ceiling: int, budget_us: float):
+    """(count, number) sized so one timing round stays near the
+    budget: as many calls per round as the budget allows, capped at
+    ``ceiling``, with loop repetitions only when calls are cheap."""
+    count = max(1, min(ceiling, int(budget_us / max(per_call_us, 1e-3))))
+    number = max(
+        1, min(20, int(budget_us / max(per_call_us * count, 1e-3)))
+    )
+    return count, number
+
+
+def run_batch_bench(
+    n: int = 1024,
+    m: int = 20_000,
+    epsilon: float = 0.1,
+    seed: int = 0,
+    batch: int = 512,
+    repeats: int = 7,
+) -> dict:
+    """Measure ``query_many`` against the scalar ``query()`` loop.
+
+    Bit-identity between the two paths is asserted here, for every
+    family and for the serving path, regardless of sizing — the
+    throughput numbers are only meaningful because the answers are
+    exactly the same bits.
+    """
+    stream = zipf_stream(n, m, skew=1.2, seed=seed)
+    items = [(7919 * i) % (2 * n) for i in range(batch)]
+    query = MultiPointQuery(items)
+    round_budget_us = 100_000.0  # ~0.1 s per timing round and arm
+    results: dict[str, dict] = {}
+    for name in BATCH_GATED + BATCH_REPORTED:
+        sketch = registry.create(
+            name, n=n, m=m, epsilon=epsilon, seed=seed
+        )
+        sketch.process_many(stream)
+        # The reference loop doubles as the scalar-arm calibration:
+        # per-item scalar cost is flat in the count, so slow families
+        # (a full estimate-map rebuild per item) get a smaller probe
+        # rather than a minutes-long timing round.
+        start = time.perf_counter()
+        scalar_answers = tuple(
+            sketch.query(PointQuery(item)) for item in items
+        )
+        scalar_probe_us = (
+            (time.perf_counter() - start) * 1e6 / batch
+        )
+        assert sketch.query_many(query) == scalar_answers, name
+        probe_len, scalar_number = _arm_sizing(
+            scalar_probe_us, batch, round_budget_us
+        )
+        probe = items[:probe_len]
+        start = time.perf_counter()
+        sketch.query_many(query)
+        batch_call_us = (time.perf_counter() - start) * 1e6
+        _, batch_number = _arm_sizing(
+            batch_call_us, 1, round_budget_us
+        )
+        scalar_us, batch_us = _batch_pair_us(
+            lambda s=sketch: [s.query(PointQuery(i)) for i in probe],
+            lambda s=sketch: s.query_many(query),
+            probe_len,
+            batch,
+            repeats=repeats,
+            scalar_number=scalar_number,
+            batch_number=batch_number,
+        )
+        results[name] = {
+            "scalar_us_per_item": scalar_us,
+            "batch_us_per_item": batch_us,
+            "speedup": scalar_us / batch_us,
+            "gated": name in BATCH_GATED,
+        }
+
+    # The serving read path: one consistent cut, answered off-lock.
+    engine = LiveEngine(
+        "count-min",
+        n=n,
+        m=m,
+        epsilon=epsilon,
+        seed=seed,
+        snapshot_every=len(stream),
+        answer_cache=0,  # measure the kernel, not the memo
+    )
+    engine.append(stream)
+    live_batch = engine.query_batch(items)
+    live_scalar = [engine.query(PointQuery(item)) for item in items]
+    assert [a.answer for a in live_batch] == [
+        a.answer for a in live_scalar
+    ]
+    # Off-lock path == an under-the-lock read at equal staleness.
+    with engine._lock:
+        snapshot = engine._snapshot
+        locked = [snapshot.answer(PointQuery(item)) for item in items]
+    assert [a.answer for a in live_batch] == locked
+    serve_scalar_us, serve_batch_us = _batch_pair_us(
+        lambda: [engine.query(PointQuery(i)) for i in items],
+        lambda: engine.query_batch(items),
+        batch,
+        batch,
+        repeats=repeats,
+        scalar_number=2,
+        batch_number=10,
+    )
+
+    gated = [row["speedup"] for row in results.values() if row["gated"]]
+    geomean = math.exp(sum(math.log(s) for s in gated) / len(gated))
+    return {
+        "benchmark": "query_throughput",
+        "stream": {"n": n, "m": m, "epsilon": epsilon, "seed": seed},
+        "batch": batch,
+        "bit_identical": True,  # asserted above, never sampled
+        "results": results,
+        "serving": {
+            "family": "count-min",
+            "scalar_us_per_item": serve_scalar_us,
+            "batch_us_per_item": serve_batch_us,
+            "speedup": serve_scalar_us / serve_batch_us,
+            "off_lock_equals_locked": True,  # asserted above
+        },
+        "geomean_gated_speedup": geomean,
+    }
+
+
+def format_batch_bench(payload: dict) -> str:
+    """Render the batch-vs-scalar measurements as an aligned table."""
+    lines = [
+        "Batch query throughput — query_many vs scalar query() loop "
+        f"(batch={payload['batch']}, bit-identical answers)",
+        f"{'family':>26}{'scalar us':>11}{'batch us':>10}"
+        f"{'speedup':>9}{'gated':>7}",
+    ]
+    for name, row in payload["results"].items():
+        lines.append(
+            f"{name:>26}{row['scalar_us_per_item']:>11.3f}"
+            f"{row['batch_us_per_item']:>10.3f}"
+            f"{row['speedup']:>8.1f}x"
+            f"{'yes' if row['gated'] else 'no':>7}"
+        )
+    serving = payload["serving"]
+    lines.append(
+        f"{'serve:' + serving['family']:>26}"
+        f"{serving['scalar_us_per_item']:>11.3f}"
+        f"{serving['batch_us_per_item']:>10.3f}"
+        f"{serving['speedup']:>8.1f}x{'—':>7}"
+    )
+    lines.append(
+        f"geomean speedup (gated families): "
+        f"{payload['geomean_gated_speedup']:.1f}x"
+    )
+    return "\n".join(lines)
+
+
 def format_dispatch_bench(payload: dict) -> str:
     """Render the dispatch measurements as an aligned text table."""
     lines = [
@@ -148,5 +365,31 @@ def test_query_dispatch(save_result):
         assert row["dispatch_overhead"] < 0.05, (name, row)
 
 
+def test_query_throughput(save_result):
+    quick = bool(os.environ.get("REPRO_BENCH_QUICK"))
+    # Bit-identity is asserted inside run_batch_bench either way;
+    # quick mode only shrinks the sizing and skips the speedup gate.
+    payload = run_batch_bench(
+        m=4_000 if quick else 20_000,
+        batch=128 if quick else 512,
+        repeats=3 if quick else 7,
+    )
+    save_result(
+        "BENCH_query_throughput_table", format_batch_bench(payload)
+    )
+    results_path = (
+        pathlib.Path(__file__).parent
+        / "results"
+        / "BENCH_query_throughput.json"
+    )
+    if not quick:
+        results_path.write_text(json.dumps(payload, indent=2) + "\n")
+        assert payload["geomean_gated_speedup"] >= 5.0, payload[
+            "geomean_gated_speedup"
+        ]
+
+
 if __name__ == "__main__":
     print(format_dispatch_bench(run_dispatch_bench()))
+    print()
+    print(format_batch_bench(run_batch_bench()))

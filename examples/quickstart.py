@@ -167,6 +167,20 @@ def main() -> None:
     print(f"  fresh answer at head: f[{hot}] ~ {exact.answer.value:.0f} "
           f"(0 updates behind)")
 
+    # --- batch queries: one consistent cut, vectorized ---------------
+    # query_batch answers a whole item list through the family's
+    # query_many kernel — bit-identical to a loop of scalar queries,
+    # but one snapshot capture, one hash pass per row, and one answer
+    # cache entry.  Every answer shares the batch's staleness.
+    top = sorted(set(int(item) for item in stream[:50]))[:8]
+    answers = live.query_batch(top)
+    estimates = ", ".join(
+        f"f[{item}]~{a.answer.value:.0f}"
+        for item, a in zip(top, answers)
+    )
+    print(f"  batch of {len(top)} point queries "
+          f"({answers[0].updates_behind} updates behind): {estimates}")
+
 
 if __name__ == "__main__":
     main()

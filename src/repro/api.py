@@ -68,6 +68,7 @@ from repro.query import (
     Entropy,
     HeavyHitters,
     Moment,
+    MultiPointQuery,
     Query,
     QueryKind,
     UnsupportedQueryError,
@@ -515,6 +516,7 @@ class Engine:
         budget: WriteBudget | int | None = None,
         budget_split: str = "even",
         chunk_size: int | None = None,
+        answer_cache: int = 256,
     ):
         """A :class:`~repro.serve.LiveEngine` with this engine's config.
 
@@ -544,6 +546,7 @@ class Engine:
             budget=budget,
             budget_split=budget_split,
             chunk_size=chunk_size,
+            answer_cache=answer_cache,
             coin_protocol=self.coin_protocol,
         )
 
@@ -560,6 +563,13 @@ class Engine:
     def query(self, q: Query) -> Answer:
         """Ask the merged sketch of the last run one more question."""
         return self.merged.query(q)
+
+    def query_many(self, q: MultiPointQuery) -> tuple[Answer, ...]:
+        """Batch point queries against the merged sketch of the last
+        run — bit-identical to a loop of :meth:`query` calls over
+        ``PointQuery(item)`` but answered through the family's
+        vectorized kernel."""
+        return self.merged.query_many(q)
 
     def can_answer(self, q: Query | QueryKind) -> bool:
         """Whether the configured sketch declares this query's kind."""

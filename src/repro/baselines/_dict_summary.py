@@ -17,6 +17,7 @@ import numpy as np
 from repro.query import (
     AllEstimates,
     MapAnswer,
+    MultiPointQuery,
     PointQuery,
     QueryKind,
     ScalarAnswer,
@@ -39,6 +40,17 @@ class DictSummaryQueries:
         return MapAnswer(
             QueryKind.ALL_ESTIMATES,
             {item: float(count) for item, count in self._counters.items()},
+        )
+
+    def _answer_point_many(
+        self, q: MultiPointQuery
+    ) -> tuple[ScalarAnswer, ...]:
+        """Batch point queries: one bulk lookup pass over the summary
+        (no per-item query construction or dispatch)."""
+        get = self._counters.get
+        return tuple(
+            ScalarAnswer(QueryKind.POINT, float(get(item, 0)))
+            for item in q.items
         )
 
 

@@ -15,7 +15,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.hashing.prime_field import KWiseHash
-from repro.query import PointQuery, QueryKind, ScalarAnswer
+from repro.query import MultiPointQuery, PointQuery, QueryKind, ScalarAnswer
 from repro.state.algorithm import StreamAlgorithm
 from repro.state.registers import TrackedArray
 from repro.state.tracker import StateTracker
@@ -109,6 +109,34 @@ class CountMin(StreamAlgorithm):
                     for row, h in zip(self._rows, self._hashes)
                 )
             ),
+        )
+
+    def _answer_point_many(
+        self, q: MultiPointQuery
+    ) -> tuple[ScalarAnswer, ...]:
+        """Batch point queries: one chunked hash per row, gathered.
+
+        Evaluates each row's polynomial once for the whole batch
+        (:meth:`~repro.hashing.prime_field.KWiseHash.bucket_many` is
+        bit-identical to the scalar hash), gathers the cells, and
+        reduces with ``np.minimum`` — the same integer minima the
+        scalar loop takes, converted to float once at the end.
+        """
+        if not q.items:
+            return ()
+        if self.width > 64 * len(q.items):
+            # Tiny batch against a wide row: materializing the row
+            # costs more than the scalar hashes it saves.
+            return super()._answer_point_many(q)
+        items = np.asarray(q.items, dtype=np.int64)
+        best: np.ndarray | None = None
+        for row, h in zip(self._rows, self._hashes):
+            cells = np.fromiter(row, dtype=np.int64, count=self.width)
+            values = cells[h.bucket_many(items, self.width)]
+            best = values if best is None else np.minimum(best, values)
+        return tuple(
+            ScalarAnswer(QueryKind.POINT, float(value))
+            for value in best.tolist()
         )
 
     def estimate(self, item: int) -> float:

@@ -37,7 +37,7 @@ import numpy as np
 from repro.core.counters import MorrisCounter, SkipMorrisCounter
 from repro.hashing.coins import PhiloxCoins
 from repro.hashing.prime_field import KWiseHash
-from repro.query import PointQuery, QueryKind, ScalarAnswer
+from repro.query import MultiPointQuery, PointQuery, QueryKind, ScalarAnswer
 from repro.state.algorithm import ChunkAudit, StreamAlgorithm
 from repro.state.tracker import StateTracker
 
@@ -180,6 +180,34 @@ class CountMinMorris(StreamAlgorithm):
                 row[h.bucket(item, self.width)].estimate
                 for row, h in zip(self._rows, self._hashes)
             ),
+        )
+
+    def _answer_point_many(
+        self, q: MultiPointQuery
+    ) -> tuple[ScalarAnswer, ...]:
+        """Batch point queries: one chunked hash per row, each touched
+        cell's Morris estimate computed once and gathered.
+
+        The per-cell ``estimate`` is a pure function of the counter
+        level, so memoizing it per batch reproduces the scalar min
+        over rows exactly.
+        """
+        if not q.items:
+            return ()
+        items = np.asarray(q.items, dtype=np.int64)
+        best: np.ndarray | None = None
+        for row, h in zip(self._rows, self._hashes):
+            buckets = h.bucket_many(items, self.width)
+            estimates = {
+                c: row[c].estimate for c in np.unique(buckets).tolist()
+            }
+            values = np.array(
+                [estimates[c] for c in buckets.tolist()], dtype=np.float64
+            )
+            best = values if best is None else np.minimum(best, values)
+        return tuple(
+            ScalarAnswer(QueryKind.POINT, value)
+            for value in best.tolist()
         )
 
     def estimate(self, item: int) -> float:

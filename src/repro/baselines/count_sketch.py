@@ -18,6 +18,7 @@ from repro.hashing.prime_field import KWiseHash
 from repro.query import (
     Moment,
     MomentAnswer,
+    MultiPointQuery,
     PointQuery,
     QueryKind,
     ScalarAnswer,
@@ -129,6 +130,46 @@ class CountSketch(StreamAlgorithm):
             )
         ]
         return ScalarAnswer(QueryKind.POINT, float(statistics.median(votes)))
+
+    def _answer_point_many(
+        self, q: MultiPointQuery
+    ) -> tuple[ScalarAnswer, ...]:
+        """Batch point queries: chunked bucket + sign hashes, exact
+        integer median.
+
+        One ``bucket_many``/``sign_many`` evaluation per row builds a
+        ``depth x batch`` vote matrix; the median is taken per column
+        on sorted int64 votes — the middle element for odd depth, the
+        exact integer midpoint sum divided by 2 for even depth — which
+        reproduces ``statistics.median`` of the scalar loop's Python
+        ints bit for bit (the division by two of an exact int64 sum is
+        correctly rounded either way).
+        """
+        if not q.items:
+            return ()
+        if self.width > 64 * len(q.items):
+            # Tiny batch against wide rows: materializing the rows
+            # costs more than the scalar hashes it saves.
+            return super()._answer_point_many(q)
+        items = np.asarray(q.items, dtype=np.int64)
+        votes = np.empty((self.depth, len(items)), dtype=np.int64)
+        for r, (row, bucket_hash, sign_hash) in enumerate(
+            zip(self._rows, self._bucket_hashes, self._sign_hashes)
+        ):
+            cells = np.fromiter(row, dtype=np.int64, count=self.width)
+            votes[r] = sign_hash.sign_many(items) * (
+                cells[bucket_hash.bucket_many(items, self.width)]
+            )
+        votes.sort(axis=0)
+        mid = self.depth // 2
+        if self.depth % 2:
+            medians = votes[mid].astype(np.float64)
+        else:
+            medians = (votes[mid - 1] + votes[mid]) / 2.0
+        return tuple(
+            ScalarAnswer(QueryKind.POINT, value)
+            for value in medians.tolist()
+        )
 
     def _answer_moment(self, q: Moment) -> MomentAnswer:
         """``F2``: median over rows of the row's squared mass."""

@@ -333,6 +333,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tracking=args.tracking,
             budget=budget,
             coin_protocol=args.coin_protocol,
+            answer_cache=args.answer_cache,
         )
     except KeyError:
         raise SystemExit(
@@ -552,6 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--coin-protocol", default=None,
                        choices=("v1", "v2"), dest="coin_protocol",
                        help="force the randomized families' coin protocol")
+    serve.add_argument("--answer-cache", type=int, default=256,
+                       dest="answer_cache",
+                       help="snapshot-keyed answer cache capacity "
+                            "(0: disable)")
     serve.set_defaults(func=_cmd_serve)
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")

@@ -22,6 +22,7 @@ from repro.core.full_sample_and_hold import FullSampleAndHold
 from repro.query import (
     AllEstimates,
     MapAnswer,
+    MultiPointQuery,
     PointQuery,
     QueryKind,
     ScalarAnswer,
@@ -118,6 +119,17 @@ class AdaptiveFullSampleAndHold(StreamAlgorithm):
 
     def _answer_all_estimates(self, q: AllEstimates) -> MapAnswer:
         return MapAnswer(QueryKind.ALL_ESTIMATES, self._estimates_impl(None))
+
+    def _answer_point_many(
+        self, q: MultiPointQuery
+    ) -> tuple[ScalarAnswer, ...]:
+        """Batch point queries: the per-epoch estimate merge runs once
+        for the whole batch instead of once per item."""
+        estimates = self._estimates_impl(None)
+        return tuple(
+            ScalarAnswer(QueryKind.POINT, estimates.get(item, 0.0))
+            for item in q.items
+        )
 
     def _estimates_impl(self, level_rule: str | None) -> dict[int, float]:
         """Summed per-epoch estimates (one-sided, like each epoch's)."""

@@ -37,6 +37,7 @@ from repro.hashing.subsample import NestedStreamSampler
 from repro.query import (
     AllEstimates,
     MapAnswer,
+    MultiPointQuery,
     PointQuery,
     QueryKind,
     ScalarAnswer,
@@ -305,6 +306,17 @@ class FullSampleAndHold(StreamAlgorithm):
     def _answer_all_estimates(self, q: AllEstimates) -> MapAnswer:
         """Estimates for every held item, under the default level rule."""
         return MapAnswer(QueryKind.ALL_ESTIMATES, self._estimates_impl(None))
+
+    def _answer_point_many(
+        self, q: MultiPointQuery
+    ) -> tuple[ScalarAnswer, ...]:
+        """Batch point queries: the estimate map is built once and
+        gathered, instead of once per item as in the scalar hook."""
+        estimates = self._estimates_impl(None)
+        return tuple(
+            ScalarAnswer(QueryKind.POINT, estimates.get(item, 0.0))
+            for item in q.items
+        )
 
     def estimate(self, item: int) -> float:
         """Rescaled frequency estimate for one item (0 if never held)."""

@@ -22,6 +22,7 @@ from repro.core.fp_estimation import FpEstimator
 from repro.query import (
     AllEstimates,
     MapAnswer,
+    MultiPointQuery,
     Moment,
     MomentAnswer,
     PointQuery,
@@ -120,6 +121,17 @@ class HeavyHitters(StreamAlgorithm):
     def _answer_point(self, q: PointQuery) -> ScalarAnswer:
         return ScalarAnswer(
             QueryKind.POINT, self.estimates().get(q.item, 0.0)
+        )
+
+    def _answer_point_many(
+        self, q: MultiPointQuery
+    ) -> tuple[ScalarAnswer, ...]:
+        """Batch point queries: the median-of-copies estimate map is
+        built once and gathered, instead of once per item."""
+        estimates = self.estimates()
+        return tuple(
+            ScalarAnswer(QueryKind.POINT, estimates.get(item, 0.0))
+            for item in q.items
         )
 
     def _answer_heavy_hitters(self, q: HeavyHittersQuery) -> MapAnswer:

@@ -45,6 +45,7 @@ from repro.hashing.coins import PhiloxCoins
 from repro.query import (
     AllEstimates,
     MapAnswer,
+    MultiPointQuery,
     PointQuery,
     QueryKind,
     ScalarAnswer,
@@ -489,6 +490,23 @@ class SampleAndHold(StreamAlgorithm):
             QueryKind.POINT,
             held.counter.estimate if held is not None else 0.0,
         )
+
+    def _answer_point_many(
+        self, q: MultiPointQuery
+    ) -> tuple[ScalarAnswer, ...]:
+        """Batch point queries: one bulk lookup pass over the held set
+        (no per-item query construction or dispatch)."""
+        get = self._held.get
+        answers = []
+        for item in q.items:
+            held = get(item)
+            answers.append(
+                ScalarAnswer(
+                    QueryKind.POINT,
+                    held.counter.estimate if held is not None else 0.0,
+                )
+            )
+        return tuple(answers)
 
     def _answer_all_estimates(self, q: AllEstimates) -> MapAnswer:
         return MapAnswer(

@@ -109,6 +109,41 @@ class PointQuery(Query):
 
 
 @dataclass(frozen=True, slots=True)
+class MultiPointQuery(Query):
+    """Frequency estimates of a whole batch of ``items``; answered by
+    :meth:`~repro.state.algorithm.Sketch.query_many` with one
+    :class:`ScalarAnswer` per item.
+
+    The batch form of :class:`PointQuery`: its ``kind`` is
+    :attr:`QueryKind.POINT`, so the capability check is the same —
+    any sketch that answers point queries answers batches of them.
+    **Contract: bit-identical to the scalar loop.**  For every family
+    and configuration, ``sketch.query_many(MultiPointQuery(items))``
+    equals ``tuple(sketch.query(PointQuery(i)) for i in items)``
+    exactly; families with a vectorized ``_answer_point_many`` kernel
+    only change the wall clock (one chunked hash evaluation or one
+    bulk dict lookup per batch instead of one per item).
+
+    ``items`` accepts any iterable of ints (including numpy arrays)
+    and is normalized to a tuple of Python ints, so the query is
+    hashable — required by the serving layer's snapshot-keyed answer
+    cache — and downstream hashes and dict lookups never see
+    ``np.int64``.
+    """
+
+    items: tuple[int, ...]
+    kind: ClassVar[QueryKind] = QueryKind.POINT
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "items", tuple(int(item) for item in self.items)
+        )
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass(frozen=True, slots=True)
 class AllEstimates(Query):
     """Every (item, estimate) pair the sketch holds; answered by a
     :class:`MapAnswer`.

@@ -27,23 +27,40 @@ the snapshot's update index, the head index, and the difference
 (the engine refreshes first when the bound would be violated), and
 ``refresh=True`` forces an exact-head answer.
 
-The engine is thread-safe — one lock serializes appends and snapshot
-refreshes, while queries against an existing snapshot only read an
-immutable object — which is what lets the socket front end
-(:mod:`repro.serve.server`) serve appends and queries from concurrent
-connections.
+**Read path.**  The engine is thread-safe, and reads are designed to
+stay off the ingest lock: :meth:`LiveEngine.query`,
+:meth:`LiveEngine.queries`, and :meth:`LiveEngine.query_batch` take
+the lock only long enough to capture the ``(snapshot, head)`` pair —
+refreshing first if a staleness bound demands it — then answer
+against the immutable snapshot *outside* the lock, so a slow query
+(or a large batch) never stalls concurrent appends.  Answers are
+memoized in a snapshot-keyed :class:`_AnswerCache` (key:
+``(snapshot_index, query)``; queries are frozen dataclasses, hence
+hashable) which is dropped wholesale on every snapshot refresh —
+sound because a snapshot's answers are pure deterministic reads.
+Batch reads (:class:`~repro.query.MultiPointQuery` via
+:meth:`LiveEngine.query_batch`, or point queries inside
+:meth:`LiveEngine.queries`) route through the family's vectorized
+``query_many`` kernel, bit-identical to the scalar loop.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro import registry
-from repro.query import Answer, Query, QueryKind
+from repro.query import (
+    Answer,
+    MultiPointQuery,
+    PointQuery,
+    Query,
+    QueryKind,
+)
 from repro.runtime.sharded import ShardedRunner
 from repro.serve.collectors import Collector, QueryCollector
 from repro.state.algorithm import Sketch
@@ -81,6 +98,12 @@ class LiveSnapshot:
         """Answer a typed query against this cut."""
         return self.sketch.query(query)
 
+    def answer_many(self, query: MultiPointQuery) -> tuple[Answer, ...]:
+        """Answer a batch of point queries against this cut through
+        the family's vectorized kernel (bit-identical to a loop of
+        :meth:`answer` calls over ``PointQuery(item)``)."""
+        return self.sketch.query_many(query)
+
 
 @dataclass(frozen=True)
 class LiveAnswer:
@@ -105,6 +128,61 @@ class LiveAnswer:
     def kind(self) -> QueryKind:
         """The answered query kind (delegates to the answer)."""
         return self.answer.kind
+
+
+class _AnswerCache:
+    """Snapshot-keyed memo of query answers.
+
+    Keys are ``(snapshot_index, query)`` — every query type is a
+    frozen (hence hashable) dataclass, including
+    :class:`~repro.query.MultiPointQuery` whose items normalize to a
+    tuple.  Sound because answers are pure deterministic reads of an
+    immutable snapshot: two snapshots cut at the same update index
+    answer identically, so the index alone keys the snapshot.  The
+    engine still calls :meth:`clear` on every refresh (cadence or
+    forced), keeping the cache from accumulating entries for cuts no
+    query will ask about again.
+
+    Bounded by ``capacity`` with FIFO eviction; guarded by its own
+    lock so cache traffic never touches the engine's ingest lock.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_entries", "_lock")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple[int, Query], object] = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple[int, Query]) -> object:
+        """The cached answer for ``key``, or ``None`` on a miss."""
+        with self._lock:
+            found = self._entries.get(key)
+            if found is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return found
+
+    def put(self, key: tuple[int, Query], answer: object) -> None:
+        with self._lock:
+            if key not in self._entries:
+                while len(self._entries) >= self.capacity:
+                    self._entries.popitem(last=False)
+                self._entries[key] = answer
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
 
 
 class LiveEngine:
@@ -140,6 +218,11 @@ class LiveEngine:
         Columnar routing chunk size (``None``: the stream's own).
     coin_protocol:
         Coin protocol override for the randomized families.
+    answer_cache:
+        Capacity of the snapshot-keyed answer cache (entries); ``0``
+        disables caching.  Safe at any size — answers are pure
+        deterministic reads of an immutable snapshot, and the cache
+        is dropped on every refresh.
     """
 
     def __init__(
@@ -158,6 +241,7 @@ class LiveEngine:
         budget_split: str = "even",
         chunk_size: int | None = None,
         coin_protocol: str | None = None,
+        answer_cache: int = 256,
     ) -> None:
         self.spec = registry.spec(sketch)  # raises on unknown names
         if snapshot_every < 1:
@@ -203,11 +287,18 @@ class LiveEngine:
             chunk_size=chunk_size,
             coin_protocol=coin_protocol,
         )
+        if answer_cache < 0:
+            raise ValueError(
+                f"answer_cache must be >= 0: {answer_cache}"
+            )
         self._lock = threading.RLock()
         self._ingested = 0
         self._snapshot: LiveSnapshot | None = None
         self._collectors: list[Collector] = []
         self._snapshots_taken = 0
+        self._answer_cache = (
+            _AnswerCache(answer_cache) if answer_cache else None
+        )
 
     # ------------------------------------------------------------------
     # Observation
@@ -237,6 +328,11 @@ class LiveEngine:
     def collectors(self) -> tuple[Collector, ...]:
         """The registered subscriptions."""
         return tuple(self._collectors)
+
+    @property
+    def answer_cache(self) -> _AnswerCache | None:
+        """The snapshot-keyed answer cache (``None`` when disabled)."""
+        return self._answer_cache
 
     # ------------------------------------------------------------------
     # Subscriptions
@@ -319,6 +415,8 @@ class LiveEngine:
         )
         self._snapshot = snapshot
         self._snapshots_taken += 1
+        if self._answer_cache is not None:
+            self._answer_cache.clear()
         if notify:
             for collector in self._collectors:
                 collector.on_snapshot(snapshot)
@@ -341,20 +439,18 @@ class LiveEngine:
                 snapshot = self._refresh_snapshot()
             return snapshot
 
-    def query(
+    def _current_cut(
         self,
-        query: Query,
         *,
         refresh: bool = False,
         max_staleness: int | None = None,
-    ) -> LiveAnswer:
-        """Answer a typed query from the newest snapshot.
+    ) -> tuple[LiveSnapshot, int]:
+        """The ``(snapshot, head)`` pair every read answers from.
 
-        ``max_staleness=k`` guarantees the answer trails the head by
-        at most ``k`` updates, refreshing the snapshot first if the
-        standing one is older; ``refresh=True`` is ``max_staleness=0``.
-        The default answers from whatever snapshot exists — never
-        slower than a dict lookup plus the family's query cost.
+        This is the only part of the read path that takes the ingest
+        lock — just long enough to capture a consistent pair (and
+        refresh first when the staleness bound demands it).  Answering
+        happens outside the lock, against the immutable snapshot.
         """
         if max_staleness is not None and max_staleness < 0:
             raise ValueError(
@@ -372,8 +468,48 @@ class LiveEngine:
             )
             if stale:
                 snapshot = self._refresh_snapshot()
+        return snapshot, head
+
+    def _answer_cached(self, snapshot: LiveSnapshot, query: Query):
+        """Answer ``query`` against ``snapshot`` through the answer
+        cache (when enabled); runs outside the ingest lock."""
+        cache = self._answer_cache
+        if cache is None:
+            if isinstance(query, MultiPointQuery):
+                return snapshot.answer_many(query)
+            return snapshot.answer(query)
+        key = (snapshot.update_index, query)
+        found = cache.get(key)
+        if found is None:
+            if isinstance(query, MultiPointQuery):
+                found = snapshot.answer_many(query)
+            else:
+                found = snapshot.answer(query)
+            cache.put(key, found)
+        return found
+
+    def query(
+        self,
+        query: Query,
+        *,
+        refresh: bool = False,
+        max_staleness: int | None = None,
+    ) -> LiveAnswer:
+        """Answer a typed query from the newest snapshot.
+
+        ``max_staleness=k`` guarantees the answer trails the head by
+        at most ``k`` updates, refreshing the snapshot first if the
+        standing one is older; ``refresh=True`` is ``max_staleness=0``.
+        The default answers from whatever snapshot exists — the lock
+        is held only to capture the snapshot reference, the answer is
+        computed off-lock (and memoized per ``(snapshot_index,
+        query)``), so queries never stall a concurrent append.
+        """
+        snapshot, head = self._current_cut(
+            refresh=refresh, max_staleness=max_staleness
+        )
         return LiveAnswer(
-            answer=snapshot.answer(query),
+            answer=self._answer_cached(snapshot, query),
             snapshot_index=snapshot.update_index,
             head=head,
         )
@@ -381,9 +517,97 @@ class LiveEngine:
     def queries(
         self, qs: Sequence[Query], **kwargs
     ) -> tuple[LiveAnswer, ...]:
-        """Answer several queries against one consistent snapshot."""
-        with self._lock:
-            answers = tuple(self.query(q, **kwargs) for q in qs)
+        """Answer several queries against one consistent snapshot.
+
+        The snapshot is captured **once** under the lock and every
+        query answers from that same cut off-lock, so the batch is
+        one consistent read (and never holds up concurrent appends —
+        earlier revisions answered item-by-item inside the lock).
+        Point queries that miss the cache are batched through the
+        family's vectorized ``query_many`` kernel; answers are
+        bit-identical to a loop of :meth:`query` calls, and every
+        returned :class:`LiveAnswer` carries the same
+        ``(snapshot_index, head)`` pair.
+        """
+        qs = tuple(qs)
+        snapshot, head = self._current_cut(**kwargs)
+        answers = self._answer_batch(snapshot, qs)
+        return tuple(
+            LiveAnswer(
+                answer=answer,
+                snapshot_index=snapshot.update_index,
+                head=head,
+            )
+            for answer in answers
+        )
+
+    def query_batch(
+        self, items: Iterable[int], **kwargs
+    ) -> tuple[LiveAnswer, ...]:
+        """Batch point queries against one consistent snapshot.
+
+        Shorthand for :meth:`queries` over ``PointQuery(item)`` —
+        but the whole batch is one :class:`~repro.query.
+        MultiPointQuery` through the vectorized kernel and one answer
+        cache entry (the query's items tuple is its cache identity).
+        """
+        query = MultiPointQuery(tuple(items))
+        snapshot, head = self._current_cut(**kwargs)
+        answers = self._answer_cached(snapshot, query)
+        return tuple(
+            LiveAnswer(
+                answer=answer,
+                snapshot_index=snapshot.update_index,
+                head=head,
+            )
+            for answer in answers
+        )
+
+    def _answer_batch(
+        self, snapshot: LiveSnapshot, qs: Sequence[Query]
+    ) -> list[Answer]:
+        """Answer ``qs`` against one snapshot, off-lock.
+
+        Cache hits are served directly; point-query misses are
+        gathered into one :class:`~repro.query.MultiPointQuery`
+        through the family's kernel (when the family declares POINT);
+        everything else answers through the scalar path.  Each
+        individual answer lands in the cache under its own query key,
+        so a later scalar :meth:`query` for the same item hits.
+        """
+        answers: list[Answer | None] = [None] * len(qs)
+        point_at: list[int] = []
+        point_items: list[int] = []
+        batchable = QueryKind.POINT in snapshot.sketch.supports
+        cache = self._answer_cache
+        for position, query in enumerate(qs):
+            if cache is not None:
+                key = (snapshot.update_index, query)
+                found = cache.get(key)
+                if found is not None:
+                    answers[position] = found
+                    continue
+            if batchable and isinstance(query, PointQuery):
+                point_at.append(position)
+                point_items.append(query.item)
+                continue
+            if isinstance(query, MultiPointQuery):
+                answer = snapshot.answer_many(query)
+            else:
+                answer = snapshot.answer(query)
+            if cache is not None:
+                cache.put((snapshot.update_index, query), answer)
+            answers[position] = answer
+        if point_at:
+            batch = snapshot.answer_many(
+                MultiPointQuery(tuple(point_items))
+            )
+            for position, answer in zip(point_at, batch):
+                answers[position] = answer
+                if cache is not None:
+                    cache.put(
+                        (snapshot.update_index, qs[position]), answer
+                    )
         return answers
 
     # ------------------------------------------------------------------

@@ -67,6 +67,7 @@ class LoadReport:
     mean_staleness: float
     max_staleness: int
     query_mix: tuple[tuple[str, float], ...]
+    batch_size: int = 1
 
     @property
     def items_per_s(self) -> float:
@@ -132,6 +133,7 @@ def generate_load(
     *,
     append_size: int = 2048,
     queries_per_append: int = 8,
+    batch_size: int = 1,
     query_mix: Mapping[str, float] | None = None,
     max_staleness: int | None = None,
     seed: int = 0,
@@ -144,8 +146,13 @@ def generate_load(
     answered (the query-rate knob).  ``query_mix`` maps query-kind
     names to weights (default: an even mix over the engine's
     capabilities, minus ``all-estimates``); ``max_staleness`` is
-    forwarded to every query.  Returns the measured rates and the
-    staleness distribution.
+    forwarded to every query.  ``batch_size > 1`` groups the drawn
+    queries into :meth:`~repro.serve.engine.LiveEngine.queries`
+    calls of that size — the batch read path (one consistent cut per
+    group, point queries through the vectorized kernel) under the
+    exact same query sequence, so batch and scalar runs answer
+    identical queries.  Returns the measured rates and the staleness
+    distribution.
     """
     if append_size < 1:
         raise ValueError(f"append_size must be >= 1: {append_size}")
@@ -153,6 +160,8 @@ def generate_load(
         raise ValueError(
             f"queries_per_append must be >= 0: {queries_per_append}"
         )
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1: {batch_size}")
     mix = dict(query_mix) if query_mix is not None else default_query_mix(
         engine
     )
@@ -179,14 +188,28 @@ def generate_load(
     for low in range(0, len(array), append_size):
         items += engine.append(array[low:low + append_size])
         appends += 1
-        for _ in range(queries_per_append):
-            answer = engine.query(
-                _draw_query(rng, names, weights, engine.n),
-                max_staleness=max_staleness,
-            )
-            queries += 1
-            staleness_total += answer.updates_behind
-            staleness_max = max(staleness_max, answer.updates_behind)
+        # The queries are drawn up front (one RNG draw sequence no
+        # matter the batching) and answered in batch_size groups.
+        drawn = [
+            _draw_query(rng, names, weights, engine.n)
+            for _ in range(queries_per_append)
+        ]
+        for group_low in range(0, len(drawn), batch_size):
+            group = drawn[group_low:group_low + batch_size]
+            if batch_size == 1:
+                answers = (
+                    engine.query(group[0], max_staleness=max_staleness),
+                )
+            else:
+                answers = engine.queries(
+                    group, max_staleness=max_staleness
+                )
+            for answer in answers:
+                queries += 1
+                staleness_total += answer.updates_behind
+                staleness_max = max(
+                    staleness_max, answer.updates_behind
+                )
     wall_time_s = time.perf_counter() - start
     return LoadReport(
         items=items,
@@ -197,4 +220,5 @@ def generate_load(
         mean_staleness=staleness_total / queries if queries else 0.0,
         max_staleness=staleness_max,
         query_mix=tuple((name, float(mix[name])) for name in names),
+        batch_size=batch_size,
     )

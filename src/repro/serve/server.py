@@ -11,6 +11,8 @@ append     ``items`` (list of ints)                      ``appended``, ``head``
 query      ``kind`` (query-kind name) + kind params      answer fields + ``snapshot_index``, ``updates_behind``
            (``item``, ``phi``, ``p``), optional
            ``refresh`` / ``max_staleness``
+query-batch ``items`` (list of ints), optional           ``answers`` (list of answer fields) + one shared
+           ``refresh`` / ``max_staleness``               ``snapshot_index``, ``head``, ``updates_behind``
 subscribe  ``kind`` (``state-changes`` or a query kind   ``id``
            + params)
 series     ``id`` (from subscribe)                       ``series`` of ``[index, value]``
@@ -207,6 +209,39 @@ class LiveSession:
         response["updates_behind"] = live.updates_behind
         return response, True
 
+    def _op_query_batch(self, request: dict) -> tuple[dict, bool]:
+        items = request.get("items")
+        if not isinstance(items, list) or not all(
+            isinstance(item, int) for item in items
+        ):
+            raise ProtocolError(
+                "query-batch needs an 'items' list of integers"
+            )
+        max_staleness = request.get("max_staleness")
+        live = self.engine.query_batch(
+            items,
+            refresh=bool(request.get("refresh", False)),
+            max_staleness=(
+                None if max_staleness is None else int(max_staleness)
+            ),
+        )
+        # One consistent cut: every answer shares the batch's
+        # (snapshot_index, head), so the staleness triple is hoisted.
+        response: dict[str, Any] = {
+            "ok": True,
+            "answers": [_answer_fields(a.answer) for a in live],
+        }
+        if live:
+            first = live[0]
+            response["snapshot_index"] = first.snapshot_index
+            response["head"] = first.head
+            response["updates_behind"] = first.updates_behind
+        else:
+            response["snapshot_index"] = self.engine.snapshot_index
+            response["head"] = self.engine.head
+            response["updates_behind"] = self.engine.updates_behind
+        return response, True
+
     def _op_subscribe(self, request: dict) -> tuple[dict, bool]:
         kind = request.get("kind")
         if kind == StateChangesCollector.name:
@@ -251,9 +286,20 @@ class LiveSession:
 
     def _op_stats(self, request: dict) -> tuple[dict, bool]:
         engine = self.engine
+        cache = engine.answer_cache
         return (
             {
                 "ok": True,
+                "answer_cache": (
+                    None
+                    if cache is None
+                    else {
+                        "capacity": cache.capacity,
+                        "entries": len(cache),
+                        "hits": cache.hits,
+                        "misses": cache.misses,
+                    }
+                ),
                 "sketch": engine.sketch_name,
                 "head": engine.head,
                 "snapshot_index": engine.snapshot_index,

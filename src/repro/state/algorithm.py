@@ -58,6 +58,8 @@ import numpy as np
 from repro.query import (
     QUERY_HOOKS,
     Answer,
+    MultiPointQuery,
+    PointQuery,
     Query,
     QueryKind,
     UnsupportedQueryError,
@@ -352,6 +354,51 @@ class Sketch(abc.ABC):
                 type(self).__name__, q.kind, self.supports
             )
         return handler(self, q)
+
+    def query_many(self, q: MultiPointQuery) -> tuple[Answer, ...]:
+        """Answer a batch of point queries in one call.
+
+        **Contract: bit-identical to the scalar loop.**  For every
+        family and configuration, ``query_many(MultiPointQuery(items))``
+        returns exactly ``tuple(self.query(PointQuery(i)) for i in
+        items)`` — same values, same answer types, same errors
+        (``tests/test_query_many.py`` sweeps this with Hypothesis).
+        Families with a vectorized :meth:`_answer_point_many` kernel
+        (CountMin/CountSketch gather whole item arrays through the
+        chunked hash paths; the dict-backed summaries answer via one
+        bulk lookup; the sample-and-hold families materialize their
+        estimate map once per batch instead of once per item) only
+        change the wall clock; everything else takes the scalar-loop
+        fallback.
+
+        The capability is :attr:`~repro.query.QueryKind.POINT` — a
+        sketch that answers point queries answers batches of them, and
+        one that does not raises the same typed
+        :class:`~repro.query.UnsupportedQueryError`.
+
+        Like :meth:`query`, batch queries are pure reads: they never
+        mutate tracked state and are free under the paper's cost model.
+        """
+        if QueryKind.POINT not in self.supports:
+            raise UnsupportedQueryError(
+                type(self).__name__, QueryKind.POINT, self.supports
+            )
+        return self._answer_point_many(q)
+
+    def _answer_point_many(
+        self, q: MultiPointQuery
+    ) -> tuple[Answer, ...]:
+        """Batch point-query hook: the scalar-loop fallback.
+
+        Overrides must preserve the bit-identity contract of
+        :meth:`query_many`; the base implementation *is* the contract
+        (minus the per-item dispatch overhead, which is behavioral
+        no-op).
+        """
+        answer_point = self._query_handlers[QueryKind.POINT]
+        return tuple(
+            answer_point(self, PointQuery(item)) for item in q.items
+        )
 
     # One hook per QueryKind.  A subclass declaring a kind in
     # ``supports`` must override the matching hook; reaching a base

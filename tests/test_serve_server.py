@@ -134,6 +134,7 @@ class TestLiveSessionVerbs:
         assert LiveSession.verbs() == [
             "append",
             "query",
+            "query-batch",
             "series",
             "shutdown",
             "snapshot",
