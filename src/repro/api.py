@@ -516,6 +516,7 @@ class Engine:
         budget: WriteBudget | int | None = None,
         budget_split: str = "even",
         chunk_size: int | None = None,
+        snapshot_mode: str = "incremental",
         answer_cache: int = 256,
     ):
         """A :class:`~repro.serve.LiveEngine` with this engine's config.
@@ -546,6 +547,7 @@ class Engine:
             budget=budget,
             budget_split=budget_split,
             chunk_size=chunk_size,
+            snapshot_mode=snapshot_mode,
             answer_cache=answer_cache,
             coin_protocol=self.coin_protocol,
         )

@@ -1,0 +1,124 @@
+"""Vectorized merge kernels for the mergeable families.
+
+A sketch merge is an offline reduce applied through the registers'
+untracked ``load`` path, so the only thing a kernel may change is the
+wall clock.  **Contract: bit-identical to the scalar loops they
+replace** — same values (``int64`` arithmetic surfaced back as Python
+ints via ``.tolist()``), and the same *dict insertion order*, which is
+observable through ``_payload_state`` serialization.  Inputs that do
+not fit the vectorized form (short rows where the numpy round trip
+costs more than it saves, keys or counts beyond ``int64``) take the
+scalar path inside the kernel, so call sites never branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines._dict_summary import added_counts
+
+#: Shortest row / summary worth routing through numpy: below this the
+#: array round trip costs more than the scalar loop it replaces.
+MIN_BULK_MERGE = 64
+
+
+def add_cells(mine, theirs) -> list[int]:
+    """Elementwise sum of two equal-length cell sequences.
+
+    The merge rule of every linear sketch (CountMin / CountSketch rows,
+    AMS sign-sums).  Results are Python ints either way.
+    """
+    n = len(mine)
+    if n >= MIN_BULK_MERGE:
+        try:
+            a = np.fromiter(mine, dtype=np.int64, count=n)
+            b = np.fromiter(theirs, dtype=np.int64, count=n)
+        except (OverflowError, ValueError, TypeError):
+            pass  # counts beyond int64 (or non-int cells): scalar
+        else:
+            return (a + b).tolist()
+    return [a + b for a, b in zip(mine, theirs)]
+
+
+def fold_counts(mine, theirs) -> dict[int, int]:
+    """Entrywise sum of two (item → count) mappings.
+
+    The vectorized twin of
+    :func:`~repro.baselines._dict_summary.added_counts`, including its
+    insertion order: ``mine``'s keys first (in ``mine``'s order, with
+    summed values), then ``theirs``'s new keys in ``theirs``'s order.
+    """
+    nm, nt = len(mine), len(theirs)
+    if nm < MIN_BULK_MERGE or nt < MIN_BULK_MERGE:
+        return added_counts(mine, theirs)
+    try:
+        km = np.fromiter(mine.keys(), dtype=np.int64, count=nm)
+        vm = np.fromiter(mine.values(), dtype=np.int64, count=nm)
+        kt = np.fromiter(theirs.keys(), dtype=np.int64, count=nt)
+        vt = np.fromiter(theirs.values(), dtype=np.int64, count=nt)
+    except (OverflowError, ValueError, TypeError):
+        return added_counts(mine, theirs)
+    order = np.argsort(km, kind="stable")
+    sorted_km = km[order]
+    # A position of nm means the key is past every sorted key; the
+    # clipped compare is then against a strictly smaller key, so the
+    # hit mask stays correct.
+    pos = np.minimum(np.searchsorted(sorted_km, kt), nm - 1)
+    hit = sorted_km[pos] == kt
+    vm[order[pos[hit]]] += vt[hit]  # keys are unique: no repeated index
+    combined = dict(zip(km.tolist(), vm.tolist()))
+    for item, count in zip(kt[~hit].tolist(), vt[~hit].tolist()):
+        combined[item] = count
+    return combined
+
+
+def subtract_kth(combined: dict[int, int], k: int) -> dict[int, int]:
+    """The [ACHPWY12] Misra–Gries merge cut.
+
+    Subtract the ``k``-th largest count from every entry and drop the
+    non-positive ones; survivors keep ``combined``'s insertion order.
+    """
+    n = len(combined)
+    if n >= MIN_BULK_MERGE:
+        try:
+            keys = np.fromiter(combined.keys(), dtype=np.int64, count=n)
+            values = np.fromiter(combined.values(), dtype=np.int64, count=n)
+        except (OverflowError, ValueError, TypeError):
+            pass
+        else:
+            kth = int(np.partition(values, n - k)[n - k])
+            kept = values > kth
+            return dict(
+                zip(keys[kept].tolist(), (values[kept] - kth).tolist())
+            )
+    kth = sorted(combined.values(), reverse=True)[k - 1]
+    return {
+        item: count - kth
+        for item, count in combined.items()
+        if count - kth > 0
+    }
+
+
+def top_k(combined: dict[int, int], k: int) -> dict[int, int]:
+    """The parallel-SpaceSaving survivor cut: the ``k`` largest counts.
+
+    Result order matches the scalar ``sorted(..., reverse=True)[:k]``:
+    descending count, ties keeping ``combined``'s order (both sorts are
+    stable).
+    """
+    n = len(combined)
+    if n >= MIN_BULK_MERGE:
+        try:
+            keys = np.fromiter(combined.keys(), dtype=np.int64, count=n)
+            values = np.fromiter(combined.values(), dtype=np.int64, count=n)
+        except (OverflowError, ValueError, TypeError):
+            pass
+        else:
+            order = np.argsort(-values, kind="stable")[:k]
+            return dict(
+                zip(keys[order].tolist(), values[order].tolist())
+            )
+    survivors = sorted(
+        combined.items(), key=lambda kv: kv[1], reverse=True
+    )[:k]
+    return dict(survivors)

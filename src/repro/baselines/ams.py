@@ -14,6 +14,7 @@ import statistics
 
 import numpy as np
 
+from repro.baselines._merge_kernels import add_cells
 from repro.hashing.prime_field import KWiseHash
 from repro.query import Moment, MomentAnswer, QueryKind
 from repro.state.algorithm import StreamAlgorithm
@@ -122,7 +123,12 @@ class AMSSketch(StreamAlgorithm):
                 f"{self.num_groups}x{self.group_size}/seed={self.seed} vs "
                 f"{other.num_groups}x{other.group_size}/seed={other.seed}"
             )
-        self._sums.load([a + b for a, b in zip(self._sums, other._sums)])
+        self._sums.load(add_cells(self._sums, other._sums))
+
+    def _clone_registers(self, tracker: StateTracker) -> None:
+        # The sign-sum array is the only mutable state; the sign hash
+        # descriptions are immutable and stay shared.
+        self._sums = self._sums.clone_to(tracker)
 
     def _config_state(self) -> dict:
         return {

@@ -14,6 +14,7 @@ import statistics
 
 import numpy as np
 
+from repro.baselines._merge_kernels import add_cells
 from repro.hashing.prime_field import KWiseHash
 from repro.query import (
     Moment,
@@ -203,7 +204,12 @@ class CountSketch(StreamAlgorithm):
                 f"{other.width}x{other.depth}/seed={other.seed}"
             )
         for row, other_row in zip(self._rows, other._rows):
-            row.load([a + b for a, b in zip(row, other_row)])
+            row.load(add_cells(row, other_row))
+
+    def _clone_registers(self, tracker: StateTracker) -> None:
+        # Rows carry the only mutable state; the bucket and sign hash
+        # descriptions are immutable and stay shared.
+        self._rows = [row.clone_to(tracker) for row in self._rows]
 
     def _config_state(self) -> dict:
         return {"width": self.width, "depth": self.depth, "seed": self.seed}

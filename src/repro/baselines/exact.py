@@ -13,10 +13,10 @@ import numpy as np
 
 from repro.baselines._dict_summary import (
     DictSummaryQueries,
-    added_counts,
     dict_payload,
     load_dict_payload,
 )
+from repro.baselines._merge_kernels import fold_counts
 from repro.query import (
     AllEstimates,
     Distinct,
@@ -137,7 +137,10 @@ class ExactFrequencyCounter(DictSummaryQueries, StreamAlgorithm):
     # Mergeable sketch protocol
     # ------------------------------------------------------------------
     def _merge_same_type(self, other: "ExactFrequencyCounter") -> None:
-        self._counters.load(added_counts(self._counters, other._counters))
+        self._counters.load(fold_counts(self._counters, other._counters))
+
+    def _clone_registers(self, tracker: StateTracker) -> None:
+        self._counters = self._counters.clone_to(tracker)
 
     def _config_state(self) -> dict:
         return {}

@@ -14,11 +14,11 @@ import numpy as np
 
 from repro.baselines._dict_summary import (
     DictSummaryQueries,
-    added_counts,
     chunk_with_tracked_segments,
     dict_payload,
     load_dict_payload,
 )
+from repro.baselines._merge_kernels import fold_counts, subtract_kth
 from repro.query import (
     AllEstimates,
     HeavyHitters,
@@ -131,17 +131,15 @@ class MisraGries(DictSummaryQueries, StreamAlgorithm):
                 f"incompatible Misra-Gries summaries: k={self.k} vs "
                 f"k={other.k}"
             )
-        combined = added_counts(self._counters, other._counters)
+        combined = fold_counts(self._counters, other._counters)
         if len(combined) > self.k - 1:
             # Subtract the k-th largest combined count; at most k - 1
             # entries stay positive ([ACHPWY12] merge rule).
-            kth = sorted(combined.values(), reverse=True)[self.k - 1]
-            combined = {
-                item: count - kth
-                for item, count in combined.items()
-                if count - kth > 0
-            }
+            combined = subtract_kth(combined, self.k)
         self._counters.load(combined)
+
+    def _clone_registers(self, tracker: StateTracker) -> None:
+        self._counters = self._counters.clone_to(tracker)
 
     def _config_state(self) -> dict:
         return {"k": self.k}

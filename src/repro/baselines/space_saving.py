@@ -17,6 +17,7 @@ from repro.baselines._dict_summary import (
     dict_payload,
     load_dict_payload,
 )
+from repro.baselines._merge_kernels import top_k
 from repro.query import (
     AllEstimates,
     HeavyHitters,
@@ -135,11 +136,11 @@ class SpaceSaving(DictSummaryQueries, StreamAlgorithm):
             for item in mine.keys() | theirs.keys()
         }
         if len(combined) > self.k:
-            survivors = sorted(
-                combined.items(), key=lambda kv: kv[1], reverse=True
-            )[: self.k]
-            combined = dict(survivors)
+            combined = top_k(combined, self.k)
         self._counters.load(combined)
+
+    def _clone_registers(self, tracker: StateTracker) -> None:
+        self._counters = self._counters.clone_to(tracker)
 
     def _config_state(self) -> dict:
         return {"k": self.k}

@@ -333,6 +333,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tracking=args.tracking,
             budget=budget,
             coin_protocol=args.coin_protocol,
+            snapshot_mode=args.snapshot_mode,
             answer_cache=args.answer_cache,
         )
     except KeyError:
@@ -553,6 +554,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--coin-protocol", default=None,
                        choices=("v1", "v2"), dest="coin_protocol",
                        help="force the randomized families' coin protocol")
+    serve.add_argument("--snapshot-mode", default="incremental",
+                       choices=["incremental", "full"],
+                       dest="snapshot_mode",
+                       help="snapshot refresh strategy: memoized "
+                            "merge tree vs full rebuild (both are "
+                            "bit-identical)")
     serve.add_argument("--answer-cache", type=int, default=256,
                        dest="answer_cache",
                        help="snapshot-keyed answer cache capacity "

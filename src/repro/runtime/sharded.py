@@ -78,6 +78,7 @@ partial results.
 from __future__ import annotations
 
 import copy
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
@@ -112,6 +113,11 @@ ShardFactory = Callable[[int], Sketch]
 
 _PARTITIONS = ("hash", "round-robin")
 _EXECUTORS = ("serial", "thread", "process")
+_SNAPSHOT_MODES = ("incremental", "full")
+
+#: One leaf of a snapshot cut: the shard's ingest-epoch key plus an
+#: immutable-by-convention private copy of the shard at that epoch.
+SnapshotCut = list[tuple[tuple, Sketch]]
 
 
 def _load_skew(shard_items: tuple[int, ...] | list[int]) -> float:
@@ -225,6 +231,7 @@ class ShardedRunner:
         chunk_size: int | None = None,
         pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
         start_method: str | None = None,
+        snapshot_mode: str = "incremental",
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"need at least one shard: {num_shards}")
@@ -235,6 +242,11 @@ class ShardedRunner:
         if executor not in _EXECUTORS:
             raise ValueError(
                 f"unknown executor {executor!r}; choose from {_EXECUTORS}"
+            )
+        if snapshot_mode not in _SNAPSHOT_MODES:
+            raise ValueError(
+                f"unknown snapshot_mode {snapshot_mode!r}; choose from "
+                f"{_SNAPSHOT_MODES}"
             )
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1: {batch_size}")
@@ -254,6 +266,7 @@ class ShardedRunner:
         self.chunk_size = chunk_size
         self.pipeline_depth = pipeline_depth
         self.start_method = start_method
+        self.snapshot_mode = snapshot_mode
         self._shards: list[Sketch] = [factory(i) for i in range(num_shards)]
         trackers = {id(shard.tracker) for shard in self._shards}
         if len(trackers) != num_shards:
@@ -281,6 +294,25 @@ class ShardedRunner:
         self._dispatched = False  # pool/thread executor ran its work
         self._pipeline: PipelinedShardPool | None = None
         self._failed: BaseException | None = None
+        # Incremental snapshot plane: per-leaf clones and memoized
+        # merge-tree nodes, both keyed by the shards' ingest epochs.
+        # The merge lock serializes off-lock reductions (the caches are
+        # shared); entries are (key, sketch) pairs, so a stale or
+        # out-of-order build self-describes and rebuilds instead of
+        # serving the wrong epoch.
+        self._merge_lock = threading.Lock()
+        self._leaf_cache: list[tuple[tuple, Sketch] | None] = (
+            [None] * num_shards
+        )
+        self._node_cache: dict[tuple[int, int], tuple[tuple, Sketch]] = {}
+        self._snap_stats = {
+            "cuts_taken": 0,
+            "leaves_cloned": 0,
+            "leaves_reused": 0,
+            "nodes_built": 0,
+            "nodes_reused": 0,
+            "full_rebuilds": 0,
+        }
 
     @classmethod
     def from_registry(
@@ -302,6 +334,7 @@ class ShardedRunner:
         coin_protocol: str | None = None,
         pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
         start_method: str | None = None,
+        snapshot_mode: str = "incremental",
     ) -> "ShardedRunner":
         """Runner whose shards come from :mod:`repro.registry`.
 
@@ -343,6 +376,7 @@ class ShardedRunner:
             chunk_size=chunk_size,
             pipeline_depth=pipeline_depth,
             start_method=start_method,
+            snapshot_mode=snapshot_mode,
         )
 
     # ------------------------------------------------------------------
@@ -444,6 +478,9 @@ class ShardedRunner:
         """Latch a worker failure: the run's partial results are dead."""
         self._failed = error
         self._dispatched = True
+        # The memoized snapshot plane describes a run that no longer
+        # exists; a latched runner must not serve (or hold) stale roots.
+        self._clear_snapshot_caches()
         if self._pipeline is not None:
             self._pipeline.close()
             self._pipeline = None
@@ -677,6 +714,153 @@ class ShardedRunner:
             return type(shard).from_state(shard.to_state())
         return copy.deepcopy(shard)
 
+    def _clear_snapshot_caches(self) -> None:
+        """Drop every memoized leaf clone and merge-tree node."""
+        self._leaf_cache = [None] * self.num_shards
+        self._node_cache = {}
+
+    def _leaf_key(self, index: int, shard: Sketch) -> tuple:
+        """The shard's *ingest epoch*: a tuple of observable counters
+        that changes whenever the shard absorbs an update.
+
+        Derived rather than explicitly bumped, so it also catches
+        mutation outside the runner's delivery paths (e.g. callers
+        driving ``runner.shards[i].process(...)`` directly): any
+        processed update advances the stream clock and the items
+        counter, and the remaining audit counters distinguish runs
+        that happen to tie on those.
+        """
+        tracker = shard.tracker
+        return (
+            self._shard_items[index],
+            shard._items_processed,
+            tracker._timestep,
+            tracker._state_changes,
+            tracker._total_writes,
+            tracker._write_attempts,
+        )
+
+    def snapshot_cut(self) -> SnapshotCut:
+        """Capture a consistent leaf vector for a (possibly off-lock)
+        merge: one ``(epoch_key, private_copy)`` pair per shard.
+
+        Intended to be called where the shards are quiescent (the
+        serving engine calls it under its ingest lock): the expensive
+        part — copying shards — is paid only for the leaves whose
+        epoch advanced since the last cut; clean leaves reuse the
+        cached copy by reference.  The returned cut is self-contained
+        (every entry is an immutable-by-convention private copy), so
+        :meth:`merged_from_cut` can reduce it later without touching
+        live shard state.
+
+        Under the thread and process executors the first cut triggers
+        the pending dispatch, after which those one-shot runners
+        cannot ingest again — same semantics as
+        :meth:`merged_snapshot` always had.
+        """
+        self._check_not_failed()
+        if self._merged is not None:
+            # The destructive reduce folded every shard tracker into
+            # the root; copying the shards now would double-count.
+            raise RuntimeError(
+                "runner is already merged; snapshots must be taken "
+                "before merge()"
+            )
+        self._execute()
+        for shard in range(self.num_shards):
+            self._flush(shard)
+        stats = self._snap_stats
+        stats["cuts_taken"] += 1
+        if self.snapshot_mode == "full":
+            # Reference path: fresh serialization round trips, no
+            # caches — what the equivalence sweep compares against.
+            return [
+                (self._leaf_key(i, shard), self._copy_shard(shard))
+                for i, shard in enumerate(self._shards)
+            ]
+        cut: SnapshotCut = []
+        for i, shard in enumerate(self._shards):
+            key = self._leaf_key(i, shard)
+            cached = self._leaf_cache[i]
+            if cached is None or cached[0] != key:
+                cached = (key, shard.clone())
+                self._leaf_cache[i] = cached
+                stats["leaves_cloned"] += 1
+            else:
+                stats["leaves_reused"] += 1
+            cut.append(cached)
+        return cut
+
+    def merged_from_cut(self, cut: SnapshotCut) -> Sketch:
+        """Reduce a :meth:`snapshot_cut` into a caller-owned merged
+        sketch; safe to run outside the caller's ingest lock.
+
+        Incremental mode runs the memoized reduction: internal nodes
+        of the merge tree are cached keyed by the concatenation of
+        their leaves' epoch keys, so a cut where only ``k`` of ``S``
+        shards advanced re-merges only those leaves' root paths —
+        ``O(k log S)`` merges instead of ``S - 1``.  Cached nodes are
+        never mutated (a rebuild clones its left child before merging,
+        and :meth:`~repro.state.algorithm.Sketch.merge` only reads its
+        right operand), and an internal lock serializes concurrent
+        reductions over the shared cache.  The returned root is always
+        a private clone, so repeated snapshots never alias.
+
+        Full mode reduces the cut's fresh copies in place — the
+        historical code path, byte for byte.
+        """
+        if self.snapshot_mode == "full":
+            self._snap_stats["full_rebuilds"] += 1
+            level = [sketch for _, sketch in cut]
+            while len(level) > 1:
+                merged_level = []
+                for i in range(0, len(level) - 1, 2):
+                    merged_level.append(level[i].merge(level[i + 1]))
+                if len(level) % 2:
+                    merged_level.append(level[-1])
+                level = merged_level
+            return level[0]
+        with self._merge_lock:
+            stats = self._snap_stats
+            entries = [((key,), sketch) for key, sketch in cut]
+            height = 1
+            while len(entries) > 1:
+                merged_level = []
+                for j in range(0, len(entries) - 1, 2):
+                    left_keys, left = entries[j]
+                    right_keys, right = entries[j + 1]
+                    keys = left_keys + right_keys
+                    slot = (height, j // 2)
+                    cached = self._node_cache.get(slot)
+                    if cached is not None and cached[0] == keys:
+                        stats["nodes_reused"] += 1
+                        merged_level.append(cached)
+                        continue
+                    node = left.clone().merge(right)
+                    entry = (keys, node)
+                    self._node_cache[slot] = entry
+                    stats["nodes_built"] += 1
+                    merged_level.append(entry)
+                if len(entries) % 2:
+                    # Promoted odd node: carried up unmerged, exactly
+                    # like the historical tree shape (MG/SpaceSaving
+                    # merges are not associative, so the shape is part
+                    # of the bit-identity contract).
+                    merged_level.append(entries[-1])
+                entries = merged_level
+                height += 1
+            return entries[0][1].clone()
+
+    def snapshot_stats(self) -> dict[str, int]:
+        """Counters of the incremental snapshot plane.
+
+        ``cuts_taken`` snapshots so far; per cut, how many leaves were
+        freshly cloned vs reused from cache, how many merge-tree nodes
+        were rebuilt vs served memoized, and how many full (reference
+        mode) rebuilds ran.
+        """
+        return dict(self._snap_stats)
+
     def merged_snapshot(self) -> Sketch:
         """Reduce *copies* of the shards; the shards stay ingestable.
 
@@ -691,6 +875,14 @@ class ShardedRunner:
         and per-shard ingest are deterministic — to a fresh batch run
         over the same stream prefix.
 
+        The default ``snapshot_mode="incremental"`` serves the reduce
+        through the memoized merge tree (see :meth:`merged_from_cut`):
+        a snapshot where only ``k`` of ``S`` shards ingested since the
+        last one costs ``k`` leaf clones and ``O(k log S)`` merges.
+        ``snapshot_mode="full"`` keeps the historical rebuild-
+        everything path — the reference the equivalence tests sweep
+        the incremental plane against.
+
         This is the primitive the live serving engine
         (:class:`repro.serve.LiveEngine`) answers queries through.
 
@@ -700,27 +892,7 @@ class ShardedRunner:
         executors are one-shot); snapshot-while-ingesting is a
         serial-executor workflow.
         """
-        self._check_not_failed()
-        if self._merged is not None:
-            # The destructive reduce folded every shard tracker into
-            # the root; copying the shards now would double-count.
-            raise RuntimeError(
-                "runner is already merged; snapshots must be taken "
-                "before merge()"
-            )
-        self._execute()
-        for shard in range(self.num_shards):
-            self._flush(shard)
-        copies = [self._copy_shard(shard) for shard in self._shards]
-        level = copies
-        while len(level) > 1:
-            merged_level = []
-            for i in range(0, len(level) - 1, 2):
-                merged_level.append(level[i].merge(level[i + 1]))
-            if len(level) % 2:
-                merged_level.append(level[-1])
-            level = merged_level
-        return level[0]
+        return self.merged_from_cut(self.snapshot_cut())
 
     def merge(self) -> Sketch:
         """Reduce the shards with a binary merge tree; returns the root.
@@ -733,6 +905,10 @@ class ShardedRunner:
         self._check_not_failed()
         if self._merged is None:
             self._execute()
+            # The destructive reduce ends the snapshot plane's life:
+            # drop the memoized clones so a merged runner cannot serve
+            # (or pin the memory of) a stale root.
+            self._clear_snapshot_caches()
             # Snapshot the per-shard audits first: the reduce folds
             # every other tracker into the surviving shard's, after
             # which live reports would double-count.

@@ -56,7 +56,11 @@ class LoadReport:
 
     Rates are computed over the run's wall time; staleness fields
     summarize the ``updates_behind`` every answered query observed
-    (how far the answering snapshot trailed the head).
+    (how far the answering snapshot trailed the head).  The
+    ``refresh_*`` / ``append_lock_*`` / ``snapshot_*`` fields mirror
+    :meth:`~repro.serve.engine.LiveEngine.stats` at the end of the
+    run: snapshot-merge timings, time appends spent stalled on the
+    ingest lock, and the memoized merge-tree's reuse counters.
     """
 
     items: int
@@ -68,6 +72,16 @@ class LoadReport:
     max_staleness: int
     query_mix: tuple[tuple[str, float], ...]
     batch_size: int = 1
+    refresh_count: int = 0
+    refresh_mean_ms: float = 0.0
+    refresh_max_ms: float = 0.0
+    append_lock_wait_ms: float = 0.0
+    append_lock_held_ms: float = 0.0
+    snapshot_nodes_built: int = 0
+    snapshot_nodes_reused: int = 0
+    snapshot_leaves_cloned: int = 0
+    snapshot_leaves_reused: int = 0
+    snapshot_full_rebuilds: int = 0
 
     @property
     def items_per_s(self) -> float:
@@ -88,7 +102,9 @@ class LoadReport:
             f"queries={self.queries} ({self.queries_per_s:,.0f}/s) "
             f"snapshots={self.snapshots} "
             f"staleness mean={self.mean_staleness:.0f} "
-            f"max={self.max_staleness}"
+            f"max={self.max_staleness} "
+            f"refresh mean={self.refresh_mean_ms:.2f}ms "
+            f"append-stall={self.append_lock_wait_ms:.1f}ms"
         )
 
 
@@ -211,6 +227,7 @@ def generate_load(
                     staleness_max, answer.updates_behind
                 )
     wall_time_s = time.perf_counter() - start
+    stats = engine.stats()
     return LoadReport(
         items=items,
         appends=appends,
@@ -221,4 +238,14 @@ def generate_load(
         max_staleness=staleness_max,
         query_mix=tuple((name, float(mix[name])) for name in names),
         batch_size=batch_size,
+        refresh_count=stats["refresh_count"],
+        refresh_mean_ms=stats["refresh_mean_ms"],
+        refresh_max_ms=stats["refresh_max_ms"],
+        append_lock_wait_ms=stats["append_lock_wait_ms"],
+        append_lock_held_ms=stats["append_lock_held_ms"],
+        snapshot_nodes_built=stats["snapshot_nodes_built"],
+        snapshot_nodes_reused=stats["snapshot_nodes_reused"],
+        snapshot_leaves_cloned=stats["snapshot_leaves_cloned"],
+        snapshot_leaves_reused=stats["snapshot_leaves_reused"],
+        snapshot_full_rebuilds=stats["snapshot_full_rebuilds"],
     )

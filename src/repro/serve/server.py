@@ -161,6 +161,10 @@ class LiveSession:
             ProtocolError,
             UnsupportedQueryError,
             WriteBudgetExceededError,
+            # RuntimeError covers engine-lifecycle violations — e.g.
+            # snapshotting a runner that was already merge()d — which
+            # must answer in-band, not kill the connection.
+            RuntimeError,
             ValueError,
             TypeError,
             KeyError,
@@ -301,16 +305,17 @@ class LiveSession:
                     }
                 ),
                 "sketch": engine.sketch_name,
-                "head": engine.head,
-                "snapshot_index": engine.snapshot_index,
                 "updates_behind": engine.updates_behind,
                 "snapshot_every": engine.snapshot_every,
-                "snapshots_taken": engine.snapshots_taken,
                 "shards": engine.shards,
                 "partition": engine.partition,
                 "tracking": engine.tracking,
                 "collectors": len(engine.collectors),
                 "supports": sorted(str(k) for k in engine.supports),
+                # head / snapshot_index / snapshots_taken plus the
+                # snapshot-refresh metrics (refresh_* timings,
+                # append-lock accounting, memoized-tree counters).
+                **engine.stats(),
             },
             True,
         )

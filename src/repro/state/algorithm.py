@@ -50,6 +50,7 @@ sum of the shard reports.
 from __future__ import annotations
 
 import abc
+import copy
 import random
 from typing import Any, ClassVar, Iterable
 
@@ -463,6 +464,56 @@ class Sketch(abc.ABC):
         raise NotMergeableError(
             f"{type(self).__name__} does not support merging"
         )
+
+    # ------------------------------------------------------------------
+    # Clone protocol
+    # ------------------------------------------------------------------
+    def clone(self) -> "Sketch":
+        """Independent copy: same payload, audit, and randomness.
+
+        **Contract: bit-identical to the serialization round trip.**
+        For serializable families ``clone()`` produces exactly
+        ``type(self).from_state(self.to_state())`` — same payload,
+        same audit counters, same answers — and never shares mutable
+        state with the original.  Write listeners are not carried over
+        (a restored sketch starts unobserved), matching restore
+        semantics.
+
+        The default path *is* the round trip (or ``copy.deepcopy`` for
+        families without the state hooks) — correct everywhere but
+        paying the dict serialization tax.  Families whose registers
+        are plain arrays and dicts override :meth:`_clone_registers`
+        and take the fast path: a shallow copy sharing the immutable
+        configuration (hash functions, sizing), a
+        :meth:`~repro.state.tracker.TrackerBackend.clone` of the audit,
+        and direct register copies via
+        :meth:`~repro.state.registers.TrackedArray.clone_to`.
+        """
+        if type(self)._clone_registers is not Sketch._clone_registers:
+            dup = copy.copy(self)
+            dup.tracker = self.tracker.clone()
+            dup._clone_registers(dup.tracker)
+            return dup
+        if type(self)._config_state is not Sketch._config_state:
+            return type(self).from_state(self.to_state())
+        return copy.deepcopy(self)
+
+    def _clone_registers(self, tracker: StateTracker) -> None:
+        """Fast-path hook: rebind register attributes onto ``tracker``.
+
+        Called on the shallow copy, with the cloned tracker already
+        installed as ``self.tracker``.  Overrides must replace every
+        mutable attribute — each tracked register via its ``clone_to``
+        (no re-allocation; the cloned tracker's word counters already
+        cover them) and any plain containers by copy — so the clone
+        shares nothing writable with the original.  Immutable
+        configuration (hash families, sizes) stays shared.
+
+        The base implementation is deliberately not a fallback:
+        :meth:`clone` checks ``is Sketch._clone_registers`` to decide
+        whether a fast path exists.
+        """
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # Serialization protocol

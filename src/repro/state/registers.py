@@ -83,6 +83,22 @@ class TrackedValue(Generic[T]):
         """
         self._value = value
 
+    def clone_to(self, tracker: TrackerBackend) -> "TrackedValue[T]":
+        """Duplicate this register onto an already-cloned backend.
+
+        The clone fast path: the target tracker is a
+        :meth:`~repro.state.tracker.TrackerBackend.clone` of this
+        register's backend, so its word counters already cover this
+        cell — no ``allocate()`` here, only a contents copy and a
+        rebind of the label-free write entry point.
+        """
+        dup: TrackedValue[T] = TrackedValue.__new__(TrackedValue)
+        dup._tracker = tracker
+        dup._cell_id = self._cell_id
+        dup._value = self._value
+        dup._count = None if tracker.needs_cell_ids else tracker.count_write
+        return dup
+
     def release(self) -> None:
         """Free the word (e.g. when a counter is evicted)."""
         self._tracker.free(1)
@@ -172,6 +188,20 @@ class TrackedArray(Generic[T]):
         (reservoir slots, sample-and-hold admissions).
         """
         self._cells[index] = value
+
+    def clone_to(self, tracker: TrackerBackend) -> "TrackedArray[T]":
+        """Duplicate this array onto an already-cloned backend.
+
+        No ``allocate()`` (the cloned tracker's word counters already
+        include the array); the cell list is copied so the clone and
+        the original never share mutable storage.
+        """
+        dup: TrackedArray[T] = TrackedArray.__new__(TrackedArray)
+        dup._tracker = tracker
+        dup._name = self._name
+        dup._cells = list(self._cells)
+        dup._count = None if tracker.needs_cell_ids else tracker.count_write
+        return dup
 
     def release(self) -> None:
         """Free the whole array."""
@@ -292,6 +322,21 @@ class TrackedDict(Generic[K, V]):
         ``mapping`` order, matching scalar insertion order.
         """
         self._data.update(mapping)
+
+    def clone_to(self, tracker: TrackerBackend) -> "TrackedDict[K, V]":
+        """Duplicate this map onto an already-cloned backend.
+
+        No per-entry ``allocate()`` (the cloned tracker already counts
+        the live entries); the backing dict is copied, preserving
+        insertion order.
+        """
+        dup: TrackedDict[K, V] = TrackedDict.__new__(TrackedDict)
+        dup._tracker = tracker
+        dup._name = self._name
+        dup._entry_words = self._entry_words
+        dup._data = dict(self._data)
+        dup._count = None if tracker.needs_cell_ids else tracker.count_write
+        return dup
 
     def clear(self) -> None:
         """Drop every entry, freeing its space.

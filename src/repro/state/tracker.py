@@ -292,6 +292,31 @@ class TrackerBackend:
         """Per-cell mutation counts (empty unless the backend traces)."""
         return {}
 
+    def _fresh(self) -> "TrackerBackend":
+        """A new, empty backend carrying this backend's configuration."""
+        return type(self)()
+
+    def clone(self) -> "TrackerBackend":
+        """Duplicate every counter into a new backend of the same mode.
+
+        The fast-path twin of ``tracker_from_state(to_state())`` +
+        :meth:`load_state`, and bit-identical to it: the dirty flag
+        resets (a restored tracker never carries an in-flight update)
+        and listeners are not carried over.  ``_next_cell_id`` *is*
+        copied so a clone that later creates cells labels them exactly
+        as the original would.
+        """
+        dup = self._fresh()
+        dup._timestep = self._timestep
+        dup._state_changes = self._state_changes
+        dup._total_writes = self._total_writes
+        dup._write_attempts = self._write_attempts
+        dup._current_words = self._current_words
+        dup._peak_words = self._peak_words
+        dup._next_cell_id = self._next_cell_id
+        dup._dirty = False
+        return dup
+
     def to_state(self) -> dict:
         """Snapshot every counter into a JSON-safe dict.
 
@@ -474,6 +499,14 @@ class TraceBackend(TrackerBackend):
 
     def _histogram(self) -> dict[str, int]:
         return self._cell_writes
+
+    def _fresh(self) -> "TrackerBackend":
+        return TraceBackend(record_cells=self._record_cells)
+
+    def clone(self) -> "TrackerBackend":
+        dup = super().clone()
+        dup._cell_writes = Counter(self._cell_writes)
+        return dup
 
     def to_state(self) -> dict:
         state = super().to_state()
@@ -669,6 +702,16 @@ class BudgetBackend(TrackerBackend):
             denied=self._denied,
             exhausted=self.exhausted,
         )
+
+    def _fresh(self) -> "TrackerBackend":
+        return BudgetBackend(self._budget)
+
+    def clone(self) -> "TrackerBackend":
+        dup = super().clone()
+        dup._denied = self._denied
+        dup._denied_since_admit = self._denied_since_admit
+        dup._stride = self._stride
+        return dup
 
     def merge_child(self, other: TrackerBackend) -> None:
         """Fold a shard in; per-shard limits and denials add."""

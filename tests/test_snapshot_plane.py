@@ -1,0 +1,409 @@
+"""The incremental snapshot plane: memoized merge tree, clone protocol,
+off-lock serving refresh.
+
+The non-negotiable contract under test: an **incremental** snapshot
+(memoized merge tree over ``Sketch.clone()`` leaf copies) is
+bit-identical — payload, answers, audit — to a **full** rebuild
+(serialization-round-trip copies, reduced from scratch) and to a
+**fresh batch run** over the same stream prefix.  Hypothesis sweeps
+the equivalence over every mergeable family, both coin protocols for
+the randomized families, all tracker backends including budget
+freeze/degrade, and checkpoint-resumed runners.
+
+Alongside the equivalence sweep: the epoch-keyed cache invalidation
+rules (ingest dirties exactly the touched leaves; ``merge()`` and the
+failure latch drop everything), the clone protocol's round-trip
+identity, the engine's lazy snapshot reports and refresh metrics, and
+the server's in-band RuntimeError answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import registry
+from repro.query import PointQuery
+from repro.runtime.checkpoint import Checkpoint
+from repro.runtime.sharded import ShardedRunner
+from repro.serve.collectors import StateChangesCollector
+from repro.serve.engine import LiveEngine
+from repro.serve.server import LiveSession
+from repro.state.algorithm import Sketch
+from repro.state.budget import WriteBudget, WriteBudgetExceededError
+
+N = 64  # universe for generated streams
+SHARDS = 4
+
+MERGEABLE = sorted(registry.mergeable_names())
+#: Families whose merge/ingest flips coins (accept ``coin_protocol=``).
+RANDOMIZED = ("count-min-morris", "pstable-fp")
+
+streams = st.lists(st.integers(0, N - 1), max_size=40)
+
+
+def make_runner(name: str, *, snapshot_mode: str, **kwargs) -> ShardedRunner:
+    """A small sharded runner in the given snapshot mode."""
+    return ShardedRunner.from_registry(
+        name,
+        SHARDS,
+        n=N,
+        m=512,
+        epsilon=1.0,
+        seed=7,
+        snapshot_mode=snapshot_mode,
+        **kwargs,
+    )
+
+
+def assert_snapshots_identical(runners: list[ShardedRunner]) -> None:
+    """Every runner's merged snapshot carries the identical state."""
+    states = [runner.merged_snapshot().to_state() for runner in runners]
+    for state in states[1:]:
+        assert state == states[0]
+
+
+# ----------------------------------------------------------------------
+# The equivalence sweep: incremental == full == fresh batch run
+# ----------------------------------------------------------------------
+class TestIncrementalEqualsFull:
+    @pytest.mark.parametrize("name", MERGEABLE)
+    @pytest.mark.parametrize("tracking", ["aggregate", "trace"])
+    @given(first=streams, second=streams)
+    @settings(max_examples=8, deadline=None)
+    def test_two_phase_identity(self, name, tracking, first, second):
+        """Snapshot at two cut points; the memoized second snapshot
+        (which reuses clean leaves and tree nodes) must match both the
+        full rebuild and a fresh runner that ingested the whole prefix
+        in one go."""
+        incremental = make_runner(
+            name, snapshot_mode="incremental", tracking=tracking
+        )
+        full = make_runner(name, snapshot_mode="full", tracking=tracking)
+        incremental.ingest(first)
+        full.ingest(first)
+        assert_snapshots_identical([incremental, full])
+        incremental.ingest(second)
+        full.ingest(second)
+        fresh = make_runner(
+            name, snapshot_mode="full", tracking=tracking
+        )
+        fresh.ingest(first + second)
+        assert_snapshots_identical([incremental, full, fresh])
+        # The incremental plane actually memoized (first snapshot
+        # cloned every leaf; the equivalence must not come from
+        # silently falling back to full rebuilds).
+        stats = incremental.snapshot_stats()
+        assert stats["full_rebuilds"] == 0
+        assert stats["leaves_cloned"] >= SHARDS
+
+    @pytest.mark.parametrize("name", RANDOMIZED)
+    @pytest.mark.parametrize("protocol", ["v1", "v2"])
+    @given(first=streams, second=streams)
+    @settings(max_examples=6, deadline=None)
+    def test_coin_protocols(self, name, protocol, first, second):
+        """The randomized families stay bit-identical (coin RNG
+        position included) under both coin protocols."""
+        incremental = make_runner(
+            name, snapshot_mode="incremental", coin_protocol=protocol
+        )
+        full = make_runner(
+            name, snapshot_mode="full", coin_protocol=protocol
+        )
+        incremental.ingest(first)
+        full.ingest(first)
+        assert_snapshots_identical([incremental, full])
+        incremental.ingest(second)
+        full.ingest(second)
+        assert_snapshots_identical([incremental, full])
+
+    @pytest.mark.parametrize("policy", ["freeze", "degrade"])
+    @given(first=streams, second=streams)
+    @settings(max_examples=8, deadline=None)
+    def test_budget_backends(self, policy, first, second):
+        """Budget trackers (including denial-streak state under
+        freeze/degrade) survive the memoized path bit-for-bit."""
+        budget = WriteBudget(10, policy)
+        incremental = make_runner(
+            "misra-gries", snapshot_mode="incremental", budget=budget
+        )
+        full = make_runner(
+            "misra-gries", snapshot_mode="full", budget=budget
+        )
+        incremental.ingest(first)
+        full.ingest(first)
+        assert_snapshots_identical([incremental, full])
+        incremental.ingest(second)
+        full.ingest(second)
+        assert_snapshots_identical([incremental, full])
+
+    @given(first=streams, second=streams)
+    @settings(max_examples=8, deadline=None)
+    def test_checkpoint_resumed_runner(self, first, second):
+        """Shards checkpointed mid-stream and restored into a new
+        runner snapshot identically to the uninterrupted one — in
+        both snapshot modes."""
+        original = make_runner("count-min", snapshot_mode="incremental")
+        original.ingest(first)
+        original.merged_snapshot()  # populate the caches mid-stream
+        saved = [Checkpoint.dumps(shard) for shard in original.shards]
+        resumed = {
+            mode: ShardedRunner(
+                lambda i: Checkpoint.loads(saved[i]),
+                SHARDS,
+                seed=7,
+                snapshot_mode=mode,
+            )
+            for mode in ("incremental", "full")
+        }
+        original.ingest(second)
+        for runner in resumed.values():
+            runner.ingest(second)
+        assert_snapshots_identical(
+            [original, resumed["incremental"], resumed["full"]]
+        )
+
+    def test_repeated_snapshots_are_independent(self):
+        """Memoization must never alias: two snapshots of the same
+        epoch are distinct objects with equal state."""
+        runner = make_runner("count-min", snapshot_mode="incremental")
+        runner.ingest(range(200))
+        first = runner.merged_snapshot()
+        second = runner.merged_snapshot()
+        assert first is not second
+        assert first.to_state() == second.to_state()
+        # Mutating one must not leak into the other (or the cache).
+        first.process_many([1, 2, 3])
+        assert runner.merged_snapshot().to_state() == second.to_state()
+
+
+# ----------------------------------------------------------------------
+# Clone protocol
+# ----------------------------------------------------------------------
+class TestCloneProtocol:
+    @pytest.mark.parametrize("name", sorted(registry.names()))
+    def test_clone_equals_round_trip(self, name):
+        """``clone()`` is observably identical to a ``to_state`` /
+        ``from_state`` round trip for every registered family —
+        including the direct-payload fast paths."""
+        sketch = registry.create(name, n=N, m=512, epsilon=1.0, seed=7)
+        sketch.process_many(i % N for i in range(300))
+        if type(sketch)._config_state is Sketch._config_state:
+            pytest.skip(f"{name} has no serialization hooks")
+        expected = sketch.to_state()
+        dup = sketch.clone()
+        assert dup is not sketch
+        assert dup.tracker is not sketch.tracker
+        assert dup.to_state() == expected
+        assert sketch.to_state() == expected  # source untouched
+
+    @pytest.mark.parametrize(
+        "name", ["count-min", "misra-gries", "exact"]
+    )
+    @pytest.mark.parametrize("tracking", ["aggregate", "trace", "budget"])
+    def test_clone_is_isolated(self, name, tracking):
+        """Updates to a clone never reach the source (registers and
+        trackers are fully rebound), on every tracker backend."""
+        kwargs = {"tracking": tracking}
+        if tracking == "budget":
+            kwargs = {"budget": WriteBudget(10_000, "freeze")}
+        runner = make_runner(name, snapshot_mode="incremental", **kwargs)
+        runner.ingest(range(100))
+        shard = runner.shards[0]
+        changes_before = shard.report().state_changes
+        before = shard.to_state()
+        dup = shard.clone()
+        dup.process_many([1, 1, 2, 3])
+        assert shard.to_state() == before
+        assert dup.report().state_changes > changes_before
+
+
+# ----------------------------------------------------------------------
+# Epoch-keyed cache invalidation
+# ----------------------------------------------------------------------
+class TestCacheInvalidation:
+    def test_clean_shards_reuse_leaves_and_nodes(self):
+        runner = make_runner("count-min", snapshot_mode="incremental")
+        runner.ingest(range(400))
+        runner.merged_snapshot()
+        base = runner.snapshot_stats()
+        runner.merged_snapshot()  # nothing ingested in between
+        stats = runner.snapshot_stats()
+        assert stats["leaves_reused"] - base["leaves_reused"] == SHARDS
+        assert stats["leaves_cloned"] == base["leaves_cloned"]
+        assert stats["nodes_reused"] - base["nodes_reused"] == SHARDS - 1
+        assert stats["nodes_built"] == base["nodes_built"]
+
+    def test_dirty_shard_invalidates_its_root_path_only(self):
+        runner = make_runner("count-min", snapshot_mode="incremental")
+        runner.ingest(range(400))
+        runner.merged_snapshot()
+        base = runner.snapshot_stats()
+        # Drive exactly one shard directly — the derived epoch key
+        # must catch mutation outside the runner's delivery paths.
+        target = runner.shard_of(5)
+        runner.shards[target].process(5)
+        merged = runner.merged_snapshot()
+        stats = runner.snapshot_stats()
+        assert stats["leaves_cloned"] - base["leaves_cloned"] == 1
+        assert stats["leaves_reused"] - base["leaves_reused"] == SHARDS - 1
+        # One dirty leaf re-merges its path to the root: log2(4) = 2
+        # node rebuilds, the sibling subtree is served memoized.
+        assert stats["nodes_built"] - base["nodes_built"] == 2
+        assert stats["nodes_reused"] - base["nodes_reused"] == 1
+        # ... and the snapshot actually saw the update.
+        fresh = make_runner("count-min", snapshot_mode="full")
+        fresh.ingest(range(400))
+        fresh.shards[target].process(5)
+        assert merged.to_state() == fresh.merged_snapshot().to_state()
+
+    def test_merge_clears_caches_and_latches(self):
+        runner = make_runner("count-min", snapshot_mode="incremental")
+        runner.ingest(range(100))
+        runner.merged_snapshot()
+        assert runner._node_cache
+        runner.merge()
+        assert not runner._node_cache
+        assert runner._leaf_cache == [None] * SHARDS
+        with pytest.raises(RuntimeError, match="already merged"):
+            runner.merged_snapshot()
+
+    def test_failure_latch_clears_caches(self):
+        runner = make_runner("count-min", snapshot_mode="incremental")
+        runner.ingest(range(100))
+        runner.merged_snapshot()
+        assert runner._node_cache
+        runner._fail(RuntimeError("executor worker died"))
+        assert not runner._node_cache
+        assert runner._leaf_cache == [None] * SHARDS
+        with pytest.raises(RuntimeError):
+            runner.merged_snapshot()
+
+    def test_partial_writes_after_budget_raise_stay_identical(self):
+        """A serial-mode budget raise does not latch the runner; the
+        derived epoch keys pick up the partially-written shards, so
+        the memoized snapshot still matches a full rebuild."""
+        runners = []
+        for mode in ("incremental", "full"):
+            runner = make_runner(
+                "exact",
+                snapshot_mode=mode,
+                budget=WriteBudget(40, "raise"),
+            )
+            runner.ingest(np.arange(8, dtype=np.int64))
+            runner.merged_snapshot()
+            with pytest.raises(WriteBudgetExceededError):
+                # Columnar ingest: the raise happens mid-chunk inside
+                # a shard, leaving no stale routed buffers behind.
+                runner.ingest(np.arange(400, dtype=np.int64) % N)
+            runners.append(runner)
+        assert_snapshots_identical(runners)
+
+
+# ----------------------------------------------------------------------
+# Serving plane: lazy reports, stats, in-band errors
+# ----------------------------------------------------------------------
+class TestServingPlane:
+    def test_snapshot_report_is_lazy_and_cached(self):
+        engine = LiveEngine(
+            "count-min", n=N, m=4096, shards=2, snapshot_every=512
+        )
+        engine.append(range(700))
+        snapshot = engine.snapshot()
+        assert "report" not in snapshot.__dict__  # not built yet
+        report = snapshot.report
+        assert snapshot.report is report  # cached on first access
+        assert report.state_changes == snapshot.sketch.report().state_changes
+
+    def test_collectors_see_lazy_reports(self):
+        """The state-changes collector still samples every cadence
+        snapshot after reports went lazy."""
+        engine = LiveEngine(
+            "count-min", n=N, m=4096, shards=2, snapshot_every=256
+        )
+        collector = engine.subscribe(StateChangesCollector())
+        engine.append(range(1000))
+        engine.finish()
+        indexes = [index for index, _ in collector.series]
+        assert indexes == [256, 512, 768, 1000]
+        values = [value for _, value in collector.series]
+        assert values == sorted(values)  # audit counters are monotone
+
+    def test_engine_stats_fields(self):
+        engine = LiveEngine(
+            "count-min", n=N, m=4096, shards=4, snapshot_every=256
+        )
+        engine.append(range(1000))
+        engine.finish()
+        engine.snapshot(refresh=True)
+        stats = engine.stats()
+        assert stats["snapshot_mode"] == "incremental"
+        assert stats["refresh_count"] == stats["snapshots_taken"] > 0
+        assert stats["refresh_mean_ms"] > 0.0
+        assert stats["refresh_max_ms"] >= stats["refresh_last_ms"] >= 0.0
+        assert stats["append_calls"] == 1
+        assert stats["append_lock_held_ms"] > 0.0
+        assert stats["snapshot_leaves_cloned"] >= 4
+        assert stats["snapshot_full_rebuilds"] == 0
+        # A head-aligned re-snapshot is served purely from the caches.
+        before = engine.stats()
+        engine.snapshot(refresh=True)
+        after = engine.stats()
+        assert after["snapshot_leaves_cloned"] == before["snapshot_leaves_cloned"]
+        assert after["snapshot_nodes_built"] == before["snapshot_nodes_built"]
+
+    def test_server_stats_verb_reports_refresh_metrics(self):
+        engine = LiveEngine(
+            "count-min", n=N, m=4096, shards=2, snapshot_every=256
+        )
+        session = LiveSession(engine)
+        response, alive = session.handle(
+            {"op": "append", "items": list(range(600))}
+        )
+        assert alive and response["ok"]
+        response, alive = session.handle({"op": "stats"})
+        assert alive and response["ok"]
+        for field in (
+            "refresh_count",
+            "refresh_mean_ms",
+            "refresh_max_ms",
+            "append_lock_wait_ms",
+            "snapshot_nodes_built",
+            "snapshot_nodes_reused",
+            "snapshot_mode",
+        ):
+            assert field in response
+        assert response["refresh_count"] >= 2  # two cadence boundaries
+
+    def test_runtime_error_is_answered_in_band(self):
+        """A lifecycle violation (snapshotting a merged runner) comes
+        back as ``{"ok": false}`` and keeps the session serving."""
+        engine = LiveEngine("count-min", n=N, m=4096, shards=2)
+        engine.append(range(100))
+        engine._runner.merge()  # poison the snapshot plane
+        session = LiveSession(engine)
+        response, alive = session.handle({"op": "snapshot"})
+        assert alive  # the connection survives
+        assert response["ok"] is False
+        assert "already merged" in response["error"]
+        # The session keeps answering verbs that don't need snapshots.
+        response, alive = session.handle({"op": "stats"})
+        assert alive and response["ok"]
+
+    def test_full_mode_engine_matches_incremental(self):
+        kwargs = dict(n=N, m=8192, shards=4, snapshot_every=512)
+        incremental = LiveEngine("misra-gries", **kwargs)
+        full = LiveEngine("misra-gries", snapshot_mode="full", **kwargs)
+        data = [i % N for i in range(3000)]
+        incremental.append(data)
+        full.append(data)
+        a = incremental.finish()
+        b = full.finish()
+        assert a.sketch.to_state() == b.sketch.to_state()
+        assert a.report == b.report
+        assert (
+            incremental.query(PointQuery(3)).answer
+            == full.query(PointQuery(3)).answer
+        )
